@@ -1,0 +1,82 @@
+"""Figures 1, 2, 6, 7: the paper's attack walkthroughs, replayed.
+
+Each benchmark replays the figure's exact directive schedule, asserts
+the leakage sequence printed in the paper, and times the replay plus
+the Pitchfork detection of the same gadget.
+"""
+
+import pytest
+
+from repro.core import (Fwd, Machine, PUBLIC, Read, Rollback, SECRET, run)
+from repro.litmus import find_case
+from repro.pitchfork import analyze
+
+
+def _replay(case):
+    machine = Machine(case.program, rsb_policy=case.rsb_policy)
+    return run(machine, case.config(), case.attack_schedule)
+
+
+class TestFig1SpectreV1:
+    def test_replay(self, benchmark):
+        case = find_case("v1_fig1")
+        res = benchmark(_replay, case)
+        assert res.trace == (Read(0x49, PUBLIC), Read(0xA2 + 0x44, SECRET))
+
+    def test_detection(self, benchmark):
+        case = find_case("v1_fig1")
+        report = benchmark(analyze, case.program, case.config(),
+                           bound=20, fwd_hazards=False)
+        assert not report.secure
+
+
+class TestFig2Aliasing:
+    def test_replay(self, benchmark):
+        case = find_case("aliasing_fig2")
+        res = benchmark(_replay, case)
+        assert res.trace == (Read(0x99 + 0x48, SECRET), Fwd(0x42, PUBLIC),
+                             Rollback(), Fwd(0x45, PUBLIC))
+
+    def test_detection_needs_aliasing_extension(self, benchmark):
+        case = find_case("aliasing_fig2")
+        def both():
+            core = analyze(case.program, case.config(), bound=12,
+                           fwd_hazards=True)
+            extended = analyze(case.program, case.config(), bound=12,
+                               fwd_hazards=True, explore_aliasing=True)
+            return core, extended
+        core, extended = benchmark(both)
+        assert core.secure and not extended.secure
+
+
+class TestFig6SpectreV11:
+    def test_replay(self, benchmark):
+        case = find_case("v11_fig6")
+        res = benchmark(_replay, case)
+        assert res.trace == (Fwd(0x45, PUBLIC), Fwd(0x45, PUBLIC),
+                             Read(0x77 + 0x48, SECRET))
+
+    def test_detection(self, benchmark):
+        case = find_case("v11_fig6")
+        report = benchmark(analyze, case.program, case.config(),
+                           bound=20, fwd_hazards=False)
+        assert not report.secure
+
+
+class TestFig7SpectreV4:
+    def test_replay(self, benchmark):
+        case = find_case("v4_fig7")
+        res = benchmark(_replay, case)
+        assert res.trace == (Read(0x43, PUBLIC), Read(0x24 + 0x44, SECRET),
+                             Rollback(), Fwd(0x43, PUBLIC))
+
+    def test_detection_needs_fwd_hazards(self, benchmark):
+        case = find_case("v4_fig7")
+        def both():
+            no_fwd = analyze(case.program, case.config(), bound=20,
+                             fwd_hazards=False)
+            fwd = analyze(case.program, case.config(), bound=20,
+                          fwd_hazards=True)
+            return no_fwd, fwd
+        no_fwd, fwd = benchmark(both)
+        assert no_fwd.secure and not fwd.secure

@@ -1,0 +1,89 @@
+"""Figures 4, 5, 8: branch prediction, store hazards, fences.
+
+These figures illustrate the machine's internals; the benchmarks assert
+the buffer evolution shown in the paper and time the operations.
+"""
+
+import pytest
+
+from repro.asm import assemble
+from repro.core import (Config, Fwd, Jump, Machine, Memory, PUBLIC, Rollback,
+                        StuckError, TJump, execute, fetch, run)
+from repro.litmus import find_case
+
+
+class TestFig4BranchPrediction:
+    def _machine(self):
+        from repro.core.isa import Op
+        from repro.core.program import Program
+        from repro.core.values import Reg, operands
+        from repro.core.isa import Br
+        return Machine(Program({
+            3: Op(Reg("rb"), "mov", operands(4), 4),
+            4: Br("lt", operands(2, "ra"), 9, 12),
+            9: Op(Reg("rc"), "add", operands(1, "rb"), 10),
+            12: Op(Reg("rd"), "mul", operands("rg", "rh"), 13),
+        }, entry=3))
+
+    def test_correct_prediction(self, benchmark):
+        """Fig 4(a): jump resolves in place, successor survives."""
+        m = self._machine()
+        c0 = Config.initial({"ra": 3, "rg": 1, "rh": 1}, Memory(), 3)
+        res = benchmark(run, m, c0,
+                        [fetch(), fetch(True), fetch(), execute(2)])
+        assert res.final.buf[2] == TJump(9)
+        assert 3 in res.final.buf
+        assert res.trace == (Jump(9, PUBLIC),)
+
+    def test_incorrect_prediction(self, benchmark):
+        """Fig 4(b): rollback to the branch, successor squashed."""
+        m = self._machine()
+        c0 = Config.initial({"ra": 3, "rg": 1, "rh": 1}, Memory(), 3)
+        res = benchmark(run, m, c0,
+                        [fetch(), fetch(False), fetch(), execute(2)])
+        assert res.final.buf[2] == TJump(9)
+        assert 3 not in res.final.buf
+        assert res.trace == (Rollback(), Jump(9, PUBLIC))
+
+
+class TestFig5StoreHazard:
+    def test_replay(self, benchmark):
+        m = Machine(assemble(
+            "store 12, [0x43]\nstore 20, [3, %ra]\n%rc = load [0x43]\nhalt"))
+        c0 = Config.initial({"ra": 0x40}, Memory(), 1)
+        schedule = [fetch(), fetch(), fetch(), execute(1, "addr"),
+                    execute(3), execute(2, "addr")]
+        res = benchmark(run, m, c0, schedule)
+        assert res.trace == (Fwd(0x43, PUBLIC), Fwd(0x43, PUBLIC),
+                             Rollback(), Fwd(0x43, PUBLIC))
+        assert res.final.pc == 3
+
+
+class TestFig8Fence:
+    def test_fence_blocks_and_squashes(self, benchmark):
+        case = find_case("v1_fig8_fence")
+        m = Machine(case.program)
+
+        def attack_attempt():
+            res = run(m, case.config(),
+                      [fetch(True), fetch(), fetch(), fetch()])
+            blocked = 0
+            for i in (3, 4):
+                try:
+                    m.step(res.final, execute(i))
+                except StuckError:
+                    blocked += 1
+            after, leak = m.step(res.final, execute(1))
+            return blocked, after, leak
+
+        blocked, after, leak = benchmark(attack_attempt)
+        assert blocked == 2               # both loads fenced off
+        assert after.pc == 5              # misprediction exposed
+        assert Rollback() in leak
+
+    def test_detection_clean(self, benchmark):
+        from repro.pitchfork import analyze
+        case = find_case("v1_fig8_fence")
+        report = benchmark(analyze, case.program, case.config(),
+                           bound=20, fwd_hazards=False)
+        assert report.secure

@@ -1,0 +1,67 @@
+"""Figures 11, 12, 13: Spectre v2, ret2spec, and the retpoline.
+
+Replays each appendix figure's schedule, asserts the paper's leakage,
+and contrasts core-tool blindness with the extended exploration.
+"""
+
+import pytest
+
+from repro.core import (Jump, Machine, PUBLIC, Read, Rollback, SECRET, run,
+                        secret_observations)
+from repro.litmus import find_case
+from repro.pitchfork import analyze
+
+
+class TestFig11SpectreV2:
+    def test_replay(self, benchmark):
+        case = find_case("v2_fig11")
+        m = Machine(case.program)
+        res = benchmark(run, m, case.config(), case.attack_schedule)
+        assert res.trace == (Read(0x49, PUBLIC), Read(0xB2 + 0x44, SECRET))
+
+    def test_core_blind_extended_finds(self, benchmark):
+        case = find_case("v2_fig11")
+
+        def both():
+            core = analyze(case.program, case.config(), bound=12,
+                           fwd_hazards=False)
+            extended = analyze(case.program, case.config(), bound=12,
+                               fwd_hazards=False,
+                               jmpi_targets=case.jmpi_targets)
+            return core, extended
+
+        core, extended = benchmark(both)
+        assert core.secure and not extended.secure
+
+
+class TestFig12Ret2spec:
+    def test_replay(self, benchmark):
+        case = find_case("ret2spec_fig12")
+        m = Machine(case.program)
+        res = benchmark(run, m, case.config(), case.attack_schedule)
+        leaks = secret_observations(res.trace)
+        assert leaks == (Read(0x40 + 0xC1, SECRET),)
+
+    def test_extended_detection(self, benchmark):
+        case = find_case("ret2spec_fig12")
+        report = benchmark(analyze, case.program, case.config(),
+                           bound=16, fwd_hazards=False,
+                           rsb_targets=case.rsb_targets)
+        assert not report.secure
+
+
+class TestFig13Retpoline:
+    def test_replay(self, benchmark):
+        case = find_case("retpoline_fig13")
+        m = Machine(case.program)
+        res = benchmark(run, m, case.config(), case.attack_schedule)
+        assert res.trace[-2:] == (Rollback(), Jump(20, PUBLIC))
+        assert res.final.pc == 20
+        assert not secret_observations(res.trace)
+
+    def test_retpolined_gadget_secure_under_mistraining(self, benchmark):
+        case = find_case("v2_retpolined")
+        report = benchmark(analyze, case.program, case.config(),
+                           bound=16, fwd_hazards=False,
+                           jmpi_targets=case.jmpi_targets)
+        assert report.secure

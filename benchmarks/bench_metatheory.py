@@ -1,0 +1,46 @@
+"""Appendix B: the metatheory, checked empirically at scale.
+
+Times the randomized theorem sweep (determinism, sequential
+equivalence, consistency, label stability, tool soundness) that
+:mod:`repro.verify` runs over generated programs.
+"""
+
+import pytest
+
+from conftest import once
+
+from repro.verify import run_experiments
+
+
+def test_metatheory_sweep(benchmark):
+    stats = once(benchmark, run_experiments, 0, 30, 4, 12)
+    print(f"\n{stats.experiments} experiments, {stats.failures} failures, "
+          f"{stats.skipped} vacuous")
+    assert stats.ok
+    assert stats.experiments >= 400
+
+
+def test_metatheory_deep_programs(benchmark):
+    stats = once(benchmark, run_experiments, 7, 10, 3, 20)
+    print(f"\n{stats.experiments} experiments, {stats.failures} failures")
+    assert stats.ok
+
+
+def test_sct_definition_on_figure_one(benchmark):
+    """Definition 3.1 checked directly (two-trace) over DT schedules."""
+    from repro.core import Machine, check_sct
+    from repro.litmus import find_case
+    from repro.pitchfork import enumerate_schedules
+
+    case = find_case("v1_fig1")
+    machine = Machine(case.program)
+    config = case.config()
+
+    def check():
+        schedules = enumerate_schedules(machine, config, bound=8,
+                                        fwd_hazards=False)
+        return check_sct(machine, config, schedules)
+
+    result = once(benchmark, check)
+    assert not result.ok                    # Fig 1 violates SCT
+    assert result.counterexample is not None

@@ -1,0 +1,86 @@
+"""Table 1: every instruction and its transient forms, exercised.
+
+Asserts that each physical instruction fetches into the documented
+transient form and benchmarks raw machine throughput (steps/second) on
+straight-line code — the substrate cost every other experiment pays.
+"""
+
+import pytest
+
+from repro.asm import ProgramBuilder, assemble
+from repro.core import (Config, Machine, Memory, Region, RETIRE, PUBLIC,
+                        TBr, TCallMarker, TFence, TJmpi, TLoad, TOp,
+                        TRetMarker, TStore, execute, fetch, run,
+                        run_sequential)
+
+
+def test_table1_transient_forms(benchmark):
+    """Fetch each instruction kind; check its transient form (Table 1)."""
+    prog = assemble("""
+        %r0 = op add, 1, 2
+        %r1 = load [0x40]
+        store %r0, [0x41]
+        br eq, 0, 0 -> 4, 4
+        jmpi [7]
+        halt
+        halt
+        call f
+        halt
+        f: ret
+    """)
+    mem = Memory().with_region(Region("stack", 0xF0, 8, PUBLIC), None)
+
+    def fetch_all():
+        m = Machine(prog)
+        c = Config.initial({"rsp": 0xF7}, mem, pc=1)
+        forms = []
+        for directive in (fetch(), fetch(), fetch(), fetch(True)):
+            c, _ = m.step(c, directive)
+        forms = [type(e).__name__ for _i, e in c.buf.items()]
+        # jmpi / call / ret fetched from their own points:
+        c2 = Config.initial({"rsp": 0xF7}, mem, pc=5)
+        c2, _ = m.step(c2, fetch(7))
+        forms.append(type(c2.buf[1]).__name__)
+        c3 = Config.initial({"rsp": 0xF7}, mem, pc=8)
+        c3, _ = m.step(c3, fetch())
+        forms += [type(e).__name__ for _i, e in c3.buf.items()]
+        c3, _ = m.step(c3, fetch())  # the ret at f
+        forms.append(type(c3.buf[c3.buf.max_index() - 3]).__name__)
+        return forms
+
+    forms = benchmark(fetch_all)
+    assert forms[:4] == ["TOp", "TLoad", "TStore", "TBr"]
+    assert forms[4] == "TJmpi"
+    assert forms[5:8] == ["TCallMarker", "TOp", "TStore"]
+    assert forms[8] == "TRetMarker"
+
+
+def test_machine_throughput(benchmark):
+    """Steps/second on a 100-instruction straight-line program."""
+    b = ProgramBuilder()
+    for k in range(100):
+        b.op(f"r{k % 4}", "add", [f"r{(k + 1) % 4}", k])
+    b.halt()
+    prog = b.build()
+    m = Machine(prog)
+    c0 = Config.initial({f"r{k}": k for k in range(4)}, Memory(), 1)
+
+    result = benchmark(lambda: run_sequential(m, c0))
+    assert result.retired == 100
+    assert result.final.is_terminal()
+
+
+def test_speculative_window_throughput(benchmark):
+    """Cost of deep speculation: fill a 64-entry window, execute, drain."""
+    b = ProgramBuilder()
+    for k in range(64):
+        b.op(f"r{k % 4}", "xor", [f"r{(k + 1) % 4}", k])
+    b.halt()
+    prog = b.build()
+    m = Machine(prog)
+    c0 = Config.initial({f"r{k}": k for k in range(4)}, Memory(), 1)
+    schedule = ([fetch()] * 64 + [execute(i) for i in range(1, 65)]
+                + [RETIRE] * 64)
+
+    result = benchmark(lambda: run(m, c0, schedule, record_steps=False))
+    assert result.retired == 64

@@ -1,0 +1,60 @@
+"""Table 2: the Pitchfork audit of the four crypto case studies.
+
+Reproduces the paper's flag pattern under the two-phase procedure
+(§4.2.1) and times the full audit plus each individual cell.
+
+Paper's result (✓ = violation, f = forwarding-only violation)::
+
+    Case Study                    C    FaCT
+    curve25519-donna              -    -
+    libsodium secretbox           ✓    -
+    OpenSSL ssl3 record validate  ✓    f
+    OpenSSL MEE-CBC               ✓    f
+"""
+
+import pytest
+
+from conftest import once
+
+from repro.casestudies import (all_case_studies, evaluate_variant,
+                               render_table2, table2)
+
+PAPER_TABLE2 = {
+    "curve25519-donna": {"C": "clean", "FaCT": "clean"},
+    "libsodium secretbox": {"C": "v1", "FaCT": "clean"},
+    "OpenSSL ssl3 record validate": {"C": "v1", "FaCT": "f"},
+    "OpenSSL MEE-CBC": {"C": "v1", "FaCT": "f"},
+}
+
+
+def test_table2_full_audit(benchmark):
+    """The whole table, timed once (the paper's headline experiment)."""
+    results = once(benchmark, lambda: table2(all_case_studies()))
+    print("\n" + render_table2(results))
+    assert results == PAPER_TABLE2
+
+
+@pytest.mark.parametrize("study_name,variant_attr", [
+    ("libsodium secretbox", "c"),
+    ("OpenSSL ssl3 record validate", "c"),
+    ("OpenSSL ssl3 record validate", "fact"),
+    ("OpenSSL MEE-CBC", "c"),
+    ("OpenSSL MEE-CBC", "fact"),
+])
+def test_flagged_cells(benchmark, study_name, variant_attr):
+    """Each flagged cell individually (these stop at first violation,
+    so they time the tool's time-to-first-finding)."""
+    study = next(cs for cs in all_case_studies() if cs.name == study_name)
+    variant = getattr(study, variant_attr)
+    flag = once(benchmark, evaluate_variant, variant)
+    assert flag == PAPER_TABLE2[study_name][
+        "C" if variant_attr == "c" else "FaCT"]
+
+
+def test_clean_cells_donna(benchmark):
+    """The clean row pays full exploration cost (no early exit)."""
+    study = next(cs for cs in all_case_studies()
+                 if cs.name == "curve25519-donna")
+    flags = once(benchmark, lambda: (evaluate_variant(study.c),
+                                     evaluate_variant(study.fact)))
+    assert flags == ("clean", "clean")

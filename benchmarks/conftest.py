@@ -1,0 +1,15 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark both *asserts* the paper's qualitative result (who
+leaks, what is observed, which tool phase finds it) and *times* the
+reproduction, so `pytest benchmarks/ --benchmark-only` doubles as the
+experiment runner.  EXPERIMENTS.md records paper-vs-measured for each.
+"""
+
+import pytest
+
+
+def once(benchmark, fn, *args, **kwargs):
+    """Run a slow experiment exactly once under the benchmark harness."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1)

@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""End-to-end Spectre v1 key extraction through the cache model.
+
+The paper's semantics never models the cache — §3.1 argues the final
+cache state is a function of the observation sequence.  This script
+makes the full attack concrete:
+
+1. a Spectre v1 victim speculatively touches ``probe[Key[i] * 64]``;
+2. the observation trace is folded into a set-associative cache;
+3. a Flush+Reload attacker probes the 256 candidate lines and recovers
+   each key byte — using only cache presence, never the labels.
+
+Run:  python examples/cache_attack.py
+"""
+
+from repro.cache import CacheConfig, build_setup, run_attack
+from repro.core import run, secret_observations
+
+
+def main() -> None:
+    key = [0xDE, 0xAD, 0xBE, 0xEF]
+    print("victim key bytes:", " ".join(f"{b:02x}" for b in key))
+    recovered = []
+    for i, byte in enumerate(key):
+        setup = build_setup(secret_byte=byte, oob_index=4 + 0)
+        # place the byte under attack at Key[0] each round
+        result = run(setup.machine, setup.config, setup.schedule)
+        leak = secret_observations(result.trace)
+        got = run_attack(setup)
+        recovered.append(got)
+        print(f"  byte {i}: trace leaks {leak[0]!r:28} "
+              f"flush+reload recovers 0x{got:02x}")
+    ok = recovered == key
+    print("recovered key:   ", " ".join(f"{b:02x}" for b in recovered),
+          "(match)" if ok else "(MISMATCH)")
+
+    # The same recovery works across cache geometries and policies —
+    # the trace, not the cache, carries the secret.
+    for cfg in (CacheConfig(sets=64, ways=2, line_size=64),
+                CacheConfig(sets=512, ways=16, line_size=64,
+                            policy="FIFO")):
+        setup = build_setup(secret_byte=0x5A, cache=cfg)
+        got = run_attack(setup)
+        print(f"geometry {cfg.sets}x{cfg.ways} {cfg.policy}: "
+              f"recovered 0x{got:02x}")
+
+
+if __name__ == "__main__":
+    main()

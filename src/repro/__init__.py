@@ -1,0 +1,31 @@
+"""repro — a reproduction of *Constant-Time Foundations for the New
+Spectre Era* (Cauligi et al., PLDI 2020).
+
+Subpackages
+-----------
+
+``repro.core``
+    The speculative out-of-order machine semantics, attacker directives,
+    leakage observations, and the speculative constant-time (SCT)
+    property (Sections 3 and Appendices A/B).
+``repro.asm``
+    An assembly front end for the paper's instruction language.
+``repro.pitchfork``
+    The Pitchfork detector: worst-case schedule generation and
+    taint/symbolic exploration (Section 4).
+``repro.ctcomp``
+    A mini constant-time language and compiler standing in for the
+    FaCT-vs-C comparison of the evaluation.
+``repro.litmus``
+    Spectre litmus suites: Kocher v1 cases, the paper's speculative-only
+    v1/v1.1 suites, v4, v2/ret2spec/retpoline and the aliasing attack.
+``repro.casestudies``
+    Ports of the audited crypto routines (Table 2).
+``repro.cache``
+    A cache model and cache-timing attackers driven by observation
+    traces.
+``repro.verify``
+    Executable metatheory: empirical checks of the paper's theorems.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,16 @@
+"""Assembly front end for the paper's instruction language.
+
+``assemble`` turns source text into a :class:`repro.core.Program`;
+:class:`ProgramBuilder` constructs programs fluently from Python;
+``disassemble`` goes the other way for reports.
+"""
+
+from .assembler import assemble, assemble_parsed
+from .builder import ProgramBuilder
+from .disasm import disassemble, format_instruction
+from .parser import ParsedInstr, ParsedProgram, parse
+
+__all__ = [
+    "assemble", "assemble_parsed", "ProgramBuilder", "disassemble",
+    "format_instruction", "ParsedInstr", "ParsedProgram", "parse",
+]

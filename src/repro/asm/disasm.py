@@ -1,0 +1,76 @@
+"""Disassembler: programs back to readable assembly text.
+
+Round-trips with the assembler (modulo label names for unlabeled
+points); used by Pitchfork's violation reports to show the code around a
+flagged instruction.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from ..core.isa import (Br, Call, Fence, Instruction, Jmpi, Load, Op, Ret,
+                        Store)
+from ..core.program import Program
+from ..core.values import Reg, Value
+
+
+def _operand(o) -> str:
+    if isinstance(o, Reg):
+        return f"%{o.name}"
+    if isinstance(o, Value):
+        if o.is_public():
+            return str(o.val)
+        return f"secret({o.val})"
+    return repr(o)
+
+
+def _args(args: Iterable) -> str:
+    return ", ".join(_operand(a) for a in args)
+
+
+def _target(program: Program, n: int) -> str:
+    name = program.name_of(n)
+    return name if name is not None else str(n)
+
+
+def format_instruction(program: Program, n: int) -> str:
+    """One instruction, paper-style, with symbolic targets."""
+    instr = program[n]
+    if isinstance(instr, Op):
+        return f"%{instr.dest.name} = op {instr.opcode}, {_args(instr.args)}"
+    if isinstance(instr, Load):
+        return f"%{instr.dest.name} = load [{_args(instr.args)}]"
+    if isinstance(instr, Store):
+        return f"store {_operand(instr.src)}, [{_args(instr.args)}]"
+    if isinstance(instr, Br):
+        return (f"br {instr.opcode}, {_args(instr.args)} -> "
+                f"{_target(program, instr.n_true)}, "
+                f"{_target(program, instr.n_false)}")
+    if isinstance(instr, Jmpi):
+        return f"jmpi [{_args(instr.args)}]"
+    if isinstance(instr, Call):
+        return (f"call {_target(program, instr.target)}, "
+                f"{_target(program, instr.ret)}")
+    if isinstance(instr, Ret):
+        return "ret"
+    if isinstance(instr, Fence):
+        return "fence self" if instr.next == n else "fence"
+    return repr(instr)
+
+
+def disassemble(program: Program,
+                around: Optional[int] = None,
+                context: int = 3) -> str:
+    """The whole program (or a window around a point) as text."""
+    lines: List[str] = []
+    points = list(program.points())
+    if around is not None:
+        points = [n for n in points if abs(n - around) <= context]
+    for n in points:
+        label = program.name_of(n)
+        prefix = f"{label}:" if label else ""
+        marker = " -->" if n == around else "    "
+        lines.append(f"{marker}{n:>5}  {prefix:<12} "
+                     f"{format_instruction(program, n)}")
+    return "\n".join(lines)

@@ -1,0 +1,240 @@
+"""Parser for the paper's instruction language.
+
+The surface syntax mirrors Table 1 closely; one instruction per line::
+
+    ; Spectre v1 (Fig 1)
+    check:  br gt, 4, %ra -> in_bounds, done
+    in_bounds:
+            %rb = load [0x40, %ra]
+            %rc = load [0x44, %rb]
+    done:   halt
+
+Grammar (informal)::
+
+    line      ::= [label ':']* [instr] [';' comment]
+    instr     ::= reg '=' 'op' opcode ',' args
+                | reg '=' 'load' '[' args ']'
+                | 'store' operand ',' '[' args ']'
+                | 'br' opcode ',' args '->' target ',' target
+                | 'jmpi' '[' args ']'
+                | 'call' target [',' target]
+                | 'ret' | 'fence' | 'halt'
+    operand   ::= reg | int | 'secret(' int ')'
+    reg       ::= '%' ident
+    target    ::= ident | int
+
+``halt`` is a pseudo-instruction: it reserves a program point with no
+instruction, so fetching it is stuck — the program has terminated.
+Targets may be labels or literal program points.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+from ..core.errors import AssemblerError
+from ..core.isa import OPCODES
+from ..core.lattice import SECRET
+from ..core.values import Reg, Value
+
+#: An unresolved jump target: a label name or a literal program point.
+Target = Union[str, int]
+
+
+@dataclass(frozen=True)
+class ParsedInstr:
+    """One parsed source line (targets still symbolic)."""
+
+    kind: str                        # op|load|store|br|jmpi|call|ret|fence|halt
+    dest: Optional[Reg] = None
+    opcode: Optional[str] = None
+    args: Tuple[object, ...] = ()    # Reg | Value mixed
+    src: Optional[object] = None     # store data operand
+    targets: Tuple[Target, ...] = ()
+    line: int = 0
+    source: str = ""
+
+
+@dataclass
+class ParsedProgram:
+    """The outcome of parsing: instructions plus symbolic label table."""
+
+    instrs: List[ParsedInstr] = field(default_factory=list)
+    labels: dict = field(default_factory=dict)  # name -> instr index
+    entry: Optional[str] = None
+
+
+_REG_RE = re.compile(r"%([A-Za-z_][A-Za-z0-9_]*)")
+_INT_RE = re.compile(r"-?(0[xX][0-9a-fA-F]+|\d+)")
+_SECRET_RE = re.compile(r"secret\(\s*(-?(?:0[xX][0-9a-fA-F]+|\d+))\s*\)")
+_LABEL_RE = re.compile(r"^([A-Za-z_.$][A-Za-z0-9_.$]*)\s*:\s*")
+_IDENT_RE = re.compile(r"^[A-Za-z_.$][A-Za-z0-9_.$]*$")
+
+
+def _parse_int(text: str) -> int:
+    return int(text, 0)
+
+
+def _parse_operand(tok: str, line: int) -> object:
+    tok = tok.strip()
+    m = _SECRET_RE.fullmatch(tok)
+    if m:
+        return Value(_parse_int(m.group(1)), SECRET)
+    m = _REG_RE.fullmatch(tok)
+    if m:
+        return Reg(m.group(1))
+    m = _INT_RE.fullmatch(tok)
+    if m:
+        return Value(_parse_int(tok))
+    raise AssemblerError(f"line {line}: bad operand {tok!r}")
+
+
+def _parse_target(tok: str, line: int) -> Target:
+    tok = tok.strip()
+    if _INT_RE.fullmatch(tok):
+        return _parse_int(tok)
+    if _IDENT_RE.fullmatch(tok):
+        return tok
+    raise AssemblerError(f"line {line}: bad target {tok!r}")
+
+
+def _split_args(text: str, line: int) -> List[object]:
+    text = text.strip()
+    if not text:
+        return []
+    return [_parse_operand(tok, line) for tok in text.split(",")]
+
+
+def _parse_bracketed(text: str, line: int) -> Tuple[str, str]:
+    """Split ``'[a, b] trailing'`` into (inside, trailing)."""
+    text = text.strip()
+    if not text.startswith("["):
+        raise AssemblerError(f"line {line}: expected '[' in {text!r}")
+    depth = 0
+    for k, ch in enumerate(text):
+        if ch == "[":
+            depth += 1
+        elif ch == "]":
+            depth -= 1
+            if depth == 0:
+                return text[1:k], text[k + 1:].strip()
+    raise AssemblerError(f"line {line}: unbalanced brackets in {text!r}")
+
+
+def _parse_instr(text: str, line: int) -> ParsedInstr:
+    text = text.strip()
+    src_text = text
+
+    # reg = op/load
+    m = re.match(r"^%([A-Za-z_][A-Za-z0-9_]*)\s*=\s*(op|load)\b(.*)$", text)
+    if m:
+        dest = Reg(m.group(1))
+        kind = m.group(2)
+        rest = m.group(3).strip()
+        if kind == "op":
+            parts = rest.split(",", 1)
+            opcode = parts[0].strip()
+            if opcode not in OPCODES:
+                raise AssemblerError(f"line {line}: unknown opcode {opcode!r}")
+            args = _split_args(parts[1] if len(parts) > 1 else "", line)
+            return ParsedInstr("op", dest=dest, opcode=opcode,
+                               args=tuple(args), line=line, source=src_text)
+        inside, trailing = _parse_bracketed(rest, line)
+        if trailing:
+            raise AssemblerError(f"line {line}: junk after load: {trailing!r}")
+        return ParsedInstr("load", dest=dest,
+                           args=tuple(_split_args(inside, line)),
+                           line=line, source=src_text)
+
+    if text.startswith("store"):
+        rest = text[len("store"):].strip()
+        src_tok, _, addr_part = rest.partition(",")
+        src = _parse_operand(src_tok, line)
+        inside, trailing = _parse_bracketed(addr_part, line)
+        if trailing:
+            raise AssemblerError(f"line {line}: junk after store: {trailing!r}")
+        return ParsedInstr("store", src=src,
+                           args=tuple(_split_args(inside, line)),
+                           line=line, source=src_text)
+
+    if text.startswith("br"):
+        rest = text[len("br"):].strip()
+        if "->" not in rest:
+            raise AssemblerError(f"line {line}: br needs '-> t, f'")
+        cond_part, _, target_part = rest.partition("->")
+        opcode, _, args_part = cond_part.partition(",")
+        opcode = opcode.strip()
+        if opcode not in OPCODES:
+            raise AssemblerError(f"line {line}: unknown opcode {opcode!r}")
+        targets = [t for t in target_part.split(",")]
+        if len(targets) != 2:
+            raise AssemblerError(f"line {line}: br needs two targets")
+        return ParsedInstr("br", opcode=opcode,
+                           args=tuple(_split_args(args_part, line)),
+                           targets=(_parse_target(targets[0], line),
+                                    _parse_target(targets[1], line)),
+                           line=line, source=src_text)
+
+    if text.startswith("jmpi"):
+        rest = text[len("jmpi"):].strip()
+        inside, trailing = _parse_bracketed(rest, line)
+        if trailing:
+            raise AssemblerError(f"line {line}: junk after jmpi: {trailing!r}")
+        return ParsedInstr("jmpi", args=tuple(_split_args(inside, line)),
+                           line=line, source=src_text)
+
+    if text.startswith("call"):
+        rest = text[len("call"):].strip()
+        parts = [p.strip() for p in rest.split(",")]
+        if len(parts) == 1:
+            return ParsedInstr("call", targets=(_parse_target(parts[0], line),),
+                               line=line, source=src_text)
+        if len(parts) == 2:
+            return ParsedInstr("call",
+                               targets=(_parse_target(parts[0], line),
+                                        _parse_target(parts[1], line)),
+                               line=line, source=src_text)
+        raise AssemblerError(f"line {line}: call takes 1 or 2 targets")
+
+    if text == "ret":
+        return ParsedInstr("ret", line=line, source=src_text)
+    if text == "fence":
+        return ParsedInstr("fence", line=line, source=src_text)
+    if text == "fence self":
+        # A fence whose successor is itself: speculation can never
+        # proceed past it (the retpoline landing pad of Fig 13).
+        return ParsedInstr("fence", targets=("@self",), line=line,
+                           source=src_text)
+    if text == "halt":
+        return ParsedInstr("halt", line=line, source=src_text)
+
+    raise AssemblerError(f"line {line}: cannot parse {text!r}")
+
+
+def parse(source: str) -> ParsedProgram:
+    """Parse assembly source into a :class:`ParsedProgram`."""
+    out = ParsedProgram()
+    for lineno, raw in enumerate(source.splitlines(), start=1):
+        text = raw.split(";", 1)[0].split("#", 1)[0].strip()
+        if not text:
+            continue
+        if text.startswith(".entry"):
+            out.entry = text[len(".entry"):].strip()
+            continue
+        while True:
+            m = _LABEL_RE.match(text)
+            if not m:
+                break
+            name = m.group(1)
+            if name in out.labels:
+                raise AssemblerError(f"line {lineno}: duplicate label {name!r}")
+            out.labels[name] = len(out.instrs)
+            text = text[m.end():].strip()
+        if not text:
+            continue
+        out.instrs.append(_parse_instr(text, lineno))
+    if not out.instrs:
+        raise AssemblerError("empty program")
+    return out

@@ -1,0 +1,17 @@
+"""Cache model and cache-timing attackers.
+
+The paper's semantics never models the cache; this package shows why
+that loses nothing: cache state is a fold over the observation trace
+(:func:`replay`), and Flush+Reload / Prime+Probe recover secrets from
+that fold alone (:mod:`repro.cache.attacker`, :mod:`repro.cache.recover`).
+"""
+
+from .attacker import FlushReload, PrimeProbe, ProbeArray, recover_unique
+from .cache import (Cache, CacheConfig, addresses_touching_cache, replay)
+from .recover import SpectreV1Setup, build_setup, run_attack
+
+__all__ = [
+    "FlushReload", "PrimeProbe", "ProbeArray", "recover_unique", "Cache",
+    "CacheConfig", "addresses_touching_cache", "replay", "SpectreV1Setup",
+    "build_setup", "run_attack",
+]

@@ -1,0 +1,97 @@
+"""Cache-timing attackers: Flush+Reload and Prime+Probe.
+
+These close the loop of the Spectre attacks: the machine's observation
+trace drives the cache model (:mod:`repro.cache.cache`), and the
+attacker recovers the secret *only* from post-run cache probes — i.e.
+from timing, never from the trace's labels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..core.observations import Trace
+from .cache import Cache, CacheConfig, replay
+
+
+@dataclass(frozen=True)
+class ProbeArray:
+    """The attacker's probe buffer: one cache line per secret candidate.
+
+    In the classic Spectre PoC this is ``array2[guess * 512]``; here a
+    candidate value ``v`` maps to address ``base + v * stride``.
+    """
+
+    base: int
+    stride: int
+    candidates: Tuple[int, ...]
+
+    def addr_of(self, value: int) -> int:
+        return self.base + value * self.stride
+
+
+class FlushReload:
+    """Flush+Reload: flush the probe lines, run the victim, reload."""
+
+    def __init__(self, probe: ProbeArray,
+                 config: CacheConfig = CacheConfig()):
+        self.probe = probe
+        self.config = config
+
+    def prepare(self) -> Cache:
+        """The attacker flushes every probe line (empty cache here)."""
+        return Cache(self.config)
+
+    def recover(self, victim_trace: Trace) -> List[int]:
+        """Values whose probe line the victim's execution warmed."""
+        cache = replay(victim_trace, self.prepare())
+        return [v for v in self.probe.candidates
+                if cache.probe(self.probe.addr_of(v))]
+
+
+class PrimeProbe:
+    """Prime+Probe: fill the sets, run the victim, find evictions."""
+
+    def __init__(self, probe: ProbeArray,
+                 config: CacheConfig = CacheConfig()):
+        self.probe = probe
+        self.config = config
+
+    def prepare(self) -> Cache:
+        """Prime: the attacker fills every set with its own lines.
+
+        Attacker lines live in a distinct address range (high addresses)
+        so victim accesses can only appear by evicting them.
+        """
+        cache = Cache(self.config)
+        base = 1 << 20
+        for s in range(self.config.sets):
+            for w in range(self.config.ways):
+                line_index = s + w * self.config.sets
+                cache.access(base + line_index * self.config.line_size)
+        return cache
+
+    def recover(self, victim_trace: Trace) -> List[int]:
+        """Candidates whose set lost at least one attacker line."""
+        primed = self.prepare()
+        after = replay(victim_trace, self.prepare())
+        victims = []
+        base = 1 << 20
+        for v in self.probe.candidates:
+            s = after.set_of(self.probe.addr_of(v))
+            attacker_lines = {
+                after.line_of(base + (s + w * self.config.sets)
+                              * self.config.line_size)
+                for w in range(self.config.ways)}
+            survived = set(after.contents()[s]) & attacker_lines
+            originally = set(primed.contents()[s]) & attacker_lines
+            if survived != originally:
+                victims.append(v)
+        return victims
+
+
+def recover_unique(attacker, victim_trace: Trace) -> Optional[int]:
+    """The recovered secret, if exactly one candidate lights up."""
+    hits = attacker.recover(victim_trace)
+    return hits[0] if len(hits) == 1 else None

@@ -1,0 +1,79 @@
+"""End-to-end secret recovery: Fig 1's attack through the cache model.
+
+Builds the Spectre v1 victim parametrised by a probe array wide enough
+to distinguish byte values, runs the figure's directive schedule, folds
+the observation trace into the cache, and recovers the key byte by
+Flush+Reload — demonstrating that the semantics' observations are
+sufficient for the real attack, with no labels consulted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..asm import ProgramBuilder
+from ..core.config import Config
+from ..core.executor import run
+from ..core.lattice import PUBLIC, SECRET
+from ..core.machine import Machine
+from ..core.memory import Memory, Region
+from ..core.directives import execute, fetch
+from .attacker import FlushReload, ProbeArray, recover_unique
+from .cache import CacheConfig
+
+ARRAY_A = 0x40
+KEY = 0x44
+PROBE_BASE = 0x1000
+
+
+@dataclass(frozen=True)
+class SpectreV1Setup:
+    """A ready-to-run Spectre v1 victim + attacker."""
+
+    machine: Machine
+    config: Config
+    schedule: tuple
+    attacker: FlushReload
+    secret_value: int
+
+
+def build_setup(secret_byte: int = 0xA2,
+                stride: int = 64,
+                candidates: Tuple[int, ...] = tuple(range(256)),
+                oob_index: int = 4,
+                cache: CacheConfig = CacheConfig(sets=256, ways=8,
+                                                 line_size=64)
+                ) -> SpectreV1Setup:
+    """The Fig 1 victim with a byte-wide probe array.
+
+    ``array A`` has 4 elements; ``oob_index`` reaches into the key; the
+    second load touches ``probe[A[x] * stride]``.
+    """
+    b = ProgramBuilder()
+    b.br("gt", [4, "ra"], "body", "done")
+    b.label("body")
+    b.load("rb", [ARRAY_A, "ra"])
+    b.op("rb", "mul", ["rb", stride])
+    b.load("rc", [PROBE_BASE, "rb"])
+    b.label("done").halt()
+    prog = b.build()
+
+    mem = Memory()
+    mem = mem.with_region(Region("A", ARRAY_A, 4, PUBLIC), [1, 2, 3, 0])
+    mem = mem.with_region(Region("Key", KEY, 4, SECRET),
+                          [secret_byte, 0xEE, 0xFF, 0x11])
+    config = Config.initial({"ra": oob_index, "rb": 0, "rc": 0}, mem, pc=1)
+    schedule = (fetch(True), fetch(), fetch(), fetch(),
+                execute(2), execute(3), execute(4))
+    probe = ProbeArray(PROBE_BASE, stride, candidates)
+    attacker = FlushReload(probe, cache)
+    return SpectreV1Setup(Machine(prog), config, schedule, attacker,
+                          secret_byte)
+
+
+def run_attack(setup: Optional[SpectreV1Setup] = None) -> Optional[int]:
+    """Run the victim under the attack schedule; recover the key byte."""
+    setup = setup or build_setup()
+    result = run(setup.machine, setup.config, setup.schedule)
+    return recover_unique(setup.attacker, result.trace)

@@ -1,0 +1,100 @@
+"""Shared machinery for the Table 2 case studies.
+
+Each case study provides a **C** variant and a **FaCT** variant (the two
+columns of Table 2) with a ground-truth flag:
+
+* ``"clean"`` — Pitchfork finds nothing in either phase;
+* ``"v1"``    — flagged in phase 1 (no forwarding hazards, big bound);
+* ``"f"``     — clean in phase 1, flagged only with forwarding-hazard
+  detection at the reduced bound (the paper's ``f`` mark).
+
+``evaluate_variant`` runs the paper's §4.2.1 two-phase procedure and
+classifies the outcome, so benchmarks and tests can diff the produced
+table against the paper's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+from ..core.config import Config
+from ..core.program import Program
+from ..pitchfork import analyze
+
+#: Default bounds for reproducing Table 2.  The paper used 250/20; the
+#: ported kernels are much smaller than compiled x86 functions, so a
+#: scaled-down phase-1 bound keeps path counts tractable while the
+#: phase-2 bound matches the paper's 20.  (secretbox's Fig 9 gadget
+#: needs ≥ 24 in-flight instructions — see bench_scaling_bounds.)
+TABLE2_BOUND_NO_FWD = 28
+TABLE2_BOUND_FWD = 20
+
+
+@dataclass(frozen=True)
+class CaseVariant:
+    """One build of a case study (one Table 2 cell)."""
+
+    name: str                 #: e.g. "secretbox-c"
+    language: str             #: "c" or "fact"
+    program: Program
+    make_config: Callable[[], Config]
+    expected: str             #: "clean" | "v1" | "f"
+    notes: str = ""
+
+    def config(self) -> Config:
+        return self.make_config()
+
+
+@dataclass(frozen=True)
+class CaseStudy:
+    """A Table 2 row: the same routine in both build modes."""
+
+    name: str
+    description: str
+    c: CaseVariant
+    fact: CaseVariant
+
+    def variants(self) -> Tuple[CaseVariant, CaseVariant]:
+        return (self.c, self.fact)
+
+
+def evaluate_variant(variant: CaseVariant,
+                     bound_no_fwd: int = TABLE2_BOUND_NO_FWD,
+                     bound_fwd: int = TABLE2_BOUND_FWD,
+                     max_paths: int = 20_000) -> str:
+    """Run the paper's two-phase procedure; classify as clean/v1/f."""
+    phase1 = analyze(variant.program, variant.config(), bound=bound_no_fwd,
+                     fwd_hazards=False, name=variant.name,
+                     max_paths=max_paths)
+    if not phase1.secure:
+        return "v1"
+    phase2 = analyze(variant.program, variant.config(), bound=bound_fwd,
+                     fwd_hazards=True, name=variant.name,
+                     max_paths=max_paths)
+    if not phase2.secure:
+        return "f"
+    return "clean"
+
+
+def table2(case_studies, **kw) -> Dict[str, Dict[str, str]]:
+    """Reproduce Table 2: {case: {"C": flag, "FaCT": flag}}."""
+    out: Dict[str, Dict[str, str]] = {}
+    for cs in case_studies:
+        out[cs.name] = {
+            "C": evaluate_variant(cs.c, **kw),
+            "FaCT": evaluate_variant(cs.fact, **kw),
+        }
+    return out
+
+
+def render_table2(results: Dict[str, Dict[str, str]]) -> str:
+    """Format like the paper: ✓ = violation, f = forwarding-only, blank
+    = clean."""
+    marks = {"clean": " ", "v1": "✓", "f": "f"}
+    width = max(len(name) for name in results) + 2
+    lines = [f"{'Case Study':<{width}} {'C':>3} {'FaCT':>5}"]
+    for name, row in results.items():
+        lines.append(f"{name:<{width}} {marks[row['C']]:>3} "
+                     f"{marks[row['FaCT']]:>5}")
+    return "\n".join(lines)

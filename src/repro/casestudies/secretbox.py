@@ -1,0 +1,158 @@
+"""libsodium ``crypto_secretbox`` — flagged in C, clean in FaCT.
+
+§4.2.2: the C build compiles with stack protection; the function
+epilogue checks a canary and, on mismatch, reaches
+``__libc_message``, whose iovec loop (Fig 9) walks a linked list under a
+*count* guard, not a null check::
+
+    for (int cnt = nlist - 1; cnt >= 0; --cnt) {
+        iov[cnt].iov_base = (char *) list->str;
+        list = list->next;
+    }
+
+Speculatively, the processor (1) mispredicts the canary check into the
+error path, and (2) runs the loop extra times, so ``list`` walks through
+stale pointers into key material; once a *secret* lands in ``list``, the
+next ``list->str`` dereference is a secret-dependent access.
+
+The FaCT build has no stack-protector glue (the compiler emits only the
+crypto kernel), so nothing is flagged — the paper's point that the
+violations live in *ancillary* code, not the crypto itself.
+"""
+
+from __future__ import annotations
+
+from ..asm import ProgramBuilder
+from ..core.config import Config
+from ..core.lattice import PUBLIC, SECRET
+from ..core.memory import Memory, Region
+from ..core.program import Program
+from ..ctcomp import (ArrayDecl, Assign, BinOp, Const, Func, Index, Module,
+                      StoreStmt, Var, VarDecl, While, compile_module)
+from .common import CaseStudy, CaseVariant
+
+MSG_LEN = 2
+CANARY = 0x7E57
+
+# C-variant memory layout.
+MSG, KS, CT = 0x40, 0x48, 0x50          # message, keystream, ciphertext
+CANARY_CELL = 0x58
+NLIST_CELL = 0x59
+IOV = 0x60                               # iovec array (public)
+NODE0 = 0x80                             # list node: [str, next]
+KEYMAT = 0xB0                            # spilled key material (secret)
+STACK = 0xF0
+
+
+def _c_program() -> Program:
+    b = ProgramBuilder()
+    # -- crypto kernel: ct[i] = msg[i] ^ ks[i] (branch-free, public bounds)
+    b.label("secretbox")
+    b.mov("ri", 0)
+    b.label("xor_loop")
+    b.br("ltu", ["ri", MSG_LEN], "xor_body", "epilogue")
+    b.label("xor_body")
+    b.load("rm", [MSG, "ri"])
+    b.load("rk", [KS, "ri"])
+    b.op("rc", "xor", ["rm", "rk"])
+    b.store("rc", [CT, "ri"])
+    b.op("ri", "add", ["ri", 1])
+    b.br("eq", [0, 0], "xor_loop", "xor_loop")
+    # -- stack-protector epilogue: canary intact → done, smashed → panic
+    b.label("epilogue")
+    b.load("rcan", [CANARY_CELL])
+    b.br("eq", ["rcan", CANARY], "done", "panic")
+    b.label("done")
+    b.halt()
+    b.label("panic")
+    b.call("libc_message")
+    b.halt()
+    # -- __libc_message (Fig 9): iovec loop guarded by a count
+    b.label("libc_message")
+    b.load("rcnt", [NLIST_CELL])         # nlist
+    b.op("rcnt", "sub", ["rcnt", 1])     # cnt = nlist - 1
+    b.mov("rlist", NODE0)                # list head
+    b.label("iov_loop")
+    b.br("ge", ["rcnt", 0], "iov_body", "iov_end")
+    b.label("iov_body")
+    b.load("rstr", ["rlist"])            # list->str
+    b.store("rstr", [IOV, "rcnt"])       # iov[cnt].iov_base = str
+    b.load("rlist", ["rlist", 1])        # list = list->next
+    b.op("rcnt", "sub", ["rcnt", 1])
+    b.br("eq", [0, 0], "iov_loop", "iov_loop")
+    b.label("iov_end")
+    b.ret()
+    return b.build(entry="secretbox")
+
+
+def _c_memory() -> Memory:
+    mem = Memory()
+    mem = mem.with_region(Region("msg", MSG, MSG_LEN, SECRET), [0x4D, 0x4E])
+    mem = mem.with_region(Region("ks", KS, MSG_LEN, SECRET), [0x33, 0x44])
+    mem = mem.with_region(Region("ct", CT, MSG_LEN, SECRET), None)
+    mem = mem.with_region(Region("canary", CANARY_CELL, 1, PUBLIC), [CANARY])
+    mem = mem.with_region(Region("nlist", NLIST_CELL, 1, PUBLIC), [1])
+    mem = mem.with_region(Region("iov", IOV, 4, PUBLIC), None)
+    # One real node; its ->next cell holds a stale pointer into spilled
+    # key material (the loop never reads it architecturally — the count
+    # guard exits first).
+    mem = mem.with_region(Region("node0", NODE0, 2, PUBLIC),
+                          [0x11, KEYMAT])
+    mem = mem.with_region(Region("keymat", KEYMAT, 4, SECRET),
+                          [0x61, 0x62, 0x63, 0x64])
+    mem = mem.with_region(Region("stack", STACK, 16, PUBLIC), None)
+    return mem
+
+
+def _c_config(program: Program) -> Config:
+    regs = {"ri": 0, "rm": 0, "rk": 0, "rc": 0, "rcan": 0, "rcnt": 0,
+            "rlist": 0, "rstr": 0, "rsp": STACK + 15}
+    return Config.initial(regs, _c_memory(), pc=program.entry)
+
+
+def secretbox_fact_module() -> Module:
+    """The FaCT build: just the crypto kernel (xor + running tag)."""
+    i = Var("i")
+    body = (
+        Assign("i", Const(0)),
+        Assign("tag", Const(0)),
+        While(BinOp("ltu", i, Const(MSG_LEN)), (
+            StoreStmt("ct", i,
+                      BinOp("xor", Index("msg", i), Index("ks", i))),
+            Assign("tag", BinOp("add", Var("tag"),
+                                BinOp("mul", Index("ct", i), Const(31)))),
+            Assign("i", BinOp("add", i, Const(1))),
+        )),
+    )
+    return Module(
+        name="secretbox-fact",
+        arrays=(
+            ArrayDecl("msg", MSG_LEN, SECRET, (0x4D, 0x4E)),
+            ArrayDecl("ks", MSG_LEN, SECRET, (0x33, 0x44)),
+            ArrayDecl("ct", MSG_LEN, SECRET, None),
+        ),
+        variables=(
+            VarDecl("i", PUBLIC, 0),
+            VarDecl("tag", SECRET, 0),
+        ),
+        funcs=(Func("main", body),),
+    )
+
+
+def case_study() -> CaseStudy:
+    c_program = _c_program()
+    fact_build = compile_module(secretbox_fact_module(), style="fact")
+    return CaseStudy(
+        name="libsodium secretbox",
+        description="XOR-stream kernel; the C build adds the stack "
+                    "protector whose error path contains the Fig 9 "
+                    "__libc_message gadget.",
+        c=CaseVariant("secretbox-c", "c", c_program,
+                      lambda: _c_config(c_program), expected="v1",
+                      notes="Canary-check misprediction reaches the "
+                            "iovec loop; over-iteration loads key "
+                            "material into the list pointer."),
+        fact=CaseVariant("secretbox-fact", "fact", fact_build.program,
+                         fact_build.initial_config, expected="clean",
+                         notes="No stack-protector glue in FaCT output."),
+    )

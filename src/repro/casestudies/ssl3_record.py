@@ -1,0 +1,121 @@
+"""OpenSSL ssl3 record validation — ✓ in C, ``f`` in FaCT.
+
+The C build's violation lives in record-length glue: a speculatively
+bypassed ``rec_len <= buf_size`` check lets the padding-byte read run
+past the record buffer into the MAC secret, whose value then indexes a
+lookup table — a textbook v1 gadget in ancillary code (the crypto core
+itself is the constant-time Lucky13-patched padding scan).
+
+The FaCT build removes that glue and linearises the padding comparison —
+but record validation brackets the payload with digest-update calls, and
+(as with MEE-CBC, Fig 10) the second call's return-address load can
+forward from the *first* call's frame.  The speculative stale return
+re-runs the padding-byte load with the register now holding the
+secret-derived ``good`` flag: only forwarding-hazard exploration
+(phase 2, bound 20) finds it.
+"""
+
+from __future__ import annotations
+
+from ..asm import ProgramBuilder
+from ..core.config import Config
+from ..core.lattice import PUBLIC, SECRET
+from ..core.memory import Memory, Region
+from ..core.program import Program
+from ..ctcomp import (ArrayDecl, Assign, BinOp, CallStmt, Const, Func, If,
+                      Index, Module, Var, VarDecl, compile_module)
+from .common import CaseStudy, CaseVariant
+
+REC_LEN = 8
+
+# C-variant layout.
+LEN_CELL = 0x30     # attacker-supplied record length (public)
+REC = 0x40          # record bytes (public payload region)
+MAC = 0x48          # MAC secret immediately after the record
+PADTAB = 0x100      # public padding-validity table
+STACK = 0xF0
+
+
+def c_program() -> Program:
+    b = ProgramBuilder()
+    b.label("validate")
+    b.load("rlen", [LEN_CELL])
+    b.br("ltu", ["rlen", REC_LEN + 1], "read_pad", "reject")
+    b.label("read_pad")
+    b.op("rlast", "sub", ["rlen", 1])
+    b.load("rpad", [REC, "rlast"])       # speculative OOB hits the MAC
+    b.load("rok", [PADTAB, "rpad"])      # dependent access: the leak
+    b.label("reject")
+    # -- constant-time padding scan (the Lucky13-patched core):
+    b.load("rb", [REC + REC_LEN - 1])
+    b.op("rc", "eq", ["rb", 1])
+    b.op("rgood", "sel", ["rc", 1, 0])
+    b.halt()
+    return b.build(entry="validate")
+
+
+def _c_memory() -> Memory:
+    mem = Memory()
+    # Wire length 24: architecturally rejected (> 8), speculatively used.
+    mem = mem.with_region(Region("len", LEN_CELL, 1, PUBLIC), [24])
+    mem = mem.with_region(Region("rec", REC, REC_LEN, PUBLIC),
+                          [7, 7, 7, 7, 7, 7, 7, 1])
+    mem = mem.with_region(Region("mac", MAC, 16, SECRET),
+                          [0x71 + k for k in range(16)])
+    mem = mem.with_region(Region("padtab", PADTAB, 64, PUBLIC), None)
+    mem = mem.with_region(Region("stack", STACK, 16, PUBLIC), None)
+    return mem
+
+
+def _c_config(program: Program) -> Config:
+    regs = {"rlen": 0, "rlast": 0, "rpad": 0, "rok": 0, "rb": 0, "rc": 0,
+            "rgood": 0, "rsp": STACK + 15}
+    return Config.initial(regs, _c_memory(), pc=program.entry)
+
+
+def ssl3_fact_module() -> Module:
+    """The FaCT build: ct padding compare between digest updates.
+
+    ``n`` (public record index) and ``good`` (secret validity flag)
+    share ``%r12`` — the Fig 10 register-reuse pattern.
+    """
+    n, b_, good = Var("n"), Var("b"), Var("good")
+    return Module(
+        name="ssl3-record-fact",
+        arrays=(ArrayDecl("rec", REC_LEN, SECRET,
+                          (7, 7, 7, 7, 7, 7, 7, 1)),),
+        variables=(
+            VarDecl("n", PUBLIC, REC_LEN - 1, reg_hint="r12"),
+            VarDecl("b", SECRET, 0),
+            VarDecl("good", SECRET, 1, reg_hint="r12"),
+        ),
+        funcs=(
+            Func("main", (
+                CallStmt("md_update"),
+                Assign("b", Index("rec", n)),   # pad byte (public index)
+                Assign("good", Const(1)),
+                If(BinOp("ne", b_, Const(1)),   # secret comparison
+                   then=(Assign("good", Const(0)),)),
+                CallStmt("md_update"),
+            )),
+            Func("md_update", (Assign("good", Var("good")),)),
+        ),
+    )
+
+
+def case_study() -> CaseStudy:
+    prog_c = c_program()
+    fact_build = compile_module(ssl3_fact_module(), style="fact")
+    return CaseStudy(
+        name="OpenSSL ssl3 record validate",
+        description="TLS record padding validation; length-check glue in "
+                    "C, digest-bracketed ct compare in FaCT.",
+        c=CaseVariant("ssl3-c", "c", prog_c,
+                      lambda: _c_config(prog_c), expected="v1",
+                      notes="Wire-length bounds check speculatively "
+                            "bypassed; pad read runs into the MAC."),
+        fact=CaseVariant("ssl3-fact", "fact", fact_build.program,
+                         fact_build.initial_config, expected="f",
+                         notes="Stale-return re-runs the pad-byte load "
+                               "with %r12 holding the secret flag."),
+    )

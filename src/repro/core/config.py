@@ -1,0 +1,114 @@
+"""Machine configurations (Section 3, "Configurations").
+
+A configuration ``C = (ρ, µ, n, buf, σ)`` bundles the register file, data
+memory, current program point, reorder buffer and return stack buffer.
+(The RSB σ only appears once Appendix A.2's call/ret extension is used;
+it is empty otherwise.)
+
+Two equivalences from the paper:
+
+* ``≃pub`` (:meth:`Config.low_equivalent`) — agreement on public register
+  and memory values; the relation quantified over in the SCT definition.
+* ``≈`` (:meth:`Config.arch_equivalent`) — equal memories and register
+  files, ignoring speculative state; used by the sequential-equivalence
+  theorem (Thm 3.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Mapping, Optional
+
+from .memory import Memory
+from .program import Program
+from .rob import ReorderBuffer
+from .rsb import ReturnStackBuffer
+from .values import Reg, Value
+
+
+def _freeze_regs(regs: Mapping) -> Dict[Reg, Value]:
+    out: Dict[Reg, Value] = {}
+    for k, v in regs.items():
+        key = Reg(k) if isinstance(k, str) else k
+        if not isinstance(v, Value):
+            v = Value(v)
+        out[key] = v
+    return out
+
+
+@dataclass(frozen=True)
+class Config:
+    """An immutable machine configuration ``(ρ, µ, n, buf, σ)``."""
+
+    regs: Dict[Reg, Value]
+    mem: Memory
+    pc: int
+    buf: ReorderBuffer = field(default_factory=ReorderBuffer)
+    rsb: ReturnStackBuffer = field(default_factory=ReturnStackBuffer)
+
+    @staticmethod
+    def initial(regs: Mapping, mem: Memory, pc: int) -> "Config":
+        """An initial configuration: empty buffer and RSB.
+
+        ``regs`` may use plain strings and ints for convenience.
+        """
+        return Config(_freeze_regs(regs), mem, pc)
+
+    # -- functional updates -------------------------------------------------
+
+    def with_(self, **kw) -> "Config":
+        """Functional record update."""
+        return replace(self, **kw)
+
+    def reg(self, name) -> Value:
+        """Committed (architectural) value of a register."""
+        key = Reg(name) if isinstance(name, str) else name
+        return self.regs[key]
+
+    # -- predicates ----------------------------------------------------------
+
+    def is_initial(self) -> bool:
+        """|buf| = 0 (Definition B.2 covers initial *and* terminal)."""
+        return len(self.buf) == 0
+
+    is_terminal = is_initial
+
+    # -- equivalences ---------------------------------------------------------
+
+    def low_equivalent(self, other: "Config") -> bool:
+        """``≃pub``: coincidence of public register and memory values."""
+        if self.pc != other.pc:
+            return False
+        if set(self.regs) != set(other.regs):
+            return False
+        for r, v in self.regs.items():
+            w = other.regs[r]
+            if v.label != w.label:
+                return False
+            if v.is_public() and v.val != w.val:
+                return False
+        return self.mem.low_equivalent(other.mem)
+
+    def arch_equivalent(self, other: "Config") -> bool:
+        """``≈``: equal memories and register files (speculative state —
+        buffer, RSB, and transient pc — may differ)."""
+        return self.regs == other.regs and self.mem == other.mem
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Config):
+            return NotImplemented
+        return (self.regs == other.regs and self.mem == other.mem
+                and self.pc == other.pc and self.buf == other.buf
+                and self.rsb == other.rsb)
+
+    def __hash__(self) -> int:
+        return hash((tuple(sorted((r.name, v.val, v.label)
+                                  for r, v in self.regs.items()
+                                  if isinstance(v.val, int))),
+                     self.mem, self.pc, self.buf, self.rsb))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        regs = ", ".join(f"{r.name}={v!r}" for r, v in sorted(
+            self.regs.items(), key=lambda kv: kv[0].name))
+        return (f"Config(pc={self.pc}, regs={{{regs}}}, "
+                f"|buf|={len(self.buf)})")

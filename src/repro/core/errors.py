@@ -1,0 +1,39 @@
+"""Errors raised by the speculative machine.
+
+The paper's semantics is a partial relation: a directive may simply not
+apply to a configuration (the schedule is then not *well-formed*, in the
+sense of Section 3.1).  We signal that with :class:`StuckError` so drivers
+can distinguish "schedule does not apply here" from genuine bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class StuckError(ReproError):
+    """The given directive does not apply to the current configuration.
+
+    Raised by :meth:`repro.core.machine.Machine.step` when no inference
+    rule of the semantics matches the (configuration, directive) pair.
+    A schedule that never gets stuck is *well-formed* for its initial
+    configuration.
+    """
+
+    def __init__(self, message: str, directive: object = None) -> None:
+        super().__init__(message)
+        self.directive = directive
+
+
+class IllFormedProgramError(ReproError):
+    """A program is structurally invalid (e.g. missing program point)."""
+
+
+class AssemblerError(ReproError):
+    """Raised by the assembly front end for syntax or layout errors."""
+
+
+class CompileError(ReproError):
+    """Raised by the mini constant-time compiler (``repro.ctcomp``)."""

@@ -1,0 +1,164 @@
+"""Labelled data memory µ (the data half of the paper's memory).
+
+Memory maps addresses to labelled values.  Reads of unmapped addresses
+yield a fresh public zero — in the paper's attack figures speculative
+loads routinely read "irrelevant" values ``X`` from addresses the victim
+never initialised, and the semantics must not get stuck there.
+
+:class:`Region` is a small allocation helper used by the litmus tests and
+case studies to lay out named arrays (``array A``, ``secretKey``, …) and
+to ask questions like "which region does this observation's address fall
+in", which the cache attacker uses for recovery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from .lattice import Label, PUBLIC, SECRET
+from .values import Value
+
+
+@dataclass(frozen=True)
+class Region:
+    """A named, contiguous block of memory with a default label."""
+
+    name: str
+    base: int
+    size: int
+    label: Label = PUBLIC
+
+    def __contains__(self, addr: int) -> bool:
+        return self.base <= addr < self.base + self.size
+
+    def addr(self, offset: int) -> int:
+        """Address of ``self[offset]`` (bounds are deliberately unchecked:
+        out-of-bounds arithmetic is what Spectre gadgets do)."""
+        return self.base + offset
+
+    def offsets(self) -> range:
+        return range(self.size)
+
+
+class Memory:
+    """An immutable labelled memory.
+
+    Mutation (:meth:`write`) returns a new memory sharing storage with
+    the old one (copy-on-write of a dict).  Program text lives separately
+    in :class:`repro.core.program.Program`.
+    """
+
+    __slots__ = ("_cells", "_regions")
+
+    def __init__(self, cells: Optional[Dict[int, Value]] = None,
+                 regions: Tuple[Region, ...] = ()):
+        self._cells: Dict[int, Value] = dict(cells or {})
+        self._regions = regions
+
+    # -- reads -------------------------------------------------------------
+
+    def read(self, addr: int) -> Value:
+        """µ(a); unmapped addresses read as a fresh public 0."""
+        got = self._cells.get(addr)
+        if got is not None:
+            return got
+        return Value(0, PUBLIC)
+
+    def is_mapped(self, addr: int) -> bool:
+        return addr in self._cells
+
+    def __getitem__(self, addr: int) -> Value:
+        return self.read(addr)
+
+    # -- writes ------------------------------------------------------------
+
+    def write(self, addr: int, value: Value) -> "Memory":
+        """µ[a ↦ v]; returns a new memory."""
+        cells = dict(self._cells)
+        cells[addr] = value
+        return Memory(cells, self._regions)
+
+    def write_all(self, pairs: Iterable[Tuple[int, Value]]) -> "Memory":
+        cells = dict(self._cells)
+        for addr, value in pairs:
+            cells[addr] = value
+        return Memory(cells, self._regions)
+
+    # -- regions -----------------------------------------------------------
+
+    def with_region(self, region: Region,
+                    init: Optional[Iterable[int]] = None) -> "Memory":
+        """Register a region and optionally initialise its cells."""
+        cells = dict(self._cells)
+        if init is not None:
+            for off, payload in enumerate(init):
+                cells[region.base + off] = Value(payload, region.label)
+        else:
+            for off in region.offsets():
+                cells.setdefault(region.base + off, Value(0, region.label))
+        return Memory(cells, self._regions + (region,))
+
+    def region(self, name: str) -> Region:
+        for r in self._regions:
+            if r.name == name:
+                return r
+        raise KeyError(name)
+
+    def regions(self) -> Tuple[Region, ...]:
+        return self._regions
+
+    def region_of(self, addr: int) -> Optional[Region]:
+        """The region containing ``addr``, if any."""
+        for r in self._regions:
+            if addr in r:
+                return r
+        return None
+
+    # -- equivalences --------------------------------------------------------
+
+    def addresses(self) -> Iterator[int]:
+        return iter(sorted(self._cells))
+
+    def cells(self) -> Dict[int, Value]:
+        """A snapshot copy of the mapped cells."""
+        return dict(self._cells)
+
+    def low_equivalent(self, other: "Memory") -> bool:
+        """``≃pub`` on memories: agreement on all public cells.
+
+        Two memories are low-equivalent when the same addresses hold
+        public values and those public values coincide.  Secret cells may
+        differ arbitrarily (but must be secret in both).
+        """
+        mine = {a: v for a, v in self._cells.items() if v.is_public()}
+        theirs = {a: v for a, v in other._cells.items() if v.is_public()}
+        if set(mine) != set(theirs):
+            return False
+        return all(mine[a].val == theirs[a].val for a in mine)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Memory):
+            return NotImplemented
+        return self._cells == other._cells
+
+    def __hash__(self) -> int:
+        return hash(tuple(sorted(
+            (a, v.val, v.label) for a, v in self._cells.items()
+            if isinstance(v.val, int))))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        cells = ", ".join(f"{a:#x}: {v!r}" for a, v in sorted(self._cells.items()))
+        return f"Memory{{{cells}}}"
+
+
+def layout(*specs: Tuple[str, int, Label, List[int]]) -> Memory:
+    """Build a memory from (name, size, label, init) region specs laid out
+    contiguously from address 0x40 (matching the paper's figures)."""
+    mem = Memory()
+    base = 0x40
+    for name, size, label, init in specs:
+        region = Region(name, base, size, label)
+        mem = mem.with_region(region, init)
+        base += size
+    return mem

@@ -1,0 +1,108 @@
+"""Program memory: the instruction half of the paper's µ.
+
+A :class:`Program` maps program points (ints) to physical instructions.
+Keeping program text separate from data memory loses nothing (the paper
+never runs self-modifying code) and keeps both maps strongly typed.
+
+Programs may carry symbolic labels (name → program point) produced by the
+assembler, which the disassembler and reports use for readable traces.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional, Tuple
+
+from .errors import IllFormedProgramError
+from .isa import Br, Call, Fence, Instruction, Jmpi, Load, Op, Ret, Store
+
+
+class Program:
+    """An immutable map from program points to instructions."""
+
+    __slots__ = ("_instrs", "_labels", "entry")
+
+    def __init__(self, instrs: Dict[int, Instruction],
+                 entry: Optional[int] = None,
+                 labels: Optional[Dict[str, int]] = None):
+        if not instrs:
+            raise IllFormedProgramError("a program needs at least one instruction")
+        self._instrs = dict(instrs)
+        self._labels = dict(labels or {})
+        self.entry = entry if entry is not None else min(self._instrs)
+
+    def __getitem__(self, n: int) -> Instruction:
+        try:
+            return self._instrs[n]
+        except KeyError:
+            raise IllFormedProgramError(f"no instruction at program point {n}")
+
+    def get(self, n: int) -> Optional[Instruction]:
+        return self._instrs.get(n)
+
+    def __contains__(self, n: int) -> bool:
+        return n in self._instrs
+
+    def __len__(self) -> int:
+        return len(self._instrs)
+
+    def points(self) -> Iterator[int]:
+        return iter(sorted(self._instrs))
+
+    def items(self) -> Iterator[Tuple[int, Instruction]]:
+        for n in sorted(self._instrs):
+            yield n, self._instrs[n]
+
+    def label(self, name: str) -> int:
+        """Program point of an assembler label."""
+        return self._labels[name]
+
+    def labels(self) -> Dict[str, int]:
+        return dict(self._labels)
+
+    def name_of(self, n: int) -> Optional[str]:
+        """An assembler label naming program point ``n``, if any."""
+        for name, point in self._labels.items():
+            if point == n:
+                return name
+        return None
+
+    def successors(self, n: int) -> Tuple[int, ...]:
+        """Static successors of the instruction at ``n`` (for analyses).
+
+        Indirect jumps and returns have statically unknown successors and
+        yield ().
+        """
+        instr = self[n]
+        if isinstance(instr, (Op, Load, Store, Fence)):
+            return (instr.next,)
+        if isinstance(instr, Br):
+            return (instr.n_true, instr.n_false)
+        if isinstance(instr, Call):
+            return (instr.target,)
+        if isinstance(instr, (Jmpi, Ret)):
+            return ()
+        raise IllFormedProgramError(f"unknown instruction {instr!r}")
+
+    def validate(self, allow_halt_targets: bool = True) -> None:
+        """Check that static branch/call targets exist.
+
+        ``halt`` convention: fetching an unmapped program point
+        terminates execution, so by default branches may target unmapped
+        points (they are halt points).  With
+        ``allow_halt_targets=False``, every target must be mapped —
+        useful for catching label typos in hand-written programs.
+        """
+        if allow_halt_targets:
+            return
+        for n, instr in self.items():
+            if isinstance(instr, Br):
+                for t in (instr.n_true, instr.n_false):
+                    if t not in self:
+                        raise IllFormedProgramError(
+                            f"branch at {n} targets missing point {t}")
+            if isinstance(instr, Call) and instr.target not in self:
+                raise IllFormedProgramError(
+                    f"call at {n} targets missing point {instr.target}")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Program({len(self._instrs)} instrs, entry={self.entry})"

@@ -1,0 +1,98 @@
+"""The return stack buffer σ (Appendix A.2).
+
+The RSB is a log of ``push n`` / ``pop`` commands addressed by reorder
+buffer indices, so that — like the reorder buffer — it can be rolled back
+on misspeculation or memory hazards.  ``top(σ)`` replays the log in index
+order into a stack and returns its top (or ``⊥`` when empty).
+
+The paper notes three hardware behaviours for a ``ret`` fetched with an
+empty RSB; all three are supported by the machine (see
+``Machine.rsb_policy``):
+
+* ``"directive"`` — the attacker supplies the target (Intel
+  Skylake/Broadwell falling back to the branch target predictor);
+* ``"refuse"`` — no speculation happens, the fetch is stuck until
+  resolvable (AMD);
+* ``"circular"`` — the RSB behaves as a circular buffer and always yields
+  *some* value (most Intel; we replay the most recently popped value).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple, Union
+
+from .values import BOTTOM, _Bottom
+
+#: A log entry: (reorder-buffer index, "push"/"pop", target or None).
+Entry = Tuple[int, str, Optional[int]]
+
+
+class ReturnStackBuffer:
+    """An immutable RSB command log."""
+
+    __slots__ = ("_entries",)
+
+    def __init__(self, entries: Tuple[Entry, ...] = ()):
+        self._entries = entries
+
+    def push(self, index: int, target: int) -> "ReturnStackBuffer":
+        """``σ[index ↦ push target]``."""
+        return ReturnStackBuffer(self._entries + ((index, "push", target),))
+
+    def pop(self, index: int) -> "ReturnStackBuffer":
+        """``σ[index ↦ pop]``."""
+        return ReturnStackBuffer(self._entries + ((index, "pop", None),))
+
+    def truncate_before(self, i: int) -> "ReturnStackBuffer":
+        """Roll back: keep entries at reorder-buffer indices ``< i``."""
+        return ReturnStackBuffer(
+            tuple(e for e in self._entries if e[0] < i))
+
+    def stack(self) -> List[int]:
+        """``JσK``: replay the command log into a stack of program points."""
+        st: List[int] = []
+        for _idx, cmd, target in sorted(self._entries, key=lambda e: e[0]):
+            if cmd == "push":
+                st.append(target)  # type: ignore[arg-type]
+            elif st:
+                st.pop()
+        return st
+
+    def top(self) -> Union[int, _Bottom]:
+        """``top(σ)``: the predicted return target, or ``⊥`` when empty."""
+        st = self.stack()
+        return st[-1] if st else BOTTOM
+
+    def last_popped(self) -> Union[int, _Bottom]:
+        """The value a circular RSB would replay on underflow.
+
+        We model "most Intel processors treat the RSB as a circular
+        buffer" by replaying the most recently *popped* program point; if
+        nothing was ever pushed, 0 is produced (an arbitrary but fixed
+        stale slot).
+        """
+        st: List[int] = []
+        last = None
+        for _idx, cmd, target in sorted(self._entries, key=lambda e: e[0]):
+            if cmd == "push":
+                st.append(target)  # type: ignore[arg-type]
+            elif st:
+                last = st.pop()
+        return last if last is not None else 0
+
+    def entries(self) -> Tuple[Entry, ...]:
+        return self._entries
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ReturnStackBuffer):
+            return NotImplemented
+        return self._entries == other._entries
+
+    def __hash__(self) -> int:
+        return hash(self._entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        body = ", ".join(
+            f"{i}↦{cmd}{'' if t is None else f' {t}'}"
+            for i, cmd, t in self._entries)
+        return f"RSB{{{body}}}"

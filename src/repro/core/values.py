@@ -1,0 +1,132 @@
+"""Labelled values, registers and operands.
+
+The machine computes over *labelled values* ``v_ℓ`` (Section 3,
+"Values and labels"): a payload together with a security label.  The
+payload is normally a Python ``int`` but the machine is parametric in it —
+the Pitchfork symbolic executor substitutes symbolic expressions
+(:mod:`repro.pitchfork.symex`) without changing the semantics.
+
+Instruction operands (the paper's ``r⃗v``) are either register names
+(:class:`Reg`) or immediate labelled values (:class:`Value`).
+``⊥`` — the "unresolved" result of the register resolve function — is the
+singleton :data:`BOTTOM`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Tuple, Union
+
+from .lattice import Label, PUBLIC, SECRET, join_all
+
+
+@dataclass(frozen=True)
+class Value:
+    """A labelled value ``v_ℓ``.
+
+    ``val`` is the payload (an int, or a symbolic expression under the
+    Pitchfork executor); ``label`` is its security label.
+    """
+
+    val: object
+    label: Label = PUBLIC
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        suffix = "" if self.label.is_public() else f"_{self.label.name[:3]}"
+        return f"{self.val}{suffix}"
+
+    def join(self, label: Label) -> "Value":
+        """The same payload with ``label`` joined onto the value's label."""
+        return Value(self.val, self.label.join(label))
+
+    def relabel(self, label: Label) -> "Value":
+        """The same payload with exactly ``label``."""
+        return Value(self.val, label)
+
+    def is_public(self) -> bool:
+        return self.label.is_public()
+
+
+@dataclass(frozen=True)
+class Reg:
+    """A register name, e.g. ``Reg("ra")``.
+
+    The register file is a finite map from :class:`Reg` to :class:`Value`.
+    """
+
+    name: str
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"%{self.name}"
+
+
+class _Bottom:
+    """The undefined result ``⊥`` of the register resolve function.
+
+    Also used for hazard checks where the paper defines ``⊥ < n`` for
+    every index ``n`` (Section 3.4): a load annotated ``{⊥, a}`` read its
+    value from memory.
+    """
+
+    _instance = None
+
+    def __new__(cls) -> "_Bottom":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "⊥"
+
+    def __bool__(self) -> bool:
+        return False
+
+
+#: Singleton ``⊥``.
+BOTTOM = _Bottom()
+
+#: An operand: register or immediate labelled value.
+Operand = Union[Reg, Value]
+
+#: A list of operands, the paper's ``r⃗v``.
+Operands = Tuple[Operand, ...]
+
+
+def public(val: object) -> Value:
+    """Shorthand for a public labelled value."""
+    return Value(val, PUBLIC)
+
+
+def secret(val: object) -> Value:
+    """Shorthand for a secret labelled value."""
+    return Value(val, SECRET)
+
+
+def operands(*items: object) -> Operands:
+    """Normalise a mixed argument list into a tuple of operands.
+
+    Plain ints become public immediates, strings become registers::
+
+        operands(40, "ra")  ==  (Value(40, PUBLIC), Reg("ra"))
+    """
+    out = []
+    for item in items:
+        if isinstance(item, (Reg, Value)):
+            out.append(item)
+        elif isinstance(item, str):
+            out.append(Reg(item))
+        elif isinstance(item, int):
+            out.append(Value(item, PUBLIC))
+        else:
+            raise TypeError(f"cannot make an operand from {item!r}")
+    return tuple(out)
+
+
+def labels_of(values: Iterable[Value]) -> Tuple[Label, ...]:
+    """The tuple of labels of a value list (the paper's ``ℓ⃗``)."""
+    return tuple(v.label for v in values)
+
+
+def join_labels(values: Iterable[Value]) -> Label:
+    """``⊔ ℓ⃗`` over a list of labelled values."""
+    return join_all(labels_of(values))

@@ -1,0 +1,23 @@
+"""MiniCT: a small constant-time language and compiler.
+
+Stands in for the paper's C-vs-FaCT comparison (§4.2.1): the ``c``
+pipeline compiles every ``if`` to a branch; the ``fact`` pipeline
+linearises branches on secret conditions into constant-time selects.
+"""
+
+from .ast import (ArrayDecl, Assign, BinOp, CallStmt, Const, Expr, FenceStmt,
+                  Func, If, Index, Module, Select, Stmt, StoreStmt, UnOp,
+                  Var, VarDecl, While)
+from .compiler import compile_module, type_report
+from .lower import CompiledModule, Lowerer, STACK_TOP
+from .passes import count_fences, insert_fences, retpolinize
+from .typing import TypeEnv, TypeReport, check_module, expr_label
+
+__all__ = [
+    "ArrayDecl", "Assign", "BinOp", "CallStmt", "Const", "Expr",
+    "FenceStmt", "Func", "If", "Index", "Module", "Select", "Stmt",
+    "StoreStmt", "UnOp", "Var", "VarDecl", "While", "compile_module",
+    "type_report", "CompiledModule", "Lowerer", "STACK_TOP",
+    "count_fences", "insert_fences", "retpolinize", "TypeEnv",
+    "TypeReport", "check_module", "expr_label",
+]

@@ -1,0 +1,13 @@
+"""Spectre litmus suites (§4.2's test cases).
+
+Suites: ``kocher`` (the 15 classic v1 variants), ``spec_v1`` (the paper's
+speculative-only v1 suite, Figs 1/8), ``spec_v11`` (Fig 6 family),
+``spec_v4`` (Fig 7 family), ``spec_rsb`` (v2/ret2spec/retpoline,
+Figs 11-13), and ``aliasing`` (Fig 2).
+"""
+
+from .registry import (LitmusCase, all_cases, all_suites, find_case,
+                       load_suite)
+
+__all__ = ["LitmusCase", "all_cases", "all_suites", "find_case",
+           "load_suite"]

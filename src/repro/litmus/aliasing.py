@@ -1,0 +1,98 @@
+"""The hypothetical aliasing-predictor attack of Figure 2 (§3.5).
+
+A memory-aliasing predictor speculatively forwards a store's value to a
+load *before either address is known*.  The forwarded (secret) value
+feeds a dependent load whose address leaks it — no branch misprediction
+is involved at all.  The paper notes this attack class is hypothetical
+(an earlier claimed PoC was retracted), which is why the semantics keeps
+it behind the ``execute i: fwd j`` directive and the tool behind the
+``explore_aliasing`` extension flag.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..asm import assemble
+from ..core.config import Config
+from ..core.directives import execute, fetch
+from ..core.lattice import PUBLIC, SECRET
+from ..core.memory import Memory, layout
+from ..core.values import Value
+from .registry import LitmusCase, suite
+
+
+def fig2_memory() -> Memory:
+    return layout(("secretKey", 4, SECRET, [0x41, 0x42, 0x43, 0x44]),
+                  ("pubArrA", 4, PUBLIC, [1, 2, 3, 4]),
+                  ("pubArrB", 4, PUBLIC, [0, 0, 0, 0]))
+
+
+def _case_fig2() -> LitmusCase:
+    # Buffer layout of Fig 2: 2: store; 7/8: loads (fillers in between).
+    prog = assemble("""
+        %r0 = op mov, 0
+        store %rb, [0x40, %ra]
+        %r1 = op mov, 0
+        %r2 = op mov, 0
+        %r3 = op mov, 0
+        %r4 = op mov, 0
+        %rc = load [0x45]
+        %rc = load [0x48, %rc]
+        halt
+    """)
+    schedule = tuple(fetch() for _ in range(8)) + (
+        execute(2, "value"),   # store resolves its (secret) data
+        execute(7, 2),         # aliasing predictor: fwd from store 2
+        execute(8),            # dependent load leaks read a_sec
+        execute(2, "addr"),    # store address resolves: fwd 0x42_pub
+        execute(7))            # misprediction detected: rollback, fwd 0x45
+    def config() -> Config:
+        return Config.initial({"ra": 2, "rb": Value(0x99, SECRET)},
+                              fig2_memory(), pc=1)
+    return LitmusCase(
+        name="aliasing_fig2",
+        variant="aliasing",
+        description="Figure 2: an aliasing predictor forwards a secret "
+                    "store value to an unrelated load; the dependent "
+                    "access leaks it before the rollback.",
+        program=prog,
+        make_config=config,
+        figure="Fig 2",
+        attack_schedule=schedule,
+        leaks_sequentially=False,
+        leaks_speculatively=True,
+        detected_by_core_tool=False,
+        needs_aliasing=True,
+    )
+
+
+def _case_aliasing_public() -> LitmusCase:
+    """The same shape with a public stored value: rollback but no leak."""
+    prog = assemble("""
+        store %rb, [0x40, %ra]
+        %rc = load [0x45]
+        %rc = load [0x48, %rc]
+        halt
+    """)
+    def config() -> Config:
+        return Config.initial({"ra": 2, "rb": 7}, fig2_memory(), pc=1)
+    return LitmusCase(
+        name="aliasing_public",
+        variant="aliasing-safe",
+        description="Mispredicted aliasing forward of a *public* value: "
+                    "the machine rolls back, but every observation is "
+                    "public, so SCT holds.",
+        program=prog,
+        make_config=config,
+        leaks_sequentially=False,
+        leaks_speculatively=False,
+        detected_by_core_tool=False,
+        needs_aliasing=True,
+    )
+
+
+@suite("aliasing")
+def cases() -> List[LitmusCase]:
+    """Aliasing-predictor cases (Figure 2)."""
+    return [_case_fig2(), _case_aliasing_public()]

@@ -1,0 +1,352 @@
+"""The Kocher Spectre v1 test-case family, ported to the paper's ISA.
+
+Paul Kocher's 15 ``victim_function`` variants [19] are the standard
+stress test for Spectre v1 detectors; §4.2 uses them to sanity-check
+Pitchfork.  The original C sources target x86 binaries, so this module
+ports each variant's *structural theme* to the abstract instruction
+language (baseline gadget, masked copies of the index, leaks through
+calls, loops, compound conditions, value-dependent branches, pointer
+indirection, …).
+
+As the paper notes, several of the original cases violate *classical*
+constant time too (e.g. the memcmp-style variant branches on secret
+data); the ground truth below records which ones.
+
+Shared layout::
+
+    0x20  array1_size (public, = 4)     0x28..0x2B  order[] (public)
+    0x21  temp        (public)          0x2C        x-cell  (public)
+    0x40..0x43  array1 (public)
+    0x44..0x47  secret (secret; what out-of-bounds reads hit)
+    0x100..     array2 (public; the transmission buffer)
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+from ..asm import ProgramBuilder
+from ..core.config import Config
+from ..core.lattice import PUBLIC, SECRET
+from ..core.memory import Memory, Region
+from ..core.program import Program
+from .registry import LitmusCase, suite
+
+SIZE_CELL = 0x20
+TEMP_CELL = 0x21
+ORDER_BASE = 0x28
+XCELL = 0x2C
+ARRAY1 = 0x40
+SECRET_BASE = 0x44
+ARRAY2 = 0x100
+
+#: The attacker-chosen out-of-bounds index (array1[5] = secret[1]).
+OOB_X = 5
+
+
+def kocher_memory() -> Memory:
+    mem = Memory()
+    mem = mem.with_region(Region("array1_size", SIZE_CELL, 1, PUBLIC), [4])
+    mem = mem.with_region(Region("temp", TEMP_CELL, 1, PUBLIC), [0xFF])
+    mem = mem.with_region(Region("order", ORDER_BASE, 4, PUBLIC),
+                          [3, 2, 1, 0])
+    mem = mem.with_region(Region("xcell", XCELL, 1, PUBLIC), [OOB_X])
+    mem = mem.with_region(Region("array1", ARRAY1, 4, PUBLIC), [0, 1, 2, 3])
+    mem = mem.with_region(Region("secret", SECRET_BASE, 4, SECRET),
+                          [0x31, 0x32, 0x33, 0x34])
+    mem = mem.with_region(Region("array2", ARRAY2, 64, PUBLIC), None)
+    return mem
+
+
+def _config(prog: Program) -> Callable[[], Config]:
+    def make() -> Config:
+        return Config.initial({"rx": OOB_X, "ry": 0, "rsp": 0x200},
+                              kocher_memory(), pc=prog.entry)
+    return make
+
+
+def _epilogue(b: ProgramBuilder, value_reg: str = "rt") -> None:
+    """``temp &= <value>`` — the classic transmission tail."""
+    b.load("rtmp2", [TEMP_CELL])
+    b.op("rtmp2", "and", ["rtmp2", value_reg])
+    b.store("rtmp2", [TEMP_CELL])
+
+
+def _case(name: str, description: str, build: Callable[[], Program],
+          leaks_seq: bool = False, leaks_spec: bool = True,
+          detected: bool = True, min_bound: int = 12) -> LitmusCase:
+    prog = build()
+    return LitmusCase(
+        name=name, variant="kocher-v1", description=description,
+        program=prog, make_config=_config(prog),
+        leaks_sequentially=leaks_seq, leaks_speculatively=leaks_spec,
+        detected_by_core_tool=detected, min_bound=min_bound)
+
+
+def kocher_01() -> LitmusCase:
+    """Baseline: if (x < array1_size) temp &= array2[array1[x]]."""
+    def build() -> Program:
+        b = ProgramBuilder()
+        b.load("rs", [SIZE_CELL])
+        b.br("ltu", ["rx", "rs"], "body", "done")
+        b.label("body")
+        b.load("rv", [ARRAY1, "rx"])
+        b.load("rt", [ARRAY2, "rv"])
+        _epilogue(b)
+        b.label("done").halt()
+        return b.build()
+    return _case("kocher_01", kocher_01.__doc__, build)
+
+
+def kocher_02() -> LitmusCase:
+    """Bounds check applied to a *masked copy* of x while the raw x is
+    used for the access — architecturally out of bounds (sequential
+    violation, like several original cases)."""
+    def build() -> Program:
+        b = ProgramBuilder()
+        b.load("rs", [SIZE_CELL])
+        b.op("rm", "and", ["rx", 3])
+        b.br("ltu", ["rm", "rs"], "body", "done")
+        b.label("body")
+        b.load("rv", [ARRAY1, "rx"])       # raw x, not the masked copy!
+        b.load("rt", [ARRAY2, "rv"])
+        _epilogue(b)
+        b.label("done").halt()
+        return b.build()
+    return _case("kocher_02", kocher_02.__doc__, build, leaks_seq=True)
+
+
+def kocher_03() -> LitmusCase:
+    """The leaking access lives in a separate function, called after the
+    bounds check (speculation crosses the call)."""
+    def build() -> Program:
+        b = ProgramBuilder()
+        b.load("rs", [SIZE_CELL])
+        b.br("ltu", ["rx", "rs"], "docall", "done")
+        b.label("docall").call("leakfn")
+        b.label("done").halt()
+        b.label("leakfn")
+        b.load("rv", [ARRAY1, "rx"])
+        b.load("rt", [ARRAY2, "rv"])
+        _epilogue(b)
+        b.ret()
+        return b.build()
+    return _case("kocher_03", kocher_03.__doc__, build)
+
+
+def kocher_04() -> LitmusCase:
+    """Double indirection: temp &= array2[order[array1[x]]]."""
+    def build() -> Program:
+        b = ProgramBuilder()
+        b.load("rs", [SIZE_CELL])
+        b.br("ltu", ["rx", "rs"], "body", "done")
+        b.label("body")
+        b.load("rv", [ARRAY1, "rx"])       # array1[x]: OOB reads secret
+        b.load("ro", [ORDER_BASE, "rv"])   # address now secret-tainted
+        b.load("rt", [ARRAY2, "ro"])
+        _epilogue(b)
+        b.label("done").halt()
+        return b.build()
+    return _case("kocher_04", kocher_04.__doc__, build)
+
+
+def kocher_05() -> LitmusCase:
+    """Loop form: for (i = 0; i < x; i++) temp &= array2[array1[i]],
+    guarded by one bounds check that speculation bypasses."""
+    def build() -> Program:
+        b = ProgramBuilder()
+        b.load("rs", [SIZE_CELL])
+        b.br("ltu", ["rx", "rs"], "init", "done")
+        b.label("init").mov("ri", 0)
+        b.label("loop")
+        b.br("ltu", ["ri", "rx"], "body", "done")
+        b.label("body")
+        b.load("rv", [ARRAY1, "ri"])
+        b.load("rt", [ARRAY2, "rv"])
+        b.op("ri", "add", ["ri", 1])
+        b.br("eq", [0, 0], "loop", "loop")
+        b.label("done").halt()
+        return b.build()
+    return _case("kocher_05", kocher_05.__doc__, build, min_bound=40)
+
+
+def kocher_06() -> LitmusCase:
+    """Branch-compiled ternary clamp: x2 = (x < size) ? x : 0 — the
+    branch form still speculates into the unclamped access."""
+    def build() -> Program:
+        b = ProgramBuilder()
+        b.load("rs", [SIZE_CELL])
+        b.br("ltu", ["rx", "rs"], "keep", "zero")
+        b.label("keep").mov("rx2", "rx")
+        b.br("eq", [0, 0], "access", "access")
+        b.label("zero").mov("rx2", 0)
+        b.label("access")
+        b.load("rv", [ARRAY1, "rx2"])
+        b.load("rt", [ARRAY2, "rv"])
+        _epilogue(b)
+        b.halt()
+        return b.build()
+    return _case("kocher_06", kocher_06.__doc__, build)
+
+
+def kocher_07() -> LitmusCase:
+    """Inverted check with early exit: if (x >= size) return; leak."""
+    def build() -> Program:
+        b = ProgramBuilder()
+        b.load("rs", [SIZE_CELL])
+        b.br("geu", ["rx", "rs"], "done", "body")
+        b.label("body")
+        b.load("rv", [ARRAY1, "rx"])
+        b.load("rt", [ARRAY2, "rv"])
+        _epilogue(b)
+        b.label("done").halt()
+        return b.build()
+    return _case("kocher_07", kocher_07.__doc__, build)
+
+
+def kocher_08() -> LitmusCase:
+    """Constant-time select (cmov-style) clamp: x2 = sel(x < size, x, 0).
+    No branch exists, so there is nothing to mispredict — secure (the
+    original v08 compiles to cmov on mainstream compilers)."""
+    def build() -> Program:
+        b = ProgramBuilder()
+        b.load("rs", [SIZE_CELL])
+        b.op("rc", "ltu", ["rx", "rs"])
+        b.op("rx2", "sel", ["rc", "rx", 0])
+        b.load("rv", [ARRAY1, "rx2"])
+        b.load("rt", [ARRAY2, "rv"])
+        _epilogue(b)
+        b.halt()
+        return b.build()
+    return _case("kocher_08", kocher_08.__doc__, build,
+                 leaks_spec=False, detected=False)
+
+
+def kocher_09() -> LitmusCase:
+    """Compound condition: if (x < size && ok) — two branches to bypass."""
+    def build() -> Program:
+        b = ProgramBuilder()
+        b.load("rs", [SIZE_CELL])
+        b.br("ltu", ["rx", "rs"], "check2", "done")
+        b.label("check2")
+        b.br("ne", ["ry", 1], "body", "done")
+        b.label("body")
+        b.load("rv", [ARRAY1, "rx"])
+        b.load("rt", [ARRAY2, "rv"])
+        _epilogue(b)
+        b.label("done").halt()
+        return b.build()
+    return _case("kocher_09", kocher_09.__doc__, build)
+
+
+def kocher_10() -> LitmusCase:
+    """Leak via a value-dependent branch: if (x < size && array1[x] == k)
+    temp &= array2[0] — the *comparison outcome* leaks."""
+    def build() -> Program:
+        b = ProgramBuilder()
+        b.load("rs", [SIZE_CELL])
+        b.br("ltu", ["rx", "rs"], "cmp", "done")
+        b.label("cmp")
+        b.load("rv", [ARRAY1, "rx"])
+        b.br("eq", ["rv", 0x31], "hit", "done")
+        b.label("hit")
+        b.load("rt", [ARRAY2])
+        _epilogue(b)
+        b.label("done").halt()
+        return b.build()
+    return _case("kocher_10", kocher_10.__doc__, build)
+
+
+def kocher_11() -> LitmusCase:
+    """memcmp-style comparison loop over the secret itself — branches on
+    secret data even architecturally (classical CT violation)."""
+    def build() -> Program:
+        b = ProgramBuilder()
+        b.load("rv", [SECRET_BASE])
+        b.br("eq", ["rv", 0x31], "next", "done")
+        b.label("next")
+        b.load("rv", [SECRET_BASE, 1])
+        b.br("eq", ["rv", 0x32], "hit", "done")
+        b.label("hit").load("rt", [ARRAY2])
+        b.label("done").halt()
+        return b.build()
+    return _case("kocher_11", kocher_11.__doc__, build, leaks_seq=True)
+
+
+def kocher_12() -> LitmusCase:
+    """Composite index: if (x + y < size) temp &= array2[array1[x + y]]."""
+    def build() -> Program:
+        b = ProgramBuilder()
+        b.load("rs", [SIZE_CELL])
+        b.op("rxy", "add", ["rx", "ry"])
+        b.br("ltu", ["rxy", "rs"], "body", "done")
+        b.label("body")
+        b.load("rv", [ARRAY1, "rxy"])
+        b.load("rt", [ARRAY2, "rv"])
+        _epilogue(b)
+        b.label("done").halt()
+        return b.build()
+    return _case("kocher_12", kocher_12.__doc__, build)
+
+
+def kocher_13() -> LitmusCase:
+    """The bounds check calls a helper (is_x_safe(x)) and branches on its
+    result — speculation crosses the call/return."""
+    def build() -> Program:
+        b = ProgramBuilder()
+        b.call("checkfn")
+        b.br("ne", ["rc", 0], "body", "done")
+        b.label("body")
+        b.load("rv", [ARRAY1, "rx"])
+        b.load("rt", [ARRAY2, "rv"])
+        _epilogue(b)
+        b.label("done").halt()
+        b.label("checkfn")
+        b.load("rs", [SIZE_CELL])
+        b.op("rc", "ltu", ["rx", "rs"])
+        b.ret()
+        return b.build()
+    return _case("kocher_13", kocher_13.__doc__, build)
+
+
+def kocher_14() -> LitmusCase:
+    """Speculative write-then-read: the guarded store goes out of bounds
+    and an adjacent (secret) cell is read back and leaked."""
+    def build() -> Program:
+        b = ProgramBuilder()
+        b.load("rs", [SIZE_CELL])
+        b.br("ltu", ["rx", "rs"], "body", "done")
+        b.label("body")
+        b.store(0, [ARRAY1, "rx"])
+        b.load("rv", [ARRAY1 + 1, "rx"])   # adjacent cell: secret[2]
+        b.load("rt", [ARRAY2, "rv"])
+        _epilogue(b)
+        b.label("done").halt()
+        return b.build()
+    return _case("kocher_14", kocher_14.__doc__, build)
+
+
+def kocher_15() -> LitmusCase:
+    """Attacker controls a pointer, not an index: x = *px; classic v15."""
+    def build() -> Program:
+        b = ProgramBuilder()
+        b.load("rx2", [XCELL])
+        b.load("rs", [SIZE_CELL])
+        b.br("ltu", ["rx2", "rs"], "body", "done")
+        b.label("body")
+        b.load("rv", [ARRAY1, "rx2"])
+        b.load("rt", [ARRAY2, "rv"])
+        _epilogue(b)
+        b.label("done").halt()
+        return b.build()
+    return _case("kocher_15", kocher_15.__doc__, build)
+
+
+@suite("kocher")
+def cases() -> List[LitmusCase]:
+    """All 15 Kocher-style v1 variants."""
+    return [
+        kocher_01(), kocher_02(), kocher_03(), kocher_04(), kocher_05(),
+        kocher_06(), kocher_07(), kocher_08(), kocher_09(), kocher_10(),
+        kocher_11(), kocher_12(), kocher_13(), kocher_14(), kocher_15(),
+    ]

@@ -1,0 +1,92 @@
+"""Uniform litmus-case records.
+
+Every test program in the suites (§4.2: "we create and analyze a set of
+Spectre v1 and v1.1 test cases … based off the well-known Kocher
+examples") is packaged as a :class:`LitmusCase` carrying:
+
+* the program and a function building its initial configuration(s);
+* the figure's *attack schedule*, when the case comes from a paper
+  figure, so tests can replay the exact directive sequence;
+* ground truth: does it leak sequentially?  speculatively?  does core
+  Pitchfork (no aliasing / no indirect-target exploration) detect it,
+  and does detection require forwarding-hazard mode?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..core.config import Config
+from ..core.directives import Schedule
+from ..core.program import Program
+
+
+@dataclass(frozen=True)
+class LitmusCase:
+    """One litmus test program with ground-truth expectations."""
+
+    name: str
+    variant: str                   #: "v1", "v1.1", "v4", "v2", "ret2spec", …
+    description: str
+    program: Program
+    make_config: Callable[[], Config]
+    figure: Optional[str] = None   #: e.g. "Fig 1"
+    attack_schedule: Optional[Schedule] = None
+    leaks_sequentially: bool = False
+    leaks_speculatively: bool = True
+    #: Detected by the tool as evaluated in the paper (no aliasing /
+    #: indirect-target exploration)?
+    detected_by_core_tool: bool = True
+    #: Detection requires forwarding-hazard (v4) exploration?
+    needs_fwd_hazards: bool = False
+    #: Needs the §3.5 aliasing-prediction extension?
+    needs_aliasing: bool = False
+    #: Extended exploration targets for v2/ret2spec cases.
+    jmpi_targets: Tuple[int, ...] = ()
+    rsb_targets: Tuple[int, ...] = ()
+    rsb_policy: str = "directive"
+    #: Smallest speculation bound at which the tool finds the leak
+    #: (loop-carried gadgets need deeper windows — §4.2's motivation for
+    #: the bound-250 configuration).
+    min_bound: int = 12
+
+    def config(self) -> Config:
+        return self.make_config()
+
+
+_SUITES: Dict[str, Callable[[], List[LitmusCase]]] = {}
+
+
+def suite(name: str):
+    """Decorator registering a suite factory under ``name``."""
+    def register(fn: Callable[[], List[LitmusCase]]):
+        _SUITES[name] = fn
+        return fn
+    return register
+
+
+def load_suite(name: str) -> List[LitmusCase]:
+    """Instantiate a registered suite by name."""
+    # Import side effects register the suites on first use.
+    from . import aliasing, kocher, spec_rsb, spec_v1, spec_v11, spec_v4  # noqa: F401
+    return _SUITES[name]()
+
+
+def all_suites() -> Dict[str, List[LitmusCase]]:
+    from . import aliasing, kocher, spec_rsb, spec_v1, spec_v11, spec_v4  # noqa: F401
+    return {name: factory() for name, factory in sorted(_SUITES.items())}
+
+
+def all_cases() -> List[LitmusCase]:
+    out: List[LitmusCase] = []
+    for cases in all_suites().values():
+        out.extend(cases)
+    return out
+
+
+def find_case(name: str) -> LitmusCase:
+    for case in all_cases():
+        if case.name == name:
+            return case
+    raise KeyError(name)

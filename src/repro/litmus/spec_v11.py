@@ -1,0 +1,179 @@
+"""Spectre v1.1 suite (speculative store-to-load forwarding), Figure 6.
+
+v1.1 gadgets speculatively *write* out of bounds; the written (secret)
+value is then forwarded to a younger load and leaked through a dependent
+access.  Layout of Figure 6::
+
+    0x40..0x43  secretKey (secret)
+    0x44..0x47  pubArrA   (public)
+    0x48..0x4B  pubArrB   (public)
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..asm import assemble
+from ..core.config import Config
+from ..core.directives import execute, fetch
+from ..core.lattice import PUBLIC, SECRET
+from ..core.memory import Memory, layout
+from ..core.values import Value
+from .registry import LitmusCase, suite
+
+
+def fig6_memory() -> Memory:
+    return layout(("secretKey", 4, SECRET, [0x51, 0x52, 0x53, 0x54]),
+                  ("pubArrA", 4, PUBLIC, [1, 2, 3, 4]),
+                  ("pubArrB", 4, PUBLIC, [0, 0, 0, 0]))
+
+
+def _case_fig6() -> LitmusCase:
+    # Buffer layout of Fig 6: 1: br; 2: store; 3..6 filler; 7/8: loads.
+    prog = assemble("""
+        br gt, 4, %ra -> 2, 9
+        store %rb, [0x40, %ra]
+        %r1 = op mov, 0
+        %r2 = op mov, 0
+        %r3 = op mov, 0
+        %r4 = op mov, 0
+        %rc = load [0x45]
+        %rc = load [0x48, %rc]
+        halt
+    """)
+    schedule = (fetch(True),) + tuple(fetch() for _ in range(7)) + (
+        execute(2, "addr"), execute(2, "value"), execute(7), execute(8))
+    def config() -> Config:
+        return Config.initial({"ra": 5, "rb": Value(0x77, SECRET)},
+                              fig6_memory(), pc=1)
+    return LitmusCase(
+        name="v11_fig6",
+        variant="v1.1",
+        description="Figure 6: a bounds check guards a store; "
+                    "misprediction sends the secret store out of bounds "
+                    "where a benign load forwards and then leaks it.",
+        program=prog,
+        make_config=config,
+        figure="Fig 6",
+        attack_schedule=schedule,
+        leaks_sequentially=False,
+        leaks_speculatively=True,
+    )
+
+
+def _case_store_offset() -> LitmusCase:
+    """v1.1 where the store address is computed, not immediate."""
+    prog = assemble("""
+        br ltu, %ra, 4 -> 2, 7
+        %rt = op add, 0x40, %ra
+        store %rb, [%rt]
+        %rc = load [0x45]
+        %rc = load [0x48, %rc]
+        halt
+        halt
+    """)
+    def config() -> Config:
+        return Config.initial({"ra": 5, "rb": Value(0x66, SECRET)},
+                              fig6_memory(), pc=1)
+    return LitmusCase(
+        name="v11_store_offset",
+        variant="v1.1",
+        description="v1.1 with the out-of-bounds store address computed "
+                    "by an op in the speculative window.",
+        program=prog,
+        make_config=config,
+        leaks_sequentially=False,
+        leaks_speculatively=True,
+    )
+
+
+def _case_overwrite_index() -> LitmusCase:
+    """The speculative store corrupts an in-bounds *index* that a
+    following access trusts (classic v1.1 'speculative buffer overflow')."""
+    prog = assemble("""
+        br ltu, %ra, 4 -> 2, 5
+        store %rb, [0x4C]
+        %ri = load [0x4C]
+        %rc = load [0x44, %ri]
+        halt
+    """)
+    def config() -> Config:
+        mem = fig6_memory()
+        from ..core.memory import Region
+        mem = mem.with_region(Region("idx", 0x4C, 1, PUBLIC), [2])
+        return Config.initial({"ra": 9, "rb": Value(0xE0, SECRET)},
+                              mem, pc=1)
+    return LitmusCase(
+        name="v11_overwrite_index",
+        variant="v1.1",
+        description="A speculative store clobbers a trusted index cell; "
+                    "the dependent load leaks the forwarded secret.",
+        program=prog,
+        make_config=config,
+        leaks_sequentially=False,
+        leaks_speculatively=True,
+    )
+
+
+def _case_fenced() -> LitmusCase:
+    """Fig 6 gadget with a fence between store and loads: mitigated."""
+    prog = assemble("""
+        br gt, 4, %ra -> 2, 7
+        store %rb, [0x40, %ra]
+        fence
+        %rc = load [0x45]
+        %rc = load [0x48, %rc]
+        halt
+        halt
+    """)
+    def config() -> Config:
+        return Config.initial({"ra": 5, "rb": Value(0x77, SECRET)},
+                              fig6_memory(), pc=1)
+    return LitmusCase(
+        name="v11_fenced",
+        variant="v1.1-mitigated",
+        description="The fence prevents the loads from executing before "
+                    "the (mispredicted) branch and store resolve.",
+        program=prog,
+        make_config=config,
+        leaks_sequentially=False,
+        leaks_speculatively=False,
+        detected_by_core_tool=False,
+    )
+
+
+def _case_public_store() -> LitmusCase:
+    """Out-of-bounds store of a *public* value: rollback-visible but no
+    secret ever reaches an observation — SCT holds."""
+    prog = assemble("""
+        br gt, 4, %ra -> 2, 5
+        store 7, [0x40, %ra]
+        %rc = load [0x45]
+        %rc = load [0x48, %rc]
+        halt
+    """)
+    def config() -> Config:
+        return Config.initial({"ra": 5}, fig6_memory(), pc=1)
+    return LitmusCase(
+        name="v11_public_store",
+        variant="v1.1-safe",
+        description="Same shape as Fig 6 but the stored value is public: "
+                    "all observations stay public.",
+        program=prog,
+        make_config=config,
+        leaks_sequentially=False,
+        leaks_speculatively=False,
+        detected_by_core_tool=False,
+    )
+
+
+@suite("spec_v11")
+def cases() -> List[LitmusCase]:
+    """The v1.1 suite: Figure 6 plus variants."""
+    return [
+        _case_fig6(),
+        _case_store_offset(),
+        _case_overwrite_index(),
+        _case_fenced(),
+        _case_public_store(),
+    ]

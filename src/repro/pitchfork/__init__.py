@@ -1,0 +1,26 @@
+"""Pitchfork — the SCT violation detector of Section 4.
+
+The tool generates worst-case attacker schedules (Definition B.18,
+proved sound by Theorem B.20) and executes the program under each,
+flagging secret-labelled observations.
+"""
+
+from .detector import (AnalysisReport, PAPER_BOUND_FWD, PAPER_BOUND_NO_FWD,
+                       analyze, analyze_two_phase)
+from .explorer import (ExplorationOptions, ExplorationResult, Explorer,
+                       PathResult, Violation)
+from .reports import format_report, format_violation
+from .schedules import ScheduleStats, enumerate_schedules, schedule_stats
+from .symex import (App, Constraint, Sym, SymbolicEvaluator,
+                    SymbolicFinding, SymbolicRunner, analyze_symbolic,
+                    eval_expr, feasible_values, solve, symbols_of)
+
+__all__ = [
+    "AnalysisReport", "PAPER_BOUND_FWD", "PAPER_BOUND_NO_FWD", "analyze",
+    "analyze_two_phase", "ExplorationOptions", "ExplorationResult",
+    "Explorer", "PathResult", "Violation", "format_report",
+    "format_violation", "ScheduleStats", "enumerate_schedules",
+    "schedule_stats", "App", "Constraint", "Sym", "SymbolicEvaluator",
+    "SymbolicFinding", "SymbolicRunner", "analyze_symbolic", "eval_expr",
+    "feasible_values", "solve", "symbols_of",
+]

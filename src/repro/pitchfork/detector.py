@@ -1,0 +1,90 @@
+"""The Pitchfork detector front end (Section 4.2).
+
+``analyze`` runs one exploration; ``analyze_two_phase`` reproduces the
+paper's evaluation procedure exactly (§4.2.1):
+
+1. run *without* forwarding-hazard detection (Spectre v1/v1.1 only) at a
+   large speculation bound (paper: 250);
+2. only if that is clean, re-run *with* forwarding-hazard detection
+   (Spectre v4) at a reduced bound (paper: 20) to keep the analysis
+   tractable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from ..core.config import Config
+from ..core.isa import Evaluator
+from ..core.machine import Machine
+from ..core.program import Program
+from .explorer import (ExplorationOptions, ExplorationResult, Explorer,
+                       Violation)
+
+#: The speculation bounds used in the paper's evaluation.
+PAPER_BOUND_NO_FWD = 250
+PAPER_BOUND_FWD = 20
+
+
+@dataclass(frozen=True)
+class AnalysisReport:
+    """Outcome of a Pitchfork analysis of one binary/configuration."""
+
+    name: str
+    secure: bool
+    violations: Tuple[Violation, ...]
+    paths_explored: int
+    states_stepped: int
+    truncated: bool
+    phase: str                  #: "v1/v1.1", "v4", or "combined"
+    bound: int
+
+    def __bool__(self) -> bool:
+        return self.secure
+
+
+def analyze(program: Program, config: Config,
+            bound: int = PAPER_BOUND_FWD,
+            fwd_hazards: bool = True,
+            name: str = "<program>",
+            stop_at_first: bool = True,
+            evaluator: Optional[Evaluator] = None,
+            explore_aliasing: bool = False,
+            jmpi_targets: Sequence[int] = (),
+            rsb_targets: Sequence[int] = (),
+            max_paths: int = 20_000,
+            rsb_policy: str = "directive") -> AnalysisReport:
+    """One Pitchfork run: explore DT(bound), flag secret observations."""
+    machine = Machine(program, evaluator=evaluator, rsb_policy=rsb_policy)
+    options = ExplorationOptions(bound=bound, fwd_hazards=fwd_hazards,
+                                 explore_aliasing=explore_aliasing,
+                                 jmpi_targets=tuple(jmpi_targets),
+                                 rsb_targets=tuple(rsb_targets),
+                                 max_paths=max_paths)
+    result = Explorer(machine, options).explore(config,
+                                                stop_at_first=stop_at_first)
+    phase = "v4" if fwd_hazards else "v1/v1.1"
+    return AnalysisReport(name, result.secure, tuple(result.violations),
+                          result.paths_explored, result.states_stepped,
+                          result.truncated, phase, bound)
+
+
+def analyze_two_phase(program: Program, config: Config,
+                      name: str = "<program>",
+                      bound_no_fwd: int = PAPER_BOUND_NO_FWD,
+                      bound_fwd: int = PAPER_BOUND_FWD,
+                      max_paths: int = 20_000) -> AnalysisReport:
+    """The paper's two-phase procedure (§4.2.1).
+
+    Phase 1 looks for v1/v1.1 violations without forwarding hazards at
+    ``bound_no_fwd``; if (and only if) it is clean, phase 2 re-enables
+    forwarding-hazard detection at the reduced ``bound_fwd``.
+    """
+    first = analyze(program, config, bound=bound_no_fwd, fwd_hazards=False,
+                    name=name, max_paths=max_paths)
+    if not first.secure:
+        return first
+    second = analyze(program, config, bound=bound_fwd, fwd_hazards=True,
+                     name=name, max_paths=max_paths)
+    return second

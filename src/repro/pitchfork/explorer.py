@@ -1,0 +1,560 @@
+"""Worst-case schedule exploration (Section 4.1 / Definition B.18).
+
+Pitchfork does not enumerate *all* schedules — that set is astronomically
+large.  It explores the *tool schedules* DT(n), which Theorem B.20 proves
+sound: if any schedule within speculation bound n leaks, some tool
+schedule leaks.
+
+The construction, exactly as Definition B.18 prescribes:
+
+* fetch eagerly until the reorder buffer holds ``bound`` entries;
+* ``op`` / ``load``: execute immediately after fetch;
+* ``store``: resolve the data immediately; **choice point** — resolve the
+  address now, or *defer* it (the deferred-address arm generates every
+  store-to-load forwarding outcome, including Spectre v4's
+  stale-from-memory reads; deferral is disabled when
+  ``fwd_hazards=False``, the paper's "without forwarding hazard
+  detection" mode);
+* ``br``: **choice point** — fetch the correct arm (resolved immediately)
+  or the wrong arm (resolution delayed until the branch is the oldest
+  entry of a full buffer: the maximal speculation window);
+* when the buffer is full (or there is nothing left to fetch), the oldest
+  entry is resolved and retired, triggering any delayed rollbacks.
+
+Calls and returns are fetched along the RSB prediction; their embedded
+return-address store and load take part in the store-address choice
+points — that is exactly how the OpenSSL MEE-CBC gadget (Fig 10) is
+found.  Aliasing-predictor exploration (``execute i: fwd j``, §3.5) is an
+optional extension the original tool did not implement.
+
+The explorer runs the *concrete* machine with labelled values: by
+Corollary B.10, a secret-labelled observation under any explored schedule
+witnesses an SCT violation for sequentially-CT programs (and
+:mod:`repro.core.sct` offers the full two-trace Definition 3.1 check).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, List, Optional, Set, Tuple, Union
+
+from ..core.config import Config
+from ..core.directives import Directive, Execute, Fetch, Retire, Schedule
+from ..core.errors import ReproError, StuckError
+from ..core.isa import Br, Jmpi, Ret
+from ..core.machine import Machine, RSP
+from ..core.observations import (Observation, Rollback, Trace,
+                                 is_secret_dependent)
+from ..core.rob import resolve_operands
+from ..core.transient import (TBr, TCallMarker, TFence, TJmpi, TJump, TLoad,
+                              TOp, TRetMarker, TStore, TValue)
+from ..core.values import BOTTOM
+
+
+@dataclass(frozen=True)
+class ExplorationOptions:
+    """Tuning knobs mirroring the paper's evaluation procedure (§4.2.1)."""
+
+    bound: int = 20            #: speculation bound = max reorder-buffer size
+    fwd_hazards: bool = True   #: explore deferred store addresses (v4 mode)
+    explore_aliasing: bool = False  #: §3.5 extension: execute i: fwd j
+    #: extension: mistrained indirect-branch targets to explore (Spectre
+    #: v2); the original tool does not explore these (§4, "Pitchfork only
+    #: exercises a subset of our semantics").
+    jmpi_targets: Tuple[int, ...] = ()
+    #: extension: attacker-supplied return targets on RSB underflow
+    #: (ret2spec); likewise not explored by the original tool.
+    rsb_targets: Tuple[int, ...] = ()
+    #: Treat every branch condition as statically unknown: both arms are
+    #: fetched and resolution is always delayed to the window's end.
+    #: This makes the generated schedules input-independent — the mode
+    #: the symbolic back end (repro.pitchfork.symex) needs, since the
+    #: "correct" arm varies with the symbolic inputs.
+    assume_unknown_branches: bool = False
+    max_paths: int = 20_000    #: cap on explored paths
+    max_fetches: int = 2_000   #: per-path fetched-instruction budget
+    max_steps: int = 40_000    #: per-path step budget
+
+
+@dataclass(frozen=True)
+class Violation:
+    """A flagged secret-dependent observation."""
+
+    observation: Observation
+    step_index: int            #: position in the witnessing schedule
+    directive: Directive
+    buffer_index: Optional[int]
+    schedule: Schedule         #: the witnessing schedule prefix
+    trace: Trace               #: observations up to and including this one
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"Violation({self.observation!r} at step {self.step_index} "
+                f"via {self.directive!r})")
+
+
+@dataclass(frozen=True)
+class PathResult:
+    """One completely explored tool schedule."""
+
+    schedule: Schedule
+    trace: Trace
+    final: Config
+    violations: Tuple[Violation, ...]
+    complete: bool             #: False if a per-path budget was hit
+
+
+@dataclass
+class ExplorationResult:
+    """Everything the explorer found."""
+
+    paths: List[PathResult] = field(default_factory=list)
+    violations: List[Violation] = field(default_factory=list)
+    paths_explored: int = 0
+    states_stepped: int = 0
+    truncated: bool = False    #: max_paths was hit
+
+    @property
+    def secure(self) -> bool:
+        return not self.violations
+
+
+@dataclass(frozen=True)
+class _DelayJmpi:
+    """Pseudo-action: postpone a mispredicted indirect jump.
+
+    A ``jmpi`` whose computed target disagrees with its guess supports
+    two attack schedules: executing it *now* redirects fetch to the
+    actual target immediately (the speculative stale return of Fig 10),
+    while *delaying* it keeps executing the guessed path (the mistrained
+    window of Fig 11).  The explorer forks on both.
+    """
+
+    index: int
+
+
+_Action = Union[Directive, _DelayJmpi]
+
+
+@dataclass
+class _Path:
+    config: Config
+    schedule: List[Directive]
+    trace: List[Observation]
+    violations: List[Violation]
+    delayed_jmpis: Set[int]    #: mispredicted jmpis we chose to postpone
+    fetches: int = 0
+    steps: int = 0
+    exhausted: bool = False
+    finished: bool = False     #: cleanly pruned (probe window explored)
+
+
+class Explorer:
+    """Depth-first exploration of the tool schedules DT(bound)."""
+
+    def __init__(self, machine: Machine, options: ExplorationOptions):
+        self.machine = machine
+        self.options = options
+
+    # -- driving ------------------------------------------------------------
+
+    def explore(self, initial: Config,
+                stop_at_first: bool = False) -> ExplorationResult:
+        """Explore the tool schedules from an initial configuration."""
+        result = ExplorationResult()
+        stack: List[_Path] = [_Path(initial, [], [], [], set())]
+        while stack:
+            if result.paths_explored >= self.options.max_paths:
+                result.truncated = True
+                break
+            path = stack.pop()
+            forks = self._run_path(path)
+            if forks is None:
+                result.paths_explored += 1
+                result.states_stepped += path.steps
+                result.paths.append(PathResult(
+                    tuple(path.schedule), tuple(path.trace), path.config,
+                    tuple(path.violations), complete=not path.exhausted))
+                result.violations.extend(path.violations)
+                if stop_at_first and path.violations:
+                    return result
+            else:
+                stack.extend(forks)
+        return result
+
+    def _run_path(self, path: _Path) -> Optional[List[_Path]]:
+        """Advance until the path terminates (None) or forks (list)."""
+        while True:
+            if path.exhausted or path.finished:
+                return None
+            if path.steps >= self.options.max_steps or \
+                    path.fetches >= self.options.max_fetches:
+                path.exhausted = True
+                return None
+            arms = self._next_actions(path)
+            if arms is None:
+                return None  # terminal: nothing to fetch, buffer empty
+            if len(arms) == 1:
+                for action in arms[0]:
+                    if not self._apply(path, action):
+                        return None
+                continue
+            forks = []
+            for arm in arms:
+                clone = _Path(path.config, list(path.schedule),
+                              list(path.trace), list(path.violations),
+                              set(path.delayed_jmpis),
+                              path.fetches, path.steps)
+                for action in arm:
+                    if not self._apply(clone, action):
+                        break
+                forks.append(clone)
+            return forks
+
+    def _apply(self, path: _Path, action: _Action) -> bool:
+        """Apply one action; False if the path ended (stuck)."""
+        if isinstance(action, _DelayJmpi):
+            path.delayed_jmpis.add(action.index)
+            return True
+        try:
+            config, leak = self.machine.step(path.config, action)
+        except StuckError:
+            # Only trial-checked directives reach here, so this is a
+            # safety net; end the path.
+            path.exhausted = True
+            return False
+        path.steps += 1
+        if isinstance(action, Fetch):
+            path.fetches += 1
+        for k, obs in enumerate(leak):
+            if is_secret_dependent(obs):
+                buffer_index = action.index \
+                    if isinstance(action, Execute) else None
+                path.violations.append(Violation(
+                    obs, len(path.schedule), action, buffer_index,
+                    tuple(path.schedule) + (action,),
+                    tuple(path.trace) + leak[:k + 1]))
+        if any(isinstance(o, Rollback) for o in leak):
+            path.delayed_jmpis = {i for i in path.delayed_jmpis
+                                  if i in config.buf}
+            if isinstance(action, Execute) and \
+                    isinstance(path.config.buf.get(action.index), TBr):
+                # A delayed mispredicted branch just rolled back.  Its
+                # post-rollback continuation is architecturally identical
+                # to the correctly-predicted sibling path (Thm B.7), so
+                # this probe has done its job: end it.  This is the
+                # pruning that keeps DT(n) from re-exploring every
+                # program suffix once per misprediction.
+                path.finished = True
+        path.schedule.append(action)
+        path.trace.extend(leak)
+        path.config = config
+        return True
+
+    # -- the scheduler: Definition B.18 ----------------------------------
+
+    def _next_actions(self, path: _Path) -> Optional[List[List[_Action]]]:
+        """The next action arm(s) DT(bound) performs from this state.
+
+        Each arm is a *sequence* of actions; a single arm is a forced
+        move, several arms are a choice point, None means the path has
+        terminated.
+        """
+        config = path.config
+
+        eager = self._eager_actions(path)
+        if eager is not None:
+            return eager
+
+        if len(config.buf) < self.options.bound:
+            fetches = self._fetch_choices(config)
+            if fetches:
+                return [[f] for f in fetches]
+
+        if config.buf:
+            return [[self._oldest_move(config)]]
+
+        return None
+
+    def _eager_actions(self, path: _Path) -> Optional[List[List[_Action]]]:
+        """Definition B.18's "immediately after fetch" work, plus the
+        choice points (per-load forwarding outcomes, aliasing
+        prediction, mispredicted-jmpi timing)."""
+        config = path.config
+        for i, entry in config.buf.items():
+            if isinstance(entry, TOp):
+                if self._can(config, Execute(i)):
+                    return [[Execute(i)]]
+            elif isinstance(entry, TLoad) and entry.pred is None:
+                arms = self._load_arms(config, i, entry)
+                if arms is None:
+                    continue
+                if self.options.explore_aliasing:
+                    arms += [[Execute(i, j)]
+                             for j, other in config.buf.items()
+                             if j < i and isinstance(other, TStore)
+                             and other.value_resolved()
+                             and self._can(config, Execute(i, j))]
+                return arms
+            elif isinstance(entry, TStore):
+                if not entry.value_resolved():
+                    if self._can(config, Execute(i, "value")):
+                        return [[Execute(i, "value")]]
+                elif not entry.addr_resolved():
+                    # Without forwarding-hazard exploration, store
+                    # addresses resolve in order, immediately; with it,
+                    # they stay pending until a load's forwarding arm or
+                    # the oldest-entry sweep resolves them (§4.1).
+                    if not self.options.fwd_hazards and \
+                            self._can(config, Execute(i, "addr")):
+                        return [[Execute(i, "addr")]]
+            elif isinstance(entry, TBr):
+                if self.options.assume_unknown_branches:
+                    continue  # all branches delayed in symbolic mode
+                # Resolve immediately only when the guess was correct
+                # (mispredicted branches are delayed until oldest) and no
+                # older fence blocks execution.
+                arm = self._actual_br_target(config, i, entry)
+                if arm is not None and arm == entry.guess and \
+                        self._can(config, Execute(i)):
+                    return [[Execute(i)]]
+            elif isinstance(entry, TJmpi):
+                if i in path.delayed_jmpis:
+                    continue
+                target = self._actual_jmpi_target(config, i, entry)
+                if target is None or not self._can(config, Execute(i)):
+                    continue
+                if target == entry.guess:
+                    return [[Execute(i)]]
+                # Mispredicted: both "speculatively return now" (Fig 10)
+                # and "keep running the guessed path" (Fig 11) matter.
+                return [[Execute(i)], [_DelayJmpi(i)]]
+        return None
+
+    def _load_arms(self, config: Config, i: int,
+                   entry: TLoad) -> Optional[List[List[_Action]]]:
+        """§4.1's per-load forwarding outcomes.
+
+        For load l, find the prior in-flight stores that *would* resolve
+        to l's address.  One arm per such store s_k: resolve addresses up
+        to and including s_k (so s_k forwards to l), leaving younger
+        matching stores pending; plus one arm where none resolve and l
+        reads (possibly stale) memory — the Spectre v4 probe.  Already-
+        resolved younger matching stores make earlier outcomes
+        unreachable and are skipped.
+        """
+        if not self.options.fwd_hazards:
+            if not self._can(config, Execute(i)):
+                return None
+            return [[Execute(i)]]
+        addr = self._eventual_address(config, i, entry.args)
+        if addr is None:
+            return None  # operands pending; retry after more eager work
+        matching: List[Tuple[int, bool]] = []   # (index, already_resolved)
+        for j, other in config.buf.items():
+            if j >= i:
+                break
+            if not isinstance(other, TStore):
+                continue
+            if other.addr_resolved():
+                if self.machine.evaluator.concretize(other.addr) == addr:
+                    matching.append((j, True))
+            else:
+                other_addr = self._eventual_address(config, j, other.args)
+                if other_addr == addr:
+                    matching.append((j, False))
+        arms: List[List[_Action]] = []
+        unresolved_suffix_ok = True  # no resolved store younger than s_k
+        for pos in range(len(matching) - 1, -1, -1):
+            j, resolved = matching[pos]
+            if not unresolved_suffix_ok:
+                break
+            arm: List[_Action] = []
+            if not resolved:
+                store = config.buf[j]
+                if not store.value_resolved():
+                    arm.append(Execute(j, "value"))
+                arm.append(Execute(j, "addr"))
+            arm.append(Execute(i))
+            arms.append(arm)
+            if resolved:
+                # Outcomes where an older store forwards (or memory is
+                # read) are unreachable past an already-resolved store.
+                unresolved_suffix_ok = False
+        if unresolved_suffix_ok:
+            arms.append([Execute(i)])  # no store resolves: read memory
+        # An older fence (or an unresolved dependency) may block every
+        # arm right now; report "not yet" so the sweep makes progress
+        # elsewhere and retries after the blocker clears.
+        arms = [arm for arm in arms if self._can_sequence(config, arm)]
+        if not arms:
+            return None
+        return arms
+
+    def _can_sequence(self, config: Config, arm: List[_Action]) -> bool:
+        current = config
+        for action in arm:
+            if not isinstance(action, Execute):
+                return True
+            try:
+                current, _leak = self.machine.step(current, action)
+            except StuckError:
+                return False
+        return True
+
+    def _eventual_address(self, config: Config, i: int,
+                          args) -> Optional[int]:
+        """The address buffer entry ``i`` will resolve to, if its
+        operands are available now."""
+        try:
+            vals = resolve_operands(config.buf, i, config.regs, args)
+        except KeyError:
+            return None
+        if vals is None:
+            return None
+        try:
+            return self.machine.evaluator.concretize(
+                self.machine.evaluator.address(vals))
+        except ReproError:
+            return None
+
+    def _can(self, config: Config, d: Execute) -> bool:
+        try:
+            self.machine.step(config, d)
+        except StuckError:
+            return False
+        return True
+
+    # -- fetch choices -------------------------------------------------------
+
+    def _fetch_choices(self, config: Config) -> List[_Action]:
+        instr = self.machine.program.get(config.pc)
+        if instr is None:
+            return []
+        if isinstance(instr, Br):
+            if self.options.assume_unknown_branches:
+                return [Fetch(True), Fetch(False)]
+            correct = self._correct_arm(config, instr)
+            if correct is None:
+                return [Fetch(True), Fetch(False)]
+            return [Fetch(correct), Fetch(not correct)]
+        if isinstance(instr, Jmpi):
+            target = self._static_jmpi_target(config, instr)
+            choices: List[_Action] = [] if target is None else [Fetch(target)]
+            choices += [Fetch(t) for t in self.options.jmpi_targets
+                        if t != target]
+            return choices
+        if isinstance(instr, Ret):
+            if config.rsb.top() is BOTTOM and \
+                    self.machine.rsb_policy == "directive":
+                # The original tool does not explore attacker-chosen RSB
+                # targets; by default follow the architectural return
+                # address, plus any configured mistrained targets.
+                target = self._actual_return(config)
+                choices = [] if target is None else [Fetch(target)]
+                choices += [Fetch(t) for t in self.options.rsb_targets
+                            if t != target]
+                return choices
+            return [Fetch(None)]
+        return [Fetch(None)]
+
+    def _correct_arm(self, config: Config, instr: Br) -> Optional[bool]:
+        i = config.buf.max_index() + 1
+        try:
+            vals = resolve_operands(config.buf, i, config.regs, instr.args)
+        except KeyError:
+            return None
+        if vals is None:
+            return None
+        cond = self.machine.evaluator.evaluate(instr.opcode, vals)
+        return self.machine.evaluator.truth(cond)
+
+    def _static_jmpi_target(self, config: Config,
+                            instr: Jmpi) -> Optional[int]:
+        i = config.buf.max_index() + 1
+        try:
+            vals = resolve_operands(config.buf, i, config.regs, instr.args)
+        except KeyError:
+            return None
+        if vals is None:
+            return None
+        addr = self.machine.evaluator.address(vals)
+        return self.machine.evaluator.concretize(addr)
+
+    def _actual_return(self, config: Config) -> Optional[int]:
+        i = config.buf.max_index() + 1
+        try:
+            vals = resolve_operands(config.buf, i, config.regs, (RSP,))
+        except KeyError:
+            return None
+        if vals is None:
+            return None
+        addr = self.machine.evaluator.concretize(vals[0])
+        target = config.mem.read(addr)
+        try:
+            return self.machine.evaluator.concretize(target)
+        except ReproError:
+            return None
+
+    # -- resolved targets of in-flight control flow ---------------------------
+
+    def _actual_br_target(self, config: Config, i: int,
+                          entry: TBr) -> Optional[int]:
+        vals = resolve_operands(config.buf, i, config.regs, entry.args)
+        if vals is None:
+            return None
+        cond = self.machine.evaluator.evaluate(entry.opcode, vals)
+        taken = self.machine.evaluator.truth(cond)
+        return entry.targets[0] if taken else entry.targets[1]
+
+    def _actual_jmpi_target(self, config: Config, i: int,
+                            entry: TJmpi) -> Optional[int]:
+        vals = resolve_operands(config.buf, i, config.regs, entry.args)
+        if vals is None:
+            return None
+        addr = self.machine.evaluator.address(vals)
+        return self.machine.evaluator.concretize(addr)
+
+    # -- the full-buffer move -------------------------------------------------
+
+    def _oldest_move(self, config: Config) -> Directive:
+        """Definition B.18's full-buffer step: resolve or retire the
+        oldest instruction (or its call/ret group)."""
+        i = config.buf.min_index()
+        entry = config.buf[i]
+        if isinstance(entry, TStore):
+            if not entry.value_resolved():
+                return Execute(i, "value")
+            if not entry.addr_resolved():
+                return Execute(i, "addr")
+            return Retire()
+        if isinstance(entry, (TBr, TJmpi)):
+            # Before a delayed (mispredicted) branch resolves and rolls
+            # the window back, resolve the window's pending store
+            # addresses: Definition B.18 includes the execute-addr arm
+            # for every store, and a store whose *address* depends on a
+            # secret leaks exactly here (``fwd a_sec``).
+            for j, other in config.buf.items():
+                if (isinstance(other, TStore) and other.value_resolved()
+                        and not other.addr_resolved()
+                        and self._can(config, Execute(j, "addr"))):
+                    return Execute(j, "addr")
+            return Execute(i)
+        if isinstance(entry, TOp):
+            return Execute(i)
+        if isinstance(entry, TLoad):
+            return Execute(i)
+        if isinstance(entry, (TValue, TJump, TFence)):
+            return Retire()
+        if isinstance(entry, (TCallMarker, TRetMarker)):
+            span = 3 if isinstance(entry, TCallMarker) else 4
+            for k in range(i + 1, i + span):
+                member = config.buf.get(k)
+                if isinstance(member, TStore):
+                    if not member.value_resolved():
+                        return Execute(k, "value")
+                    if not member.addr_resolved():
+                        return Execute(k, "addr")
+                elif isinstance(member, (TOp, TJmpi, TLoad)):
+                    return Execute(k)
+            return Retire()
+        raise StuckError(f"scheduler cannot progress past {entry!r}")

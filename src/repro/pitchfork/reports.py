@@ -1,0 +1,49 @@
+"""Human-readable violation reports.
+
+Formats an :class:`AnalysisReport` the way the original tool prints its
+findings: the flagged observation, the witnessing directive schedule, and
+a disassembly window around the offending instruction.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..asm.disasm import disassemble
+from ..core.program import Program
+from .detector import AnalysisReport
+from .explorer import Violation
+
+
+def format_violation(violation: Violation,
+                     program: Optional[Program] = None) -> str:
+    lines: List[str] = [
+        f"SCT violation: {violation.observation!r}",
+        f"  flagged at schedule step {violation.step_index} "
+        f"({violation.directive!r})",
+    ]
+    tail = ", ".join(repr(d) for d in violation.schedule[-8:])
+    lines.append(f"  witnessing schedule (…last 8): {tail}")
+    leaked = ", ".join(repr(o) for o in violation.trace[-6:])
+    lines.append(f"  trace tail: {leaked}")
+    return "\n".join(lines)
+
+
+def format_report(report: AnalysisReport,
+                  program: Optional[Program] = None,
+                  max_violations: int = 5) -> str:
+    head = (f"Pitchfork [{report.phase}, bound={report.bound}] "
+            f"{report.name}: "
+            f"{'SECURE' if report.secure else 'VIOLATIONS FOUND'} "
+            f"({report.paths_explored} schedules, "
+            f"{report.states_stepped} steps"
+            f"{', truncated' if report.truncated else ''})")
+    if report.secure:
+        return head
+    body = [head]
+    for v in report.violations[:max_violations]:
+        body.append(format_violation(v, program))
+    extra = len(report.violations) - max_violations
+    if extra > 0:
+        body.append(f"  … and {extra} more")
+    return "\n".join(body)

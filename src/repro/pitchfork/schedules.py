@@ -1,0 +1,54 @@
+"""Explicit access to the tool-schedule family DT(n) (Definition B.18).
+
+The explorer enumerates DT(n) implicitly.  This module materialises the
+schedules — useful for the path-explosion measurements of §4.2 ("we were
+able to support speculation bounds of up to 20 instructions … 250 when we
+disabled checking for store-forwarding hazards") and for feeding the SCT
+checker (Definition 3.1 quantifies over schedules; Theorem B.20 says
+DT(n) suffices).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+from ..core.config import Config
+from ..core.directives import Schedule
+from ..core.machine import Machine
+from .explorer import ExplorationOptions, Explorer
+
+
+@dataclass(frozen=True)
+class ScheduleStats:
+    """Counts from materialising DT(bound) for one program."""
+
+    bound: int
+    fwd_hazards: bool
+    schedules: int
+    total_steps: int
+    truncated: bool
+
+
+def enumerate_schedules(machine: Machine, config: Config,
+                        bound: int, fwd_hazards: bool = True,
+                        max_paths: int = 20_000,
+                        assume_unknown_branches: bool = False
+                        ) -> List[Schedule]:
+    """All complete tool schedules for ``config`` at this bound."""
+    options = ExplorationOptions(bound=bound, fwd_hazards=fwd_hazards,
+                                 max_paths=max_paths,
+                                 assume_unknown_branches=assume_unknown_branches)
+    result = Explorer(machine, options).explore(config)
+    return [p.schedule for p in result.paths if p.complete]
+
+
+def schedule_stats(machine: Machine, config: Config, bound: int,
+                   fwd_hazards: bool = True,
+                   max_paths: int = 20_000) -> ScheduleStats:
+    """Count the tool schedules without keeping them (explosion sweeps)."""
+    options = ExplorationOptions(bound=bound, fwd_hazards=fwd_hazards,
+                                 max_paths=max_paths)
+    result = Explorer(machine, options).explore(config)
+    return ScheduleStats(bound, fwd_hazards, result.paths_explored,
+                         result.states_stepped, result.truncated)

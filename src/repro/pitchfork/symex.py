@@ -1,0 +1,424 @@
+"""Symbolic execution under attacker schedules (the angr half of §4.2).
+
+The original Pitchfork "uses angr to symbolically execute a given
+program according to each of its worst-case schedules".  This module is
+that second half, self-contained:
+
+* :class:`Sym` — a symbolic input over a finite domain (attacker-
+  controlled indices, unknown lengths, …);
+* symbolic expressions are opcode trees (:class:`App`) carried as value
+  *payloads*; the machine is untouched — labels ride along exactly as in
+  the concrete semantics;
+* :class:`SymbolicEvaluator` plugs into :class:`repro.core.Machine`.
+  Branch conditions over symbols raise :class:`Fork`; symbolic memory
+  addresses are concretized against a model, mirroring angr's address
+  concretization (§4.2: "angr concretizes addresses for memory
+  operations instead of keeping them symbolic");
+* :class:`SymbolicRunner` replays one directive schedule, splitting into
+  *worlds* (path constraints) at forks and pruning unsatisfiable ones;
+* :func:`analyze_symbolic` combines both halves: enumerate the tool
+  schedules DT(bound) on a concrete representative, then symbolically
+  replay each schedule, flag secret-labelled observations in any
+  satisfiable world, and *solve* for an attacker input that triggers
+  them.
+
+Satisfiability is decided by bounded enumeration over the (finite,
+small) symbol domains — honest and exact for the gadget-sized programs
+this reproduction targets.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from ..core.config import Config
+from ..core.directives import Schedule
+from ..core.errors import ReproError, StuckError
+from ..core.isa import Evaluator, OPCODES, sum_addr
+from ..core.lattice import Label
+from ..core.machine import Machine
+from ..core.observations import Observation, Trace, secret_observations
+from ..core.program import Program
+from ..core.values import Value, join_labels
+from .schedules import enumerate_schedules
+
+
+# ---------------------------------------------------------------------------
+# Symbolic expressions
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Sym:
+    """A symbolic input variable over a finite domain."""
+
+    name: str
+    domain: Tuple[int, ...]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"${self.name}"
+
+
+@dataclass(frozen=True)
+class App:
+    """An opcode applied to symbolic/concrete arguments."""
+
+    op: str
+    args: Tuple["SymExpr", ...]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.op}({', '.join(map(repr, self.args))})"
+
+
+SymExpr = Union[int, Sym, App]
+
+
+def symbols_of(expr: SymExpr) -> Tuple[Sym, ...]:
+    """All symbols occurring in an expression."""
+    if isinstance(expr, Sym):
+        return (expr,)
+    if isinstance(expr, App):
+        out: List[Sym] = []
+        for a in expr.args:
+            for s in symbols_of(a):
+                if s not in out:
+                    out.append(s)
+        return tuple(out)
+    return ()
+
+
+def eval_expr(expr: SymExpr, model: Dict[str, int]) -> int:
+    """Evaluate an expression under a model (symbol assignment)."""
+    if isinstance(expr, int):
+        return expr
+    if isinstance(expr, Sym):
+        return model[expr.name]
+    arity, fn = OPCODES[expr.op]
+    args = [eval_expr(a, model) for a in expr.args]
+    return fn(*args)
+
+
+# ---------------------------------------------------------------------------
+# Path constraints and bounded solving
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Constraint:
+    """``expr != 0`` (when truthy) or ``expr == 0``."""
+
+    expr: SymExpr
+    truthy: bool
+
+    def holds(self, model: Dict[str, int]) -> bool:
+        value = eval_expr(self.expr, model)
+        return bool(value) == self.truthy
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        rel = "!= 0" if self.truthy else "== 0"
+        return f"{self.expr!r} {rel}"
+
+
+MAX_MODELS = 65536
+
+
+def solve(constraints: Sequence[Constraint],
+          extra_symbols: Iterable[Sym] = ()) -> Optional[Dict[str, int]]:
+    """A model satisfying all constraints, or None.
+
+    Bounded exhaustive search over the product of the symbol domains;
+    raises :class:`ReproError` if the space exceeds ``MAX_MODELS``.
+    """
+    symbols: List[Sym] = list(extra_symbols)
+    for c in constraints:
+        for s in symbols_of(c.expr):
+            if s not in symbols:
+                symbols.append(s)
+    if not symbols:
+        return {} if all(c.holds({}) for c in constraints) else None
+    space = 1
+    for s in symbols:
+        space *= len(s.domain)
+    if space > MAX_MODELS:
+        raise ReproError(f"symbolic domain too large ({space} models)")
+    for combo in itertools.product(*(s.domain for s in symbols)):
+        model = {s.name: v for s, v in zip(symbols, combo)}
+        if all(c.holds(model) for c in constraints):
+            return model
+    return None
+
+
+def feasible_values(expr: SymExpr,
+                    constraints: Sequence[Constraint]) -> List[int]:
+    """All values ``expr`` can take under the constraints (bounded)."""
+    symbols: List[Sym] = list(symbols_of(expr))
+    for c in constraints:
+        for s in symbols_of(c.expr):
+            if s not in symbols:
+                symbols.append(s)
+    if not symbols:
+        return [eval_expr(expr, {})]
+    space = 1
+    for s in symbols:
+        space *= len(s.domain)
+    if space > MAX_MODELS:
+        raise ReproError(f"symbolic domain too large ({space} models)")
+    values = set()
+    for combo in itertools.product(*(s.domain for s in symbols)):
+        model = {s.name: v for s, v in zip(symbols, combo)}
+        if all(c.holds(model) for c in constraints):
+            values.add(eval_expr(expr, model))
+    return sorted(values)
+
+
+# ---------------------------------------------------------------------------
+# The pluggable evaluator
+# ---------------------------------------------------------------------------
+
+class Fork(ReproError):
+    """A branch condition (or comparison) needs a decision."""
+
+    def __init__(self, expr: SymExpr):
+        super().__init__(f"fork on {expr!r}")
+        self.expr = expr
+
+
+class NeedConcretization(ReproError):
+    """A symbolic value is used as a concrete address / jump target."""
+
+    def __init__(self, expr: SymExpr):
+        super().__init__(f"concretization needed for {expr!r}")
+        self.expr = expr
+
+
+def _is_concrete(value: Value) -> bool:
+    return isinstance(value.val, int)
+
+
+class SymbolicEvaluator(Evaluator):
+    """Evaluator over int-or-:data:`SymExpr` payloads.
+
+    Carries the *world state*: branch decisions already taken and
+    address concretizations already committed.  The machine calls back
+    in; undecided questions surface as :class:`Fork` /
+    :class:`NeedConcretization`, which :class:`SymbolicRunner` resolves
+    by splitting or solving, then retries the (pure) step.
+    """
+
+    def __init__(self,
+                 decisions: Optional[Dict[SymExpr, bool]] = None,
+                 concretizations: Optional[Dict[SymExpr, int]] = None):
+        self.decisions: Dict[SymExpr, bool] = dict(decisions or {})
+        self.concretizations: Dict[SymExpr, int] = dict(concretizations or {})
+
+    def clone(self) -> "SymbolicEvaluator":
+        return SymbolicEvaluator(self.decisions, self.concretizations)
+
+    # -- Evaluator interface -------------------------------------------------
+
+    def evaluate(self, opcode: str, vals: Sequence[Value]) -> Value:
+        if opcode not in OPCODES:
+            raise ReproError(f"unknown opcode {opcode!r}")
+        label = join_labels(vals)
+        if all(_is_concrete(v) for v in vals):
+            _arity, fn = OPCODES[opcode]
+            return Value(fn(*(v.val for v in vals)), label)
+        return Value(App(opcode, tuple(v.val for v in vals)), label)
+
+    def address(self, vals: Sequence[Value]) -> Value:
+        label = join_labels(vals)
+        if all(_is_concrete(v) for v in vals):
+            return Value(sum_addr([v.val for v in vals]), label)
+        return Value(App("add", tuple(v.val for v in vals)), label)
+
+    def truth(self, value: Value) -> bool:
+        if _is_concrete(value):
+            return bool(value.val)
+        if value.val in self.decisions:
+            return self.decisions[value.val]
+        raise Fork(value.val)
+
+    def concretize(self, value: Value) -> int:
+        if _is_concrete(value):
+            return value.val
+        if value.val in self.concretizations:
+            return self.concretizations[value.val]
+        raise NeedConcretization(value.val)
+
+
+# ---------------------------------------------------------------------------
+# Symbolic replay of one schedule
+# ---------------------------------------------------------------------------
+
+@dataclass
+class World:
+    """One satisfiable path through a schedule."""
+
+    config: Config
+    evaluator: SymbolicEvaluator
+    constraints: List[Constraint]
+    trace: List[Observation]
+    consumed: int = 0           #: directives executed so far
+    stuck: bool = False         #: schedule became ill-formed here
+
+    def model(self) -> Optional[Dict[str, int]]:
+        return solve(self.constraints)
+
+
+@dataclass(frozen=True)
+class SymbolicFinding:
+    """A secret observation plus an input model that reaches it."""
+
+    observation: Observation
+    schedule: Schedule
+    constraints: Tuple[Constraint, ...]
+    model: Dict[str, int]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"SymbolicFinding({self.observation!r} with "
+                f"{self.model})")
+
+
+class SymbolicRunner:
+    """Replays directive schedules with symbolic inputs."""
+
+    def __init__(self, program: Program, max_worlds: int = 256):
+        self.program = program
+        self.max_worlds = max_worlds
+
+    def run(self, config: Config, schedule: Schedule) -> List[World]:
+        """All satisfiable worlds after replaying ``schedule``.
+
+        Worlds where the schedule gets stuck early are kept (marked
+        ``stuck``) — under Definition 3.1 those pairs are vacuous, but
+        their partial traces matter for flagging.
+        """
+        worlds = [World(config, SymbolicEvaluator(), [], [])]
+        done: List[World] = []
+        while worlds:
+            world = worlds.pop()
+            if world.consumed >= len(schedule) or world.stuck:
+                done.append(world)
+                continue
+            directive = schedule[world.consumed]
+            machine = Machine(self.program, evaluator=world.evaluator)
+            try:
+                nxt, leak = machine.step(world.config, directive)
+            except Fork as fork:
+                for truthy in (True, False):
+                    branch = self._decide(world, fork.expr, truthy)
+                    if branch is not None:
+                        worlds.append(branch)
+                        if len(worlds) + len(done) > self.max_worlds:
+                            raise ReproError("too many symbolic worlds")
+                continue
+            except NeedConcretization as need:
+                worlds.extend(self._concretize(world, need.expr))
+                if len(worlds) + len(done) > self.max_worlds:
+                    raise ReproError("too many symbolic worlds")
+                continue
+            except StuckError:
+                world.stuck = True
+                done.append(world)
+                continue
+            world.config = nxt
+            world.trace.extend(leak)
+            world.consumed += 1
+            worlds.append(world)
+        return done
+
+    def _decide(self, world: World, expr: SymExpr,
+                truthy: bool) -> Optional[World]:
+        constraints = world.constraints + [Constraint(expr, truthy)]
+        if solve(constraints) is None:
+            return None
+        ev = world.evaluator.clone()
+        ev.decisions[expr] = truthy
+        return World(world.config, ev, constraints, list(world.trace),
+                     world.consumed, world.stuck)
+
+    def _concretize(self, world: World, expr: SymExpr) -> List[World]:
+        """angr-style address concretization.
+
+        angr's default strategy commits a symbolic address to its
+        *maximum* satisfiable value — which is what surfaces
+        out-of-bounds accesses.  We fork one world per extreme value
+        (max and, when different, min) and pin the address there.
+        """
+        values = feasible_values(expr, world.constraints)
+        picks: List[int] = []
+        if values:
+            picks = [min(values), max(values)]
+            # Strategy refinement over plain angr min/max: if feasible
+            # values land in memory the policy marks secret, try those
+            # too — the tool knows the secrecy layout (§4.2.1: inputs
+            # are annotated), so aiming reads at annotated ranges is the
+            # natural concretization for leak-finding.
+            mem = world.config.mem
+            secret_hits = [v for v in values
+                           if mem.is_mapped(v) and not mem.read(v).is_public()]
+            picks += secret_hits[:4]
+        picks = sorted(set(picks))
+        out: List[World] = []
+        for value in picks:
+            ev = world.evaluator.clone()
+            ev.concretizations[expr] = value
+            eq = App("eq", (expr, value))
+            out.append(World(world.config, ev,
+                             world.constraints + [Constraint(eq, True)],
+                             list(world.trace), world.consumed,
+                             world.stuck))
+        return out
+
+
+# ---------------------------------------------------------------------------
+# The combined pipeline
+# ---------------------------------------------------------------------------
+
+def representative_config(config: Config) -> Config:
+    """Replace every symbolic payload by its first domain element (the
+    concrete run used to enumerate schedules)."""
+    regs = {}
+    for r, v in config.regs.items():
+        if isinstance(v.val, Sym):
+            regs[r] = Value(v.val.domain[0], v.label)
+        else:
+            regs[r] = v
+    mem = config.mem
+    for addr in list(mem.addresses()):
+        v = mem.read(addr)
+        if isinstance(v.val, Sym):
+            mem = mem.write(addr, Value(v.val.domain[0], v.label))
+    return config.with_(regs=regs, mem=mem)
+
+
+def analyze_symbolic(program: Program, config: Config,
+                     bound: int = 16, fwd_hazards: bool = False,
+                     max_schedules: int = 512,
+                     max_worlds: int = 256) -> List[SymbolicFinding]:
+    """Pitchfork with its symbolic back end.
+
+    Enumerates tool schedules on a concrete representative, then replays
+    each schedule symbolically, returning every secret-labelled
+    observation together with a solved attacker-input model.
+    """
+    rep = representative_config(config)
+    machine = Machine(program)
+    schedules = enumerate_schedules(machine, rep, bound=bound,
+                                    fwd_hazards=fwd_hazards,
+                                    max_paths=max_schedules,
+                                    assume_unknown_branches=True)
+    runner = SymbolicRunner(program, max_worlds=max_worlds)
+    findings: List[SymbolicFinding] = []
+    for schedule in schedules:
+        for world in runner.run(config, schedule):
+            leaks = secret_observations(tuple(world.trace))
+            if not leaks:
+                continue
+            model = world.model()
+            if model is None:
+                continue
+            for obs in leaks:
+                findings.append(SymbolicFinding(
+                    obs, schedule, tuple(world.constraints), model))
+    return findings

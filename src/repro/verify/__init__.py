@@ -1,0 +1,15 @@
+"""Executable metatheory (Appendix B) and random generators."""
+
+from .generators import (random_config, random_program, random_schedule)
+from .theorems import (MetatheoryStats, TheoremCheck, check_consistency,
+                       check_determinism, check_label_stability,
+                       check_sequential_equivalence, check_tool_soundness,
+                       run_experiments)
+
+__all__ = [
+    "random_config", "random_program", "random_schedule",
+    "MetatheoryStats", "TheoremCheck", "check_consistency",
+    "check_determinism", "check_label_stability",
+    "check_sequential_equivalence", "check_tool_soundness",
+    "run_experiments",
+]

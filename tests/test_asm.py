@@ -1,0 +1,176 @@
+"""Unit tests for the assembly front end (parser, assembler, builder,
+disassembler)."""
+
+import pytest
+
+from repro.asm import (ProgramBuilder, assemble, disassemble,
+                       format_instruction, parse)
+from repro.core.errors import AssemblerError
+from repro.core.isa import (Br, Call, Fence, Jmpi, Load, Op, Ret, Store)
+from repro.core.lattice import SECRET
+from repro.core.values import Reg, Value
+
+
+class TestParser:
+    def test_comments_and_blank_lines(self):
+        p = parse("; hello\n# world\n\nret\n")
+        assert len(p.instrs) == 1
+
+    def test_labels(self):
+        p = parse("a: b: ret")
+        assert p.labels == {"a": 0, "b": 0}
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(AssemblerError):
+            parse("a: ret\na: ret")
+
+    def test_entry_directive(self):
+        p = parse(".entry main\nmain: ret")
+        assert p.entry == "main"
+
+    def test_op_args(self):
+        p = parse("%ra = op add, %rb, 3, 0x10")
+        (i,) = p.instrs
+        assert i.kind == "op" and i.opcode == "add"
+        assert i.args == (Reg("rb"), Value(3), Value(0x10))
+
+    def test_unknown_opcode_rejected(self):
+        with pytest.raises(AssemblerError):
+            parse("%ra = op bogus, 1")
+
+    def test_secret_immediate(self):
+        p = parse("store secret(7), [0x40]")
+        assert p.instrs[0].src == Value(7, SECRET)
+
+    def test_negative_int(self):
+        p = parse("%ra = op add, %ra, -1")
+        assert p.instrs[0].args[1].val == -1
+
+    def test_load_brackets(self):
+        p = parse("%ra = load [0x40, %rb]")
+        assert p.instrs[0].args == (Value(0x40), Reg("rb"))
+
+    def test_junk_after_brackets_rejected(self):
+        with pytest.raises(AssemblerError):
+            parse("%ra = load [0x40] junk")
+
+    def test_br_targets(self):
+        p = parse("br lt, %ra, 4 -> yes, 9")
+        assert p.instrs[0].targets == ("yes", 9)
+
+    def test_br_needs_two_targets(self):
+        with pytest.raises(AssemblerError):
+            parse("br lt, %ra, 4 -> only_one")
+
+    def test_bad_operand_rejected(self):
+        with pytest.raises(AssemblerError):
+            parse("%ra = op add, @wat")
+
+    def test_empty_program_rejected(self):
+        with pytest.raises(AssemblerError):
+            parse("; nothing here")
+
+
+class TestAssembler:
+    def test_sequential_layout_from_base(self):
+        p = assemble("ret\nret", base=5)
+        assert sorted(p.points()) == [5, 6]
+
+    def test_fallthrough_next(self):
+        p = assemble("%ra = op mov, 1\nret")
+        assert p[1].next == 2
+
+    def test_label_resolution(self):
+        p = assemble("br eq, 0, 0 -> end, end\nend: halt")
+        assert p[1].n_true == 2
+
+    def test_halt_reserves_unmapped_point(self):
+        p = assemble("%ra = op mov, 1\nhalt")
+        assert p.get(2) is None
+
+    def test_undefined_label_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble("br eq, 0, 0 -> nowhere, nowhere")
+
+    def test_call_default_return(self):
+        p = assemble("call f\nhalt\nf: ret")
+        assert p[1] == Call(3, 2)
+
+    def test_call_explicit_return(self):
+        p = assemble("call f, 9\nhalt\nf: ret")
+        assert p[1].ret == 9
+
+    def test_fence_self(self):
+        p = assemble("fence self\nhalt")
+        assert p[1] == Fence(1)
+
+    def test_entry(self):
+        p = assemble(".entry main\nf: ret\nmain: halt")
+        assert p.entry == 2
+
+
+class TestBuilder:
+    def test_roundtrip_equivalent_to_assembler(self):
+        src = assemble("""
+            br gt, 4, %ra -> body, done
+            body: %rb = load [0x40, %ra]
+            %rc = load [0x44, %rb]
+            done: halt
+        """)
+        b = ProgramBuilder()
+        b.br("gt", [4, "ra"], "body", "done")
+        b.label("body").load("rb", [0x40, "ra"])
+        b.load("rc", [0x44, "rb"])
+        b.label("done").halt()
+        built = b.build()
+        assert dict(built.items()) == dict(src.items())
+
+    def test_here_tracks_next_point(self):
+        b = ProgramBuilder(base=10)
+        assert b.here() == 10
+        b.mov("ra", 1)
+        assert b.here() == 11
+
+    def test_duplicate_label_rejected(self):
+        b = ProgramBuilder().label("x")
+        with pytest.raises(AssemblerError):
+            b.label("x")
+
+    def test_entry_by_label(self):
+        b = ProgramBuilder()
+        b.mov("ra", 1)
+        b.label("main").mov("rb", 2)
+        assert b.build(entry="main").entry == 2
+
+    def test_store_with_immediate(self):
+        b = ProgramBuilder().store(5, [0x40])
+        p = b.build()
+        assert p[1].src == Value(5)
+
+
+class TestDisasm:
+    def test_roundtrip_text(self):
+        p = assemble("""
+            check: br gt, 4, %ra -> body, done
+            body: %rb = load [0x40, %ra]
+            store %rb, [0x50]
+            jmpi [%rb]
+            call f, 6
+            done: fence
+            f: ret
+        """)
+        text = disassemble(p)
+        assert "br gt, 4, %ra -> body, done" in text
+        assert "%rb = load [64, %ra]" in text
+        assert "jmpi [%rb]" in text
+        assert "ret" in text
+
+    def test_format_secret_immediate(self):
+        p = assemble("store secret(7), [0x40]")
+        assert "secret(7)" in format_instruction(p, 1)
+
+    def test_window_around_point(self):
+        p = assemble("\n".join("%ra = op mov, 1" for _ in range(10)) + "\nhalt")
+        text = disassemble(p, around=5, context=1)
+        assert "-->" in text
+        assert text.count("\n") == 2  # points 4, 5, 6

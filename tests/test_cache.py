@@ -1,0 +1,110 @@
+"""Tests for the cache model and cache-timing attackers."""
+
+import pytest
+
+from repro.cache import (Cache, CacheConfig, FlushReload, PrimeProbe,
+                         ProbeArray, addresses_touching_cache, build_setup,
+                         recover_unique, replay, run_attack)
+from repro.core import Fwd, Jump, PUBLIC, Read, Write
+
+
+class TestCacheModel:
+    def test_miss_then_hit(self):
+        c = Cache(CacheConfig(sets=4, ways=2, line_size=4))
+        assert c.access(0x40) is False
+        assert c.access(0x41) is True  # same line
+        assert (c.hits, c.misses) == (1, 1)
+
+    def test_eviction_lru(self):
+        cfg = CacheConfig(sets=1, ways=2, line_size=4)
+        c = Cache(cfg)
+        c.access(0x00)
+        c.access(0x10)
+        c.access(0x00)       # refresh 0x00
+        c.access(0x20)       # evicts 0x10 under LRU
+        assert c.probe(0x00) and not c.probe(0x10)
+
+    def test_eviction_fifo(self):
+        cfg = CacheConfig(sets=1, ways=2, line_size=4, policy="FIFO")
+        c = Cache(cfg)
+        c.access(0x00)
+        c.access(0x10)
+        c.access(0x00)       # does not refresh under FIFO
+        c.access(0x20)       # evicts 0x00
+        assert not c.probe(0x00) and c.probe(0x10)
+
+    def test_flush(self):
+        c = Cache(CacheConfig())
+        c.access(0x40)
+        c.flush(0x40)
+        assert not c.probe(0x40)
+
+    def test_bad_policy_rejected(self):
+        with pytest.raises(ValueError):
+            CacheConfig(policy="RANDOM")
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            CacheConfig(sets=0)
+
+
+class TestReplay:
+    def test_reads_and_writes_touch(self):
+        trace = (Read(0x40, PUBLIC), Write(0x80, PUBLIC))
+        assert addresses_touching_cache(trace) == [0x40, 0x80]
+
+    def test_fwd_and_jump_do_not_touch(self):
+        trace = (Fwd(0x40, PUBLIC), Jump(7, PUBLIC))
+        assert addresses_touching_cache(trace) == []
+
+    def test_replay_is_function_of_trace(self):
+        """The paper's §3.1 claim: cache state = fold(observations)."""
+        trace = (Read(0x40, PUBLIC), Read(0x80, PUBLIC), Write(0x40, PUBLIC))
+        a = replay(trace)
+        b = replay(trace)
+        assert a == b
+
+    def test_different_traces_different_states(self):
+        a = replay((Read(0x40, PUBLIC),))
+        b = replay((Read(0x80000, PUBLIC),))
+        assert a != b
+
+
+class TestAttackers:
+    def test_flush_reload_recovers_single_touch(self):
+        probe = ProbeArray(0x1000, 64, tuple(range(16)))
+        fr = FlushReload(probe)
+        trace = (Read(probe.addr_of(11), PUBLIC),)
+        assert fr.recover(trace) == [11]
+
+    def test_flush_reload_silent_on_cold_cache(self):
+        probe = ProbeArray(0x1000, 64, tuple(range(16)))
+        assert FlushReload(probe).recover(()) == []
+
+    def test_prime_probe_detects_eviction(self):
+        probe = ProbeArray(0x1000, 64, tuple(range(8)))
+        pp = PrimeProbe(probe, CacheConfig(sets=16, ways=2, line_size=64))
+        trace = (Read(probe.addr_of(5), PUBLIC),)
+        assert 5 in pp.recover(trace)
+
+    def test_recover_unique(self):
+        probe = ProbeArray(0x1000, 64, tuple(range(4)))
+        fr = FlushReload(probe)
+        assert recover_unique(fr, (Read(probe.addr_of(2), PUBLIC),)) == 2
+        two = (Read(probe.addr_of(1), PUBLIC), Read(probe.addr_of(2), PUBLIC))
+        assert recover_unique(fr, two) is None
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize("secret", [0x00, 0x42, 0xA2, 0xFF])
+    def test_spectre_v1_recovers_key_byte(self, secret):
+        setup = build_setup(secret_byte=secret)
+        assert run_attack(setup) == secret
+
+    def test_architectural_run_reveals_nothing(self):
+        """Without the attack schedule (sequential run), the probe array
+        stays cold: recovery fails."""
+        from repro.core import run_sequential
+        setup = build_setup(secret_byte=0x42)
+        seq = run_sequential(setup.machine, setup.config)
+        assert setup.attacker.recover(seq.trace) == []

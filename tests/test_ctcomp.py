@@ -1,0 +1,266 @@
+"""Tests for the MiniCT language, type system, and both compiler
+pipelines."""
+
+import pytest
+
+from repro.core import (Config, Jump, Machine, Memory, PUBLIC, SECRET,
+                        run_sequential, secret_observations)
+from repro.core.errors import CompileError
+from repro.ctcomp import (ArrayDecl, Assign, BinOp, CallStmt, Const,
+                          FenceStmt, Func, If, Index, Module, Select,
+                          StoreStmt, UnOp, Var, VarDecl, While,
+                          check_module, compile_module, count_fences,
+                          expr_label, insert_fences, retpolinize,
+                          type_report)
+from repro.ctcomp.typing import TypeEnv
+from repro.pitchfork import analyze
+
+
+def _simple_module(stmts, variables=(), arrays=(), funcs=()):
+    return Module("m", funcs=(Func("main", tuple(stmts)),) + tuple(funcs),
+                  variables=tuple(variables), arrays=tuple(arrays))
+
+
+class TestTyping:
+    def test_expr_labels(self):
+        env = TypeEnv({"x": PUBLIC, "k": SECRET}, {"a": SECRET})
+        assert expr_label(Const(1), env) == PUBLIC
+        assert expr_label(Var("k"), env) == SECRET
+        assert expr_label(BinOp("add", Var("x"), Var("k")), env) == SECRET
+        assert expr_label(Index("a", Var("x")), env) == SECRET
+        assert expr_label(Select(Var("k"), Const(1), Const(2)), env) == SECRET
+
+    def test_undeclared_variable(self):
+        mod = _simple_module([Assign("x", Const(1))])
+        with pytest.raises(CompileError):
+            check_module(mod)
+
+    def test_illegal_flow_secret_into_public(self):
+        mod = _simple_module(
+            [Assign("x", Var("k"))],
+            variables=[VarDecl("x", PUBLIC), VarDecl("k", SECRET)])
+        with pytest.raises(CompileError):
+            check_module(mod)
+
+    def test_secret_loop_rejected(self):
+        mod = _simple_module(
+            [While(BinOp("ltu", Var("k"), Const(4)), ())],
+            variables=[VarDecl("k", SECRET)])
+        with pytest.raises(CompileError):
+            check_module(mod)
+
+    def test_secret_branch_reported(self):
+        mod = _simple_module(
+            [If(BinOp("ltu", Var("k"), Const(4)),
+                then=(Assign("k", Const(0)),))],
+            variables=[VarDecl("k", SECRET)])
+        report = type_report(mod)
+        assert report.secret_branch_sites == ("main",)
+        assert not report.classically_ct
+
+    def test_secret_index_reported(self):
+        mod = _simple_module(
+            [Assign("k", Index("a", Var("k")))],
+            variables=[VarDecl("k", SECRET)],
+            arrays=[ArrayDecl("a", 4, SECRET)])
+        report = type_report(mod)
+        assert report.secret_index_sites == ("main",)
+
+    def test_clean_module(self):
+        mod = _simple_module(
+            [Assign("x", BinOp("add", Var("x"), Const(1)))],
+            variables=[VarDecl("x", PUBLIC)])
+        assert type_report(mod).classically_ct
+
+
+class TestLoweringBasics:
+    def test_assign_and_arith(self):
+        mod = _simple_module(
+            [Assign("x", BinOp("add", Const(2), Const(3)))],
+            variables=[VarDecl("x", PUBLIC)])
+        cm = compile_module(mod)
+        m = Machine(cm.program)
+        seq = run_sequential(m, cm.initial_config())
+        assert seq.final.reg(cm.var_regs["x"]).val == 5
+
+    def test_array_store_load(self):
+        mod = _simple_module(
+            [StoreStmt("a", Const(1), Const(42)),
+             Assign("x", Index("a", Const(1)))],
+            variables=[VarDecl("x", PUBLIC)],
+            arrays=[ArrayDecl("a", 4, PUBLIC)])
+        cm = compile_module(mod)
+        seq = run_sequential(Machine(cm.program), cm.initial_config())
+        assert seq.final.reg(cm.var_regs["x"]).val == 42
+        assert seq.final.mem.read(cm.addr_of("a", 1)).val == 42
+
+    def test_while_loop(self):
+        mod = _simple_module(
+            [Assign("i", Const(0)), Assign("acc", Const(0)),
+             While(BinOp("ltu", Var("i"), Const(5)), (
+                 Assign("acc", BinOp("add", Var("acc"), Var("i"))),
+                 Assign("i", BinOp("add", Var("i"), Const(1)))))],
+            variables=[VarDecl("i", PUBLIC), VarDecl("acc", PUBLIC)])
+        cm = compile_module(mod)
+        seq = run_sequential(Machine(cm.program), cm.initial_config())
+        assert seq.final.reg(cm.var_regs["acc"]).val == 10
+
+    def test_public_if_both_arms(self):
+        for x, expected in ((1, 10), (5, 20)):
+            mod = _simple_module(
+                [If(BinOp("ltu", Var("x"), Const(3)),
+                    then=(Assign("y", Const(10)),),
+                    other=(Assign("y", Const(20)),))],
+                variables=[VarDecl("x", PUBLIC, x), VarDecl("y", PUBLIC)])
+            cm = compile_module(mod)
+            seq = run_sequential(Machine(cm.program), cm.initial_config())
+            assert seq.final.reg(cm.var_regs["y"]).val == expected
+
+    def test_function_call(self):
+        mod = Module("m", funcs=(
+            Func("main", (Assign("x", Const(1)), CallStmt("helper"))),
+            Func("helper", (Assign("x", BinOp("add", Var("x"), Const(9))),)),
+        ), variables=(VarDecl("x", PUBLIC),))
+        cm = compile_module(mod)
+        seq = run_sequential(Machine(cm.program), cm.initial_config())
+        assert seq.final.reg(cm.var_regs["x"]).val == 10
+
+    def test_register_hint_sharing(self):
+        mod = _simple_module(
+            [Assign("b", Const(9))],
+            variables=[VarDecl("a", PUBLIC, 7, reg_hint="rx"),
+                       VarDecl("b", PUBLIC, 0, reg_hint="rx")])
+        cm = compile_module(mod)
+        assert cm.var_regs["a"] == cm.var_regs["b"] == "rx"
+        assert cm.initial_config().reg("rx").val == 7  # first decl wins
+
+    def test_fence_statement(self):
+        mod = _simple_module([FenceStmt()])
+        cm = compile_module(mod)
+        assert count_fences(cm.program) == 1
+
+
+class TestFactPipeline:
+    def _clamp_module(self):
+        return _simple_module(
+            [If(BinOp("gt", Var("pad"), Const(3)),
+                then=(Assign("pad", Const(3)), Assign("flag", Const(0))))],
+            variables=[VarDecl("pad", SECRET, 9), VarDecl("flag", SECRET, 1)])
+
+    def test_c_style_branches_on_secret(self):
+        cm = compile_module(self._clamp_module(), style="c")
+        seq = run_sequential(Machine(cm.program), cm.initial_config())
+        jumps = [o for o in seq.trace if isinstance(o, Jump)]
+        assert any(j.label == SECRET for j in jumps)
+
+    def test_fact_style_is_branch_free(self):
+        cm = compile_module(self._clamp_module(), style="fact")
+        seq = run_sequential(Machine(cm.program), cm.initial_config())
+        assert not secret_observations(seq.trace)
+
+    def test_fact_semantics_match_c(self):
+        for pad0 in (1, 9):
+            results = {}
+            for style in ("c", "fact"):
+                cm = compile_module(self._clamp_module(), style=style)
+                seq = run_sequential(
+                    Machine(cm.program),
+                    cm.initial_config(var_overrides={"pad": pad0}))
+                results[style] = (seq.final.reg(cm.var_regs["pad"]).val,
+                                  seq.final.reg(cm.var_regs["flag"]).val)
+            assert results["c"] == results["fact"]
+
+    def test_fact_store_in_secret_branch(self):
+        mod = _simple_module(
+            [If(BinOp("eq", Var("k"), Const(1)),
+                then=(StoreStmt("a", Const(0), Const(7)),))],
+            variables=[VarDecl("k", SECRET, 1)],
+            arrays=[ArrayDecl("a", 2, SECRET, (5, 5))])
+        for k0, expected in ((1, 7), (0, 5)):
+            cm = compile_module(mod, style="fact")
+            seq = run_sequential(
+                Machine(cm.program),
+                cm.initial_config(var_overrides={"k": k0}))
+            assert seq.final.mem.read(cm.addr_of("a")).val == expected
+
+    def test_fact_nested_control_rejected(self):
+        mod = _simple_module(
+            [If(BinOp("eq", Var("k"), Const(1)),
+                then=(If(BinOp("eq", Var("k"), Const(2)), ()),))],
+            variables=[VarDecl("k", SECRET)])
+        with pytest.raises(CompileError):
+            compile_module(mod, style="fact")
+
+    def test_fact_passes_pitchfork(self):
+        cm = compile_module(self._clamp_module(), style="fact")
+        report = analyze(cm.program, cm.initial_config(), bound=16,
+                         fwd_hazards=False)
+        assert report.secure
+
+    def test_c_flagged_by_pitchfork(self):
+        cm = compile_module(self._clamp_module(), style="c")
+        report = analyze(cm.program, cm.initial_config(), bound=16,
+                         fwd_hazards=False)
+        assert not report.secure
+
+
+class TestPasses:
+    def test_insert_fences_blocks_v1(self):
+        from repro.litmus import find_case
+        case = find_case("v1_fig1")
+        fenced = insert_fences(case.program)
+        assert count_fences(fenced) == 2
+        report = analyze(fenced, case.config(), bound=16, fwd_hazards=False)
+        assert report.secure
+
+    def test_insert_fences_preserves_semantics(self):
+        from repro.litmus import find_case
+        case = find_case("v1_fig1")
+        m0 = Machine(case.program)
+        m1 = Machine(insert_fences(case.program))
+        s0 = run_sequential(m0, case.config())
+        s1 = run_sequential(m1, case.config())
+        assert s0.final.regs == s1.final.regs
+        assert s0.final.mem == s1.final.mem
+
+    def test_retpolinize_replaces_jmpi(self):
+        from repro.core.isa import Jmpi
+        from repro.litmus import find_case
+        case = find_case("v2_fig11")
+        transformed = retpolinize(case.program)
+        assert not any(isinstance(i, Jmpi)
+                       for _n, i in transformed.items())
+
+    def test_retpolinized_v2_is_secure(self):
+        """The Fig 11 attack dies once the jmpi becomes a retpoline."""
+        from repro.litmus import find_case
+        case = find_case("v2_fig11")
+        transformed = retpolinize(case.program)
+        config = case.config().with_(
+            regs={**case.config().regs},
+        )
+        # the retpoline needs a stack
+        from repro.core import Memory, Region, Value, Reg
+        mem = case.config().mem.with_region(
+            Region("stack", 0x200, 8, PUBLIC), None)
+        regs = dict(case.config().regs)
+        regs[Reg("rsp")] = Value(0x207)
+        config = case.config().with_(regs=regs, mem=mem)
+        report = analyze(transformed, config, bound=16, fwd_hazards=False,
+                         jmpi_targets=case.jmpi_targets)
+        assert report.secure
+
+    def test_retpolinized_jump_reaches_computed_target(self):
+        from repro.core import Memory, Region, Value, Reg
+        from repro.litmus import find_case
+        case = find_case("v2_fig11")
+        transformed = retpolinize(case.program)
+        mem = case.config().mem.with_region(
+            Region("stack", 0x200, 8, PUBLIC), None)
+        regs = dict(case.config().regs)
+        regs[Reg("rsp")] = Value(0x207)
+        config = case.config().with_(regs=regs, mem=mem)
+        seq = run_sequential(Machine(transformed), config, max_retires=60)
+        # architectural behaviour unchanged: execution reaches point 20
+        jumps = [o for o in seq.trace if isinstance(o, Jump)]
+        assert any(j.target == 20 for j in jumps)

@@ -1,0 +1,180 @@
+"""Extended MiniCT tests: fence pipeline, selects, overrides, and the
+compiled modules' interaction with the detector."""
+
+import pytest
+
+from repro.core import (Jump, Machine, PUBLIC, SECRET, run_sequential,
+                        secret_observations)
+from repro.ctcomp import (ArrayDecl, Assign, BinOp, Const, FenceStmt, Func,
+                          If, Index, Module, Select, StoreStmt, UnOp, Var,
+                          VarDecl, While, compile_module, count_fences)
+from repro.pitchfork import analyze
+
+
+def _module(stmts, variables=(), arrays=()):
+    return Module("m", funcs=(Func("main", tuple(stmts)),),
+                  variables=tuple(variables), arrays=tuple(arrays))
+
+
+class TestSelectAndUnops:
+    def test_select_expression(self):
+        mod = _module(
+            [Assign("y", Select(BinOp("ltu", Var("x"), Const(3)),
+                                Const(10), Const(20)))],
+            variables=[VarDecl("x", PUBLIC, 1), VarDecl("y", PUBLIC)])
+        cm = compile_module(mod)
+        seq = run_sequential(Machine(cm.program), cm.initial_config())
+        assert seq.final.reg(cm.var_regs["y"]).val == 10
+
+    def test_select_is_branch_free_on_secret(self):
+        mod = _module(
+            [Assign("y", Select(BinOp("ltu", Var("k"), Const(3)),
+                                Const(10), Const(20)))],
+            variables=[VarDecl("k", SECRET, 1), VarDecl("y", SECRET)])
+        cm = compile_module(mod, style="c")   # even the C pipeline!
+        seq = run_sequential(Machine(cm.program), cm.initial_config())
+        assert not any(isinstance(o, Jump) and o.label == SECRET
+                       for o in seq.trace)
+
+    def test_unop_mask(self):
+        mod = _module(
+            [Assign("m", UnOp("mask", Var("x"))),
+             Assign("y", BinOp("and", Var("v"), Var("m")))],
+            variables=[VarDecl("x", PUBLIC, 1), VarDecl("m", PUBLIC),
+                       VarDecl("v", PUBLIC, 0xAB), VarDecl("y", PUBLIC)])
+        cm = compile_module(mod)
+        seq = run_sequential(Machine(cm.program), cm.initial_config())
+        assert seq.final.reg(cm.var_regs["y"]).val == 0xAB
+
+    def test_unop_not(self):
+        mod = _module(
+            [Assign("y", UnOp("neg", Var("x")))],
+            variables=[VarDecl("x", PUBLIC, 1), VarDecl("y", PUBLIC)])
+        cm = compile_module(mod)
+        seq = run_sequential(Machine(cm.program), cm.initial_config())
+        assert seq.final.reg(cm.var_regs["y"]).val == (1 << 64) - 1
+
+
+class TestFencePipeline:
+    def _guarded_access(self):
+        # layout: a (public) directly followed by k (secret), so the
+        # speculative out-of-bounds a[5] reads key material.
+        return _module(
+            [If(BinOp("ltu", Var("x"), Const(4)),
+                then=(Assign("v", Index("a", Var("x"))),
+                      Assign("t", Index("b", Var("v")))))],
+            variables=[VarDecl("x", PUBLIC, 5), VarDecl("v", SECRET),
+                       VarDecl("t", SECRET)],
+            arrays=[ArrayDecl("a", 4, PUBLIC, (1, 2, 3, 0)),
+                    ArrayDecl("k", 4, SECRET, (7, 7, 7, 7)),
+                    ArrayDecl("b", 64, PUBLIC, None)])
+
+    def test_unfenced_compile_is_vulnerable(self):
+        cm = compile_module(self._guarded_access(), style="c")
+        report = analyze(cm.program, cm.initial_config(), bound=16,
+                         fwd_hazards=False)
+        assert not report.secure
+
+    def test_fenced_compile_is_secure(self):
+        cm = compile_module(self._guarded_access(), style="c", fences=True)
+        assert count_fences(cm.program) >= 2
+        report = analyze(cm.program, cm.initial_config(), bound=16,
+                         fwd_hazards=False)
+        assert report.secure
+
+    def test_fenced_compile_preserves_semantics(self):
+        plain = compile_module(self._guarded_access(), style="c")
+        fenced = compile_module(self._guarded_access(), style="c",
+                                fences=True)
+        s0 = run_sequential(Machine(plain.program), plain.initial_config())
+        s1 = run_sequential(Machine(fenced.program),
+                            fenced.initial_config())
+        assert s0.final.regs == s1.final.regs
+
+    def test_fences_in_while_loops(self):
+        mod = _module(
+            [Assign("i", Const(0)),
+             While(BinOp("ltu", Var("i"), Const(3)),
+                   (Assign("i", BinOp("add", Var("i"), Const(1))),))],
+            variables=[VarDecl("i", PUBLIC)])
+        cm = compile_module(mod, fences=True)
+        assert count_fences(cm.program) >= 1
+        seq = run_sequential(Machine(cm.program), cm.initial_config())
+        assert seq.final.reg(cm.var_regs["i"]).val == 3
+
+
+class TestOverrides:
+    def test_var_override(self):
+        mod = _module(
+            [Assign("y", BinOp("add", Var("x"), Const(1)))],
+            variables=[VarDecl("x", PUBLIC, 1), VarDecl("y", PUBLIC)])
+        cm = compile_module(mod)
+        cfg = cm.initial_config(var_overrides={"x": 41})
+        seq = run_sequential(Machine(cm.program), cfg)
+        assert seq.final.reg(cm.var_regs["y"]).val == 42
+
+    def test_mem_override(self):
+        mod = _module(
+            [Assign("y", Index("a", Const(0)))],
+            variables=[VarDecl("y", SECRET)],
+            arrays=[ArrayDecl("a", 2, SECRET, (1, 2))])
+        cm = compile_module(mod)
+        cfg = cm.initial_config(mem_overrides={"a": [9, 9]})
+        seq = run_sequential(Machine(cm.program), cfg)
+        assert seq.final.reg(cm.var_regs["y"]).val == 9
+
+    def test_label_preserved_under_override(self):
+        mod = _module(
+            [Assign("y", Index("a", Const(0)))],
+            variables=[VarDecl("y", SECRET)],
+            arrays=[ArrayDecl("a", 2, SECRET, (1, 2))])
+        cm = compile_module(mod)
+        cfg = cm.initial_config(mem_overrides={"a": [9, 9]})
+        assert cfg.mem.read(cm.addr_of("a")).label == SECRET
+
+    def test_pinned_array_base(self):
+        mod = _module(
+            [Assign("y", Index("a", Const(0)))],
+            variables=[VarDecl("y", PUBLIC)],
+            arrays=[ArrayDecl("a", 2, PUBLIC, (5, 6), base=0x200)])
+        cm = compile_module(mod)
+        assert cm.addr_of("a") == 0x200
+        seq = run_sequential(Machine(cm.program), cm.initial_config())
+        assert seq.final.reg(cm.var_regs["y"]).val == 5
+
+
+class TestSCTOnCompiledModules:
+    def test_fact_build_satisfies_sct_definition(self):
+        """Definition 3.1 checked on a FaCT-compiled module."""
+        from repro.core import check_sct, secret_variations
+        from repro.pitchfork import enumerate_schedules
+        mod = _module(
+            [Assign("pad", Index("out", Const(3))),
+             If(BinOp("gt", Var("pad"), Const(1)),
+                then=(Assign("pad", Const(1)),))],
+            variables=[VarDecl("pad", SECRET)],
+            arrays=[ArrayDecl("out", 4, SECRET, (9, 9, 9, 9))])
+        cm = compile_module(mod, style="fact")
+        machine = Machine(cm.program)
+        config = cm.initial_config()
+        schedules = enumerate_schedules(machine, config, bound=10,
+                                        fwd_hazards=False)
+        result = check_sct(machine, config, schedules)
+        assert result.ok
+
+    def test_c_build_violates_sct_definition(self):
+        from repro.core import check_sct
+        from repro.pitchfork import enumerate_schedules
+        mod = _module(
+            [Assign("pad", Index("out", Const(3))),
+             If(BinOp("gt", Var("pad"), Const(1)),
+                then=(Assign("pad", Const(1)),))],
+            variables=[VarDecl("pad", SECRET)],
+            arrays=[ArrayDecl("out", 4, SECRET, (9, 9, 9, 9))])
+        cm = compile_module(mod, style="c")
+        machine = Machine(cm.program)
+        config = cm.initial_config()
+        schedules = enumerate_schedules(machine, config, bound=10,
+                                        fwd_hazards=False)
+        result = check_sct(machine, config, schedules)
+        assert not result.ok

@@ -1,0 +1,137 @@
+"""Tests for the big-step executor and sequential execution (Thm 3.2 side)."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.core import (Config, Machine, Memory, RETIRE, StuckError, drain,
+                        execute, fetch, is_well_formed, run, run_sequential,
+                        check_sequential_ct)
+from repro.core.directives import retire_count
+from repro.core.lattice import PUBLIC, SECRET
+from repro.core.memory import layout
+from repro.core.values import Value, secret
+
+
+def _m(src):
+    return Machine(assemble(src))
+
+
+class TestRun:
+    def test_counts_retires(self):
+        m = _m("%ra = op mov, 1\nhalt")
+        res = run(m, Config.initial({}, Memory(), 1),
+                  [fetch(), execute(1), RETIRE])
+        assert res.retired == 1
+
+    def test_stuck_error_reports_step(self):
+        m = _m("%ra = op mov, 1\nhalt")
+        with pytest.raises(StuckError) as exc:
+            run(m, Config.initial({}, Memory(), 1), [fetch(), RETIRE])
+        assert "step 1" in str(exc.value)
+
+    def test_is_well_formed(self):
+        m = _m("%ra = op mov, 1\nhalt")
+        c = Config.initial({}, Memory(), 1)
+        assert is_well_formed(m, c, [fetch(), execute(1), RETIRE])
+        assert not is_well_formed(m, c, [fetch(), RETIRE])
+
+    def test_steps_recorded(self):
+        m = _m("%ra = op mov, 1\nhalt")
+        res = run(m, Config.initial({}, Memory(), 1), [fetch(), execute(1)])
+        assert len(res.steps) == 2
+        assert res.steps[0].directive == fetch()
+
+    def test_retire_count_helper(self):
+        assert retire_count((fetch(), RETIRE, RETIRE)) == 2
+
+
+class TestDrain:
+    def test_drain_to_terminal(self):
+        m = _m("%ra = op mov, 1\n%rb = op mov, 2\nhalt")
+        res = run(m, Config.initial({}, Memory(), 1), [fetch(), fetch()])
+        drained = drain(m, res.final)
+        assert drained.final.is_terminal()
+        assert drained.final.reg("ra").val == 1
+        assert drained.final.reg("rb").val == 2
+
+    def test_drain_resolves_branches(self):
+        m = _m("br eq, 0, 0 -> 2, 3\n%ra = op mov, 1\nhalt")
+        res = run(m, Config.initial({}, Memory(), 1), [fetch(True), fetch()])
+        drained = drain(m, res.final)
+        assert drained.final.is_terminal()
+
+
+class TestSequential:
+    def test_terminates_at_halt(self):
+        m = _m("%ra = op mov, 5\nhalt")
+        seq = run_sequential(m, Config.initial({}, Memory(), 1))
+        assert seq.final.is_terminal() and seq.final.reg("ra").val == 5
+
+    def test_correct_branch_prediction(self):
+        m = _m("br lt, %ra, 4 -> 2, 3\n%rb = op mov, 1\nhalt")
+        seq = run_sequential(m, Config.initial({"ra": 9}, Memory(), 1))
+        assert "rb" not in {r.name for r in seq.final.regs}
+
+    def test_loop_executes_architecturally(self):
+        m = _m("""
+            %ri = op mov, 0
+            loop: br ltu, %ri, 3 -> body, done
+            body: %ri = op add, %ri, 1
+            br eq, 0, 0 -> loop, loop
+            done: halt
+        """)
+        seq = run_sequential(m, Config.initial({}, Memory(), 1))
+        assert seq.final.reg("ri").val == 3
+
+    def test_stop_at_retire_count(self):
+        m = _m("%ra = op mov, 1\n%rb = op mov, 2\nhalt")
+        seq = run_sequential(m, Config.initial({}, Memory(), 1), stop_at=1)
+        assert seq.retired == 1
+        assert seq.final.reg("ra").val == 1
+        assert "rb" not in {r.name for r in seq.final.regs}
+
+    def test_requires_initial_config(self):
+        m = _m("%ra = op mov, 1\nhalt")
+        c = Config.initial({}, Memory(), 1)
+        mid = run(m, c, [fetch()]).final
+        with pytest.raises(StuckError):
+            run_sequential(m, mid)
+
+    def test_sequential_store_and_load(self):
+        m = _m("store 9, [0x40]\n%ra = load [0x40]\nhalt")
+        seq = run_sequential(m, Config.initial({}, Memory(), 1))
+        assert seq.final.reg("ra").val == 9
+        assert seq.final.mem.read(0x40).val == 9
+
+    def test_indirect_jump_followed(self):
+        m = _m("jmpi [%rt]\n%ra = op mov, 1\nhalt\n%ra = op mov, 2\nhalt")
+        seq = run_sequential(m, Config.initial({"rt": 4}, Memory(), 1))
+        assert seq.final.reg("ra").val == 2
+
+
+class TestSequentialCT:
+    def test_ct_program_passes(self):
+        """Branch-free select on secret: classically constant-time."""
+        m = _m("""
+            %rc = op ltu, %rk, 4
+            %rx = op sel, %rc, 1, 2
+            %ra = load [0x40, 0]
+            halt
+        """)
+        a = Config.initial({"rk": secret(1)}, Memory(), 1)
+        b = Config.initial({"rk": secret(9)}, Memory(), 1)
+        assert check_sequential_ct(m, a, b)
+
+    def test_secret_branch_fails(self):
+        m = _m("br ltu, %rk, 4 -> 2, 3\n%ra = op mov, 1\nhalt")
+        a = Config.initial({"rk": secret(1)}, Memory(), 1)
+        b = Config.initial({"rk": secret(9)}, Memory(), 1)
+        result = check_sequential_ct(m, a, b)
+        assert not result
+        assert result.divergence == 0
+
+    def test_secret_indexed_load_fails(self):
+        m = _m("%ra = load [0x40, %rk]\nhalt")
+        a = Config.initial({"rk": secret(1)}, Memory(), 1)
+        b = Config.initial({"rk": secret(2)}, Memory(), 1)
+        assert not check_sequential_ct(m, a, b)

@@ -1,0 +1,143 @@
+"""White-box tests of the Pitchfork explorer's scheduler decisions."""
+
+import pytest
+
+from repro.asm import ProgramBuilder, assemble
+from repro.core import Config, Machine, Memory, Region, Value, PUBLIC, SECRET
+from repro.core.directives import Execute, Fetch, Retire
+from repro.litmus import find_case
+from repro.pitchfork import (ExplorationOptions, Explorer, analyze,
+                             enumerate_schedules)
+
+
+def _machine(src):
+    return Machine(assemble(src))
+
+
+class TestProbePruning:
+    def test_mispredicted_path_ends_at_rollback(self):
+        """The wrong-guess path's schedule stops right after the branch
+        resolves: its continuation equals the correct path's (Thm B.7)."""
+        m = _machine("br ltu, %ra, 4 -> 2, 3\n%rb = op mov, 1\nhalt")
+        c = Config.initial({"ra": 9}, Memory(), 1)
+        result = Explorer(m, ExplorationOptions(bound=8)).explore(c)
+        assert result.paths_explored == 2
+        wrong = [p for p in result.paths
+                 if p.schedule and p.schedule[0] == Fetch(True)]
+        assert len(wrong) == 1
+        # the wrong path ends with the branch execution (the rollback)
+        assert isinstance(wrong[0].schedule[-1], Execute)
+        from repro.core.observations import Rollback
+        assert Rollback() in wrong[0].trace
+
+    def test_correct_path_runs_to_terminal(self):
+        m = _machine("br ltu, %ra, 4 -> 2, 3\n%rb = op mov, 1\nhalt")
+        c = Config.initial({"ra": 9}, Memory(), 1)
+        result = Explorer(m, ExplorationOptions(bound=8)).explore(c)
+        right = [p for p in result.paths
+                 if p.schedule and p.schedule[0] == Fetch(False)]
+        assert right[0].final.is_terminal()
+
+
+class TestEagerness:
+    def test_ops_execute_before_further_fetches(self):
+        m = _machine("%ra = op mov, 1\n%rb = op mov, 2\nhalt")
+        c = Config.initial({}, Memory(), 1)
+        result = Explorer(m, ExplorationOptions(bound=8)).explore(c)
+        (path,) = result.paths
+        kinds = [type(d).__name__ for d in path.schedule]
+        # fetch, execute, fetch, execute, retire, retire
+        assert kinds[:4] == ["Fetch", "Execute", "Fetch", "Execute"]
+
+    def test_store_value_resolved_immediately(self):
+        m = _machine("store %rv, [0x40]\nhalt")
+        c = Config.initial({"rv": 7}, Memory(), 1)
+        result = Explorer(m, ExplorationOptions(bound=8)).explore(c)
+        for p in result.paths:
+            value_steps = [k for k, d in enumerate(p.schedule)
+                           if isinstance(d, Execute) and d.part == "value"]
+            assert value_steps and value_steps[0] == 1  # right after fetch
+
+
+class TestForwardingArms:
+    def test_matching_store_creates_three_outcomes(self):
+        """One matching store: forward-from-it, and read-memory (v4),
+        for the deferred arm; resolved-then-forward collapses into the
+        first. Expect ≥ 2 distinct traces."""
+        m = _machine("store 1, [0x40]\n%ra = load [0x40]\nhalt")
+        c = Config.initial({}, Memory().write(0x40, Value(9)), 1)
+        result = Explorer(m, ExplorationOptions(bound=8)).explore(c)
+        traces = {p.trace for p in result.paths}
+        assert len(traces) >= 2
+        from repro.core.observations import Fwd, Read
+        kinds = {tuple(type(o).__name__ for o in t) for t in traces}
+        # one world forwards (Fwd first), one reads stale memory (Read)
+        assert any(k and k[0] == "Fwd" for k in kinds)
+        assert any("Read" in k for k in kinds)
+
+    def test_stale_read_world_rolls_back_and_recovers(self):
+        """The v4 probe must still commit the architecturally right
+        value after its hazard rollback."""
+        m = _machine("store 1, [0x40]\n%ra = load [0x40]\nhalt")
+        c = Config.initial({}, Memory().write(0x40, Value(9)), 1)
+        result = Explorer(m, ExplorationOptions(bound=8)).explore(c)
+        for p in result.paths:
+            if p.complete:
+                assert p.final.reg("ra").val == 1
+                assert p.final.mem.read(0x40).val == 1
+
+
+class TestUnknownBranchMode:
+    def test_schedule_prefixes_are_input_independent(self):
+        """Up to each branch resolution the schedules cannot depend on
+        register values (the tails differ: rollback-pruning ends
+        mispredicted probes, and which guess *is* mispredicted depends
+        on the input — the symbolic replay tolerates stuck tails)."""
+        m = _machine("br ltu, %ra, 4 -> 2, 3\n%rb = op mov, 1\nhalt")
+        lo = Config.initial({"ra": 1}, Memory(), 1)
+        hi = Config.initial({"ra": 9}, Memory(), 1)
+
+        def prefixes(config):
+            out = set()
+            for s in enumerate_schedules(m, config, bound=8,
+                                         assume_unknown_branches=True):
+                cut = next((k for k, d in enumerate(s)
+                            if d == Execute(1)), len(s) - 1)
+                out.add(s[:cut + 1])
+            return out
+
+        assert prefixes(lo) == prefixes(hi)
+
+    def test_both_arms_delayed(self):
+        """In unknown-branch mode no branch resolves before the window
+        demands it, regardless of correctness."""
+        m = _machine("br ltu, %ra, 4 -> 2, 3\n%rb = op mov, 1\nhalt")
+        c = Config.initial({"ra": 1}, Memory(), 1)
+        for schedule in enumerate_schedules(m, c, bound=8,
+                                            assume_unknown_branches=True):
+            fetches = [k for k, d in enumerate(schedule)
+                       if isinstance(d, Fetch)]
+            executes_br = [k for k, d in enumerate(schedule)
+                           if d == Execute(1)]
+            if executes_br and len(fetches) > 1:
+                # the branch resolves only after all fetching is done
+                assert executes_br[0] > fetches[-1]
+
+
+class TestExtensions:
+    def test_rsb_target_exploration(self):
+        case = find_case("ret2spec_fig12")
+        blind = analyze(case.program, case.config(), bound=16,
+                        fwd_hazards=False)
+        seeing = analyze(case.program, case.config(), bound=16,
+                         fwd_hazards=False, rsb_targets=(10,))
+        assert blind.secure and not seeing.secure
+
+    def test_aliasing_exploration_bounded(self):
+        """Aliasing arms multiply paths but stay within budget."""
+        case = find_case("aliasing_fig2")
+        report = analyze(case.program, case.config(), bound=12,
+                         fwd_hazards=True, explore_aliasing=True,
+                         stop_at_first=False, max_paths=4000)
+        assert not report.secure
+        assert not report.truncated

@@ -1,0 +1,213 @@
+"""Integration tests: every worked figure of the paper, step by step.
+
+Each test replays the figure's directive schedule and asserts the exact
+leakage the paper prints (addresses are the figures' hex values).
+"""
+
+import pytest
+
+from repro.core import (Config, Fwd, Jump, Machine, Memory, Read, Rollback,
+                        StuckError, TJump, TStore, TValue, Write, execute,
+                        fetch, run, secret_observations)
+from repro.core.lattice import PUBLIC, SECRET
+from repro.litmus import find_case
+
+
+def _replay(case):
+    machine = Machine(case.program, rsb_policy=case.rsb_policy)
+    return machine, run(machine, case.config(), case.attack_schedule)
+
+
+class TestFigure1:
+    """Spectre v1: the bounds check is speculatively ignored."""
+
+    def test_leakage_sequence(self):
+        case = find_case("v1_fig1")
+        _m, res = _replay(case)
+        key1 = 0xA2  # Key[1] in the litmus memory
+        assert res.trace == (Read(0x49, PUBLIC), Read(key1 + 0x44, SECRET))
+
+    def test_first_read_is_key_cell(self):
+        """execute 2 reads 49_pub: address public, data = Key[1]."""
+        case = find_case("v1_fig1")
+        _m, res = _replay(case)
+        entry = res.final.buf[2]
+        assert isinstance(entry, TValue)
+        assert entry.value.label == SECRET and entry.value.val == 0xA2
+
+    def test_sequential_execution_is_clean(self):
+        from repro.core import run_sequential
+        case = find_case("v1_fig1")
+        m = Machine(case.program)
+        seq = run_sequential(m, case.config())
+        assert not secret_observations(seq.trace)
+
+
+class TestFigure2:
+    """Hypothetical aliasing-predictor attack (§3.5)."""
+
+    def test_leakage_sequence(self):
+        case = find_case("aliasing_fig2")
+        _m, res = _replay(case)
+        x = 0x99
+        assert res.trace == (
+            Read(x + 0x48, SECRET),     # execute 8: leaks a = x + 48
+            Fwd(0x42, PUBLIC),          # execute 2: addr resolves to 42
+            Rollback(), Fwd(0x45, PUBLIC))  # execute 7: misprediction
+
+    def test_rollback_restores_load_pc(self):
+        case = find_case("aliasing_fig2")
+        _m, res = _replay(case)
+        assert res.final.pc == 7        # {7, 8} squashed, refetch at 7
+        assert 7 not in res.final.buf and 8 not in res.final.buf
+
+    def test_store_remains_resolved(self):
+        case = find_case("aliasing_fig2")
+        _m, res = _replay(case)
+        store = res.final.buf[2]
+        assert isinstance(store, TStore)
+        assert store.addr.val == 0x42 and store.src.label == SECRET
+
+
+class TestFigure5:
+    """Store hazard from late store-address resolution (§3.4)."""
+
+    def test_full_replay(self):
+        from repro.asm import assemble
+        m = Machine(assemble(
+            "store 12, [0x43]\nstore 20, [3, %ra]\n%rc = load [0x43]\nhalt"))
+        c = Config.initial({"ra": 0x40}, Memory(), 1)
+        res = run(m, c, [fetch(), fetch(), fetch(),
+                         execute(1, "addr"), execute(3), execute(2, "addr")])
+        # Leakage for D: fwd 43; (forward) fwd 43; rollback, fwd 43
+        assert res.trace == (Fwd(0x43, PUBLIC), Fwd(0x43, PUBLIC),
+                             Rollback(), Fwd(0x43, PUBLIC))
+        # the load forwarded 12 from store 1 before being squashed
+        assert 3 not in res.final.buf
+        assert res.final.buf[2].addr.val == 0x43
+
+
+class TestFigure6:
+    """Spectre v1.1: speculative out-of-bounds store forwarded."""
+
+    def test_leakage_sequence(self):
+        case = find_case("v11_fig6")
+        _m, res = _replay(case)
+        x = 0x77
+        assert res.trace == (
+            Fwd(0x45, PUBLIC),          # execute 2: addr
+            Fwd(0x45, PUBLIC),          # execute 7: forward from store
+            Read(x + 0x48, SECRET))     # execute 8: leak
+
+    def test_forwarded_value_is_secret(self):
+        case = find_case("v11_fig6")
+        _m, res = _replay(case)
+        entry = res.final.buf[7]
+        assert entry.value.label == SECRET and entry.dep == 2
+
+
+class TestFigure7:
+    """Spectre v4: the sanitising store executes too late."""
+
+    def test_leakage_sequence(self):
+        case = find_case("v4_fig7")
+        _m, res = _replay(case)
+        key3 = 0x24  # secretKey[3]
+        assert res.trace == (
+            Read(0x43, PUBLIC),             # execute 3: stale read
+            Read(key3 + 0x44, SECRET),      # execute 4: leak
+            Rollback(), Fwd(0x43, PUBLIC))  # execute 2: hazard detected
+
+    def test_rollback_squashes_loads(self):
+        case = find_case("v4_fig7")
+        _m, res = _replay(case)
+        assert 3 not in res.final.buf and 4 not in res.final.buf
+        assert res.final.pc == 3            # refetch the stale load
+        assert res.final.buf[2].addr.val == 0x43
+
+
+class TestFigure8:
+    """Fence mitigation: loads cannot execute past the fence."""
+
+    def test_loads_blocked(self):
+        case = find_case("v1_fig8_fence")
+        m = Machine(case.program)
+        res = run(m, case.config(),
+                  [fetch(True), fetch(), fetch(), fetch()])
+        for i in (3, 4):
+            with pytest.raises(StuckError):
+                m.step(res.final, execute(i))
+
+    def test_branch_resolution_squashes_everything(self):
+        case = find_case("v1_fig8_fence")
+        m = Machine(case.program)
+        res = run(m, case.config(),
+                  [fetch(True), fetch(), fetch(), fetch(), execute(1)])
+        assert res.final.pc == 5
+        assert list(res.final.buf.indices()) == [1]
+        assert isinstance(res.final.buf[1], TJump)
+
+
+class TestFigure11:
+    """Spectre v2: mistrained indirect branch."""
+
+    def test_leakage_sequence(self):
+        case = find_case("v2_fig11")
+        _m, res = _replay(case)
+        key1 = 0xB2
+        assert res.trace == (Read(0x49, PUBLIC), Read(key1 + 0x44, SECRET))
+
+    def test_fence_does_not_stop_v2(self):
+        """The fetched fence retires before the gadget load executes —
+        fences are useless against v2 (App A.1's point)."""
+        case = find_case("v2_fig11")
+        _m, res = _replay(case)
+        assert secret_observations(res.trace)
+
+
+class TestFigure12:
+    """ret2spec: RSB underflow steered by the attacker."""
+
+    def test_attacker_reaches_gadget(self):
+        case = find_case("ret2spec_fig12")
+        _m, res = _replay(case)
+        leaks = secret_observations(res.trace)
+        assert len(leaks) == 1
+        key0 = 0xC1
+        assert leaks[0] == Read(0x40 + key0, SECRET)
+
+    def test_rsb_empty_after_two_rets(self):
+        from repro.core.values import BOTTOM
+        case = find_case("ret2spec_fig12")
+        m = Machine(case.program)
+        res = run(m, case.config(), case.attack_schedule[:2])
+        assert res.final.rsb.top() is BOTTOM
+
+
+class TestFigure13:
+    """Retpoline: speculation is pinned; the attacker steers nothing."""
+
+    def test_leakage_sequence(self):
+        case = find_case("retpoline_fig13")
+        _m, res = _replay(case)
+        assert res.trace == (
+            Fwd(0x7B, PUBLIC),           # store addr resolution
+            Fwd(0x7B, PUBLIC),           # rtmp load forwards jump target
+            Rollback(), Jump(20, PUBLIC))  # jmpi: guess 4, actual 20
+
+    def test_execution_lands_on_computed_target(self):
+        case = find_case("retpoline_fig13")
+        _m, res = _replay(case)
+        assert res.final.pc == 20
+
+    def test_fence_was_squashed(self):
+        from repro.core import TFence
+        case = find_case("retpoline_fig13")
+        _m, res = _replay(case)
+        assert not any(isinstance(e, TFence)
+                       for _i, e in res.final.buf.items())
+
+    def test_no_secret_observations(self):
+        case = find_case("retpoline_fig13")
+        _m, res = _replay(case)
+        assert not secret_observations(res.trace)

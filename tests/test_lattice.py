@@ -1,0 +1,73 @@
+"""Unit tests for the security label lattice."""
+
+import pytest
+
+from repro.core.lattice import (Label, Lattice, PUBLIC, SECRET, get_lattice,
+                                join_all)
+
+
+class TestTwoPoint:
+    def test_public_flows_to_secret(self):
+        assert PUBLIC.flows_to(SECRET)
+
+    def test_secret_does_not_flow_to_public(self):
+        assert not SECRET.flows_to(PUBLIC)
+
+    def test_reflexive(self):
+        assert PUBLIC.flows_to(PUBLIC)
+        assert SECRET.flows_to(SECRET)
+
+    def test_join_public_public(self):
+        assert PUBLIC.join(PUBLIC) == PUBLIC
+
+    def test_join_public_secret(self):
+        assert PUBLIC.join(SECRET) == SECRET
+        assert SECRET.join(PUBLIC) == SECRET
+
+    def test_join_secret_secret(self):
+        assert SECRET.join(SECRET) == SECRET
+
+    def test_or_operator(self):
+        assert (PUBLIC | SECRET) == SECRET
+
+    def test_is_public(self):
+        assert PUBLIC.is_public()
+        assert not SECRET.is_public()
+
+    def test_join_all_empty_defaults_public(self):
+        assert join_all([]) == PUBLIC
+
+    def test_join_all_mixed(self):
+        assert join_all([PUBLIC, SECRET, PUBLIC]) == SECRET
+
+    def test_labels_hashable_and_interned(self):
+        assert {PUBLIC, SECRET, Label("public")} == {PUBLIC, SECRET}
+
+    def test_get_lattice_roundtrip(self):
+        assert get_lattice("two-point").bottom == PUBLIC
+        assert get_lattice("two-point").top == SECRET
+
+
+class TestCustomLattice:
+    @pytest.fixture()
+    def diamond(self):
+        return Lattice("diamond-test",
+                       [("lo", "a"), ("lo", "b"), ("a", "hi"), ("b", "hi")],
+                       bottom="lo", top="hi")
+
+    def test_incomparable_join_is_top(self, diamond):
+        a, b = diamond.label("a"), diamond.label("b")
+        assert diamond.join(a, b) == diamond.label("hi")
+
+    def test_flows_through_chain(self, diamond):
+        assert diamond.flows_to(diamond.label("lo"), diamond.label("hi"))
+
+    def test_not_flows_across(self, diamond):
+        assert not diamond.flows_to(diamond.label("a"), diamond.label("b"))
+
+    def test_join_with_bottom_is_identity(self, diamond):
+        a = diamond.label("a")
+        assert diamond.join(diamond.bottom, a) == a
+
+    def test_labels_enumerated(self, diamond):
+        assert len(diamond.labels()) == 4

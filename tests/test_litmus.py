@@ -1,0 +1,115 @@
+"""Ground-truth sweep over every litmus case (§4.2's test suites).
+
+For each case we check:
+  * sequential execution leaks iff the case says so;
+  * the figure's attack schedule (when present) leaks iff expected;
+  * Pitchfork (with the case's required features) flags it iff expected.
+"""
+
+import pytest
+
+from repro.core import Machine, run, run_sequential, secret_observations
+from repro.litmus import all_cases, all_suites, find_case, load_suite
+from repro.pitchfork import analyze
+
+CASES = all_cases()
+IDS = [c.name for c in CASES]
+
+
+@pytest.fixture(scope="module")
+def reports():
+    """One Pitchfork run per case, shared across tests."""
+    out = {}
+    for case in CASES:
+        out[case.name] = analyze(
+            case.program, case.config(), bound=case.min_bound,
+            fwd_hazards=case.needs_fwd_hazards,
+            explore_aliasing=case.needs_aliasing,
+            jmpi_targets=case.jmpi_targets, rsb_targets=case.rsb_targets,
+            rsb_policy=case.rsb_policy, max_paths=6000)
+    return out
+
+
+@pytest.mark.parametrize("case", CASES, ids=IDS)
+def test_sequential_ground_truth(case):
+    machine = Machine(case.program, rsb_policy=case.rsb_policy)
+    seq = run_sequential(machine, case.config(), max_retires=300)
+    leaked = bool(secret_observations(seq.trace))
+    assert leaked == case.leaks_sequentially
+
+
+@pytest.mark.parametrize(
+    "case", [c for c in CASES if c.attack_schedule is not None],
+    ids=[c.name for c in CASES if c.attack_schedule is not None])
+def test_attack_schedule_ground_truth(case):
+    machine = Machine(case.program, rsb_policy=case.rsb_policy)
+    res = run(machine, case.config(), case.attack_schedule)
+    leaked = bool(secret_observations(res.trace))
+    assert leaked == case.leaks_speculatively
+
+
+@pytest.mark.parametrize("case", CASES, ids=IDS)
+def test_pitchfork_ground_truth(case, reports):
+    report = reports[case.name]
+    should_flag = case.leaks_speculatively or case.leaks_sequentially
+    assert (not report.secure) == should_flag
+
+
+@pytest.mark.parametrize(
+    "case",
+    [c for c in CASES if c.leaks_speculatively and not c.detected_by_core_tool],
+    ids=[c.name for c in CASES
+         if c.leaks_speculatively and not c.detected_by_core_tool])
+def test_core_tool_blind_spots(case):
+    """Cases the paper's tool cannot find without the extensions
+    (aliasing prediction, mistrained indirect targets)."""
+    report = analyze(case.program, case.config(), bound=case.min_bound,
+                     fwd_hazards=case.needs_fwd_hazards,
+                     rsb_policy=case.rsb_policy, max_paths=6000)
+    assert report.secure  # blind without the extension
+
+
+class TestSuitesShape:
+    def test_all_suites_present(self):
+        suites = all_suites()
+        assert set(suites) == {"kocher", "spec_v1", "spec_v11", "spec_v4",
+                               "spec_rsb", "aliasing"}
+
+    def test_kocher_has_15_cases(self):
+        assert len(load_suite("kocher")) == 15
+
+    def test_find_case(self):
+        assert find_case("v1_fig1").figure == "Fig 1"
+        with pytest.raises(KeyError):
+            find_case("nope")
+
+    def test_every_case_has_description(self):
+        for case in CASES:
+            assert case.description and case.variant
+
+    def test_figure_cases_have_schedules(self):
+        for case in CASES:
+            if case.figure in {"Fig 1", "Fig 2", "Fig 6", "Fig 7",
+                               "Fig 11", "Fig 12", "Fig 13"}:
+                assert case.attack_schedule is not None
+
+    def test_programs_validate(self):
+        for case in CASES:
+            case.program.validate()
+
+
+class TestBoundSensitivity:
+    """kocher_05's loop gadget needs a deep speculation window — the
+    phenomenon behind the paper's bound-250 configuration."""
+
+    def test_loop_gadget_invisible_at_shallow_bound(self):
+        case = find_case("kocher_05")
+        report = analyze(case.program, case.config(), bound=12,
+                         fwd_hazards=False, max_paths=6000)
+        assert report.secure
+
+    def test_loop_gadget_found_at_deep_bound(self):
+        case = find_case("kocher_05")
+        report = analyze(case.program, case.config(), bound=40,
+                         fwd_hazards=False, max_paths=6000)
+        assert not report.secure

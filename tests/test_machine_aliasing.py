@@ -1,0 +1,124 @@
+"""Machine tests: aliasing prediction (§3.5, Fig 2)."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.core import (Config, Fwd, Machine, Memory, Read, Rollback,
+                        StuckError, TLoad, TValue, execute, fetch, run)
+from repro.core.lattice import PUBLIC, SECRET
+from repro.core.values import BOTTOM, Value, secret
+
+
+def _machine(src):
+    return Machine(assemble(src))
+
+
+class TestForwardGuess:
+    SRC = "store %rb, [0x40, %ra]\n%rc = load [0x45]\nhalt"
+
+    def test_guess_records_prediction(self):
+        m = _machine(self.SRC)
+        c = Config.initial({"ra": 2, "rb": secret(0x99)}, Memory(), 1)
+        res = run(m, c, [fetch(), fetch(), execute(1, "value"),
+                         execute(2, 1)])
+        entry = res.final.buf[2]
+        assert isinstance(entry, TLoad)
+        assert entry.pred == (secret(0x99), 1)
+
+    def test_guess_requires_resolved_store_value(self):
+        m = _machine(self.SRC)
+        c = Config.initial({"ra": 2, "rb": secret(0x99)}, Memory(), 1)
+        res = run(m, c, [fetch(), fetch()])
+        with pytest.raises(StuckError):
+            m.step(res.final, execute(2, 1))
+
+    def test_guess_source_must_be_older(self):
+        m = _machine("%rc = load [0x45]\nstore 3, [0x40]\nhalt")
+        res = run(m, Config.initial({}, Memory(), 1), [fetch(), fetch()])
+        with pytest.raises(StuckError):
+            m.step(res.final, execute(1, 2))
+
+    def test_predicted_value_visible_to_younger_instructions(self):
+        """§3.5's register-resolve extension feeds dependent loads."""
+        m = _machine("store %rb, [0x40, %ra]\n%rc = load [0x45]\n"
+                     "%rd = load [0x48, %rc]\nhalt")
+        c = Config.initial({"ra": 2, "rb": secret(0x99)}, Memory(), 1)
+        res = run(m, c, [fetch(), fetch(), fetch(), execute(1, "value"),
+                         execute(2, 1), execute(3)])
+        (leak,) = res.trace
+        assert isinstance(leak, Read) and leak.label == SECRET
+        assert leak.addr == 0x48 + 0x99
+
+    def test_double_guess_stuck(self):
+        m = _machine(self.SRC)
+        c = Config.initial({"ra": 2, "rb": 7}, Memory(), 1)
+        res = run(m, c, [fetch(), fetch(), execute(1, "value"),
+                         execute(2, 1)])
+        with pytest.raises(StuckError):
+            m.step(res.final, execute(2, 1))
+
+
+class TestResolveAgainstStoreInBuffer:
+    def test_addr_ok_when_store_unresolved(self):
+        """load-execute-addr-ok case 2: originating store address still
+        unknown — optimistically keep the forward."""
+        m = _machine("store %rb, [0x40, %ra]\n%rc = load [0x45]\nhalt")
+        c = Config.initial({"ra": 2, "rb": 7}, Memory(), 1)
+        res = run(m, c, [fetch(), fetch(), execute(1, "value"),
+                         execute(2, 1), execute(2)])
+        entry = res.final.buf[2]
+        assert isinstance(entry, TValue)
+        assert entry.dep == 1 and entry.addr == 0x45
+        assert res.trace[-1] == Fwd(0x45, PUBLIC)
+
+    def test_addr_ok_when_store_matches(self):
+        m = _machine("store %rb, [0x45]\n%rc = load [0x45]\nhalt")
+        c = Config.initial({"rb": 7}, Memory(), 1)
+        res = run(m, c, [fetch(), fetch(), execute(1, "value"),
+                         execute(2, 1), execute(1, "addr"), execute(2)])
+        assert res.final.buf[2].value.val == 7
+
+    def test_addr_hazard_on_mismatch(self):
+        """Fig 2's ending: the store resolves elsewhere → rollback."""
+        m = _machine("store %rb, [0x40, %ra]\n%rc = load [0x45]\nhalt")
+        c = Config.initial({"ra": 2, "rb": 7}, Memory(), 1)
+        res = run(m, c, [fetch(), fetch(), execute(1, "value"),
+                         execute(2, 1), execute(1, "addr"), execute(2)])
+        assert res.trace[-2:] == (Rollback(), Fwd(0x45, PUBLIC))
+        assert res.final.pc == 2 and 2 not in res.final.buf
+
+    def test_hazard_on_intervening_store(self):
+        """A different store resolving to the load's address kills the
+        prediction even if the origin store still matches."""
+        m = _machine("store 1, [0x45]\nstore 2, [0x45]\n%rc = load [0x45]\n"
+                     "halt")
+        c = Config.initial({}, Memory(), 1)
+        res = run(m, c, [fetch(), fetch(), fetch(),
+                         execute(3, 1),          # predict from store 1
+                         execute(2, "addr"),     # store 2 resolves to 0x45
+                         execute(3)])
+        assert any(isinstance(o, Rollback) for o in res.trace)
+
+
+class TestResolveAgainstMemory:
+    def test_mem_match_keeps_value(self):
+        """Origin store retired; memory agrees with the prediction."""
+        m = _machine("store 7, [0x45]\n%rc = load [0x45]\nhalt")
+        from repro.core import RETIRE
+        c = Config.initial({}, Memory(), 1)
+        res = run(m, c, [fetch(), fetch(), execute(2, 1),
+                         execute(1, "addr"), RETIRE, execute(2)])
+        entry = res.final.buf[2]
+        assert entry.value.val == 7
+        assert entry.dep is BOTTOM          # annotated as if from memory
+        assert res.trace[-1] == Read(0x45, PUBLIC)
+
+    def test_mem_hazard_on_mismatch(self):
+        """Origin store retired to a different address: memory disagrees."""
+        from repro.core import RETIRE
+        m = _machine("store 7, [0x46]\n%rc = load [0x45]\nhalt")
+        c = Config.initial({}, Memory().write(0x45, Value(3)), 1)
+        res = run(m, c, [fetch(), fetch(), execute(2, 1),
+                         execute(1, "addr"), RETIRE, execute(2)])
+        assert res.trace[-2:] == (Rollback(), Read(0x45, PUBLIC))
+        assert res.final.pc == 2

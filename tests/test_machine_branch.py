@@ -1,0 +1,107 @@
+"""Machine tests: fetch and conditional-branch rules (§3.3, Fig 4)."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.core import (Config, Jump, Machine, Memory, Rollback, StuckError,
+                        TBr, TJump, TValue, execute, fetch, run)
+from repro.core.lattice import PUBLIC, SECRET
+from repro.core.values import Value
+
+
+@pytest.fixture()
+def machine():
+    # 1: br(<, (2, ra), 9, 12) — mirrors Fig 4 (ra = 3, so 2 < 3: true → 9)
+    prog = assemble("""
+        br lt, 2, %ra -> 9, 12
+    """, base=1)
+    # provide landing pads at 9 and 12
+    from repro.core.isa import Op
+    from repro.core.program import Program
+    from repro.core.values import Reg, operands
+    instrs = dict(prog.items())
+    instrs[9] = Op(Reg("rc"), "add", operands(1, "rb"), 10)
+    instrs[12] = Op(Reg("rd"), "mul", operands("rg", "rh"), 13)
+    return Machine(Program(instrs, entry=1))
+
+
+def _cfg(machine, **regs):
+    defaults = {"ra": 3, "rb": 4, "rg": 1, "rh": 1}
+    defaults.update(regs)
+    return Config.initial(defaults, Memory(), pc=1)
+
+
+class TestCondFetch:
+    def test_fetch_true_records_guess_and_redirects(self, machine):
+        c, leak = machine.step(_cfg(machine), fetch(True))
+        assert c.pc == 9 and leak == ()
+        entry = c.buf[1]
+        assert isinstance(entry, TBr)
+        assert entry.guess == 9 and entry.targets == (9, 12)
+
+    def test_fetch_false_redirects_to_else(self, machine):
+        c, _ = machine.step(_cfg(machine), fetch(False))
+        assert c.pc == 12 and c.buf[1].guess == 12
+
+    def test_plain_fetch_on_branch_is_stuck(self, machine):
+        with pytest.raises(StuckError):
+            machine.step(_cfg(machine), fetch())
+
+    def test_int_fetch_on_branch_is_stuck(self, machine):
+        with pytest.raises(StuckError):
+            machine.step(_cfg(machine), fetch(12))
+
+
+class TestCondExecute:
+    def test_correct_prediction_resolves_to_jump(self, machine):
+        """Fig 4(a): correctly predicted branch becomes jump 9."""
+        res = run(machine, _cfg(machine), [fetch(True), fetch(), execute(1)])
+        assert res.final.buf[1] == TJump(9)
+        assert res.trace == (Jump(9, PUBLIC),)
+        # the speculatively fetched successor survives
+        assert 2 in res.final.buf
+
+    def test_incorrect_prediction_rolls_back(self, machine):
+        """Fig 4(b): mispredicted branch squashes younger entries."""
+        res = run(machine, _cfg(machine), [fetch(False), fetch(), execute(1)])
+        assert res.final.buf[1] == TJump(9)
+        assert 2 not in res.final.buf
+        assert res.final.pc == 9
+        assert res.trace == (Rollback(), Jump(9, PUBLIC))
+
+    def test_misprediction_reuses_squashed_indices(self, machine):
+        res = run(machine, _cfg(machine),
+                  [fetch(False), fetch(), execute(1), fetch()])
+        assert 2 in res.final.buf  # refetched at the squashed index
+
+    def test_condition_label_propagates_to_jump(self, machine):
+        cfg = _cfg(machine, ra=Value(3, SECRET))
+        res = run(machine, cfg, [fetch(True), execute(1)])
+        (jump,) = res.trace
+        assert isinstance(jump, Jump) and jump.label == SECRET
+
+    def test_execute_unresolved_condition_stuck(self, machine):
+        """Condition depends on a pending op: execution must wait."""
+        from repro.core.isa import Op, Br
+        from repro.core.program import Program
+        from repro.core.values import Reg, operands
+        prog = Program({
+            1: Op(Reg("ra"), "add", operands(1, 1), 2),
+            2: Br("lt", operands(2, "ra"), 3, 4),
+            3: Op(Reg("rb"), "mov", operands(0), 4),
+        })
+        m = Machine(prog)
+        c = Config.initial({}, Memory(), pc=1)
+        c, _ = m.step(c, fetch())
+        c, _ = m.step(c, fetch(True))
+        with pytest.raises(StuckError):
+            m.step(c, execute(2))
+
+    def test_double_execute_stuck(self, machine):
+        res = run(machine, _cfg(machine), [fetch(True), execute(1)])
+        with pytest.raises(StuckError):
+            machine.step(res.final, execute(1))
+
+    def test_execute_missing_index_stuck(self, machine):
+        with pytest.raises(StuckError):
+            machine.step(_cfg(machine), execute(7))

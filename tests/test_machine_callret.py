@@ -1,0 +1,142 @@
+"""Machine tests: calls, returns and the RSB (Appendix A.2)."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.core import (Config, Machine, Memory, Region, RETIRE, StuckError,
+                        TCallMarker, TJmpi, TLoad, TOp, TRetMarker, TStore,
+                        execute, fetch, run, run_sequential)
+from repro.core.lattice import PUBLIC
+from repro.core.machine import RSP, RTMP
+from repro.core.values import BOTTOM, Value
+
+SRC = """
+main:   call f
+after:  %rd = op mov, 7
+        halt
+f:      %ra = op add, %ra, 1
+        ret
+"""
+
+
+def _setup(rsb_policy="directive"):
+    prog = assemble(SRC)
+    m = Machine(prog, rsb_policy=rsb_policy)
+    mem = Memory().with_region(Region("stack", 0xF8, 8, PUBLIC), None)
+    c = Config.initial({"ra": 1, "rsp": 0x100}, mem, pc=prog.entry)
+    return m, c
+
+
+class TestCallFetch:
+    def test_call_expands_to_group(self):
+        m, c = _setup()
+        after, _ = m.step(c, fetch())
+        assert isinstance(after.buf[1], TCallMarker)
+        assert isinstance(after.buf[2], TOp) and after.buf[2].dest == RSP
+        assert isinstance(after.buf[3], TStore)
+        assert after.pc == 4  # the callee
+
+    def test_call_pushes_rsb(self):
+        m, c = _setup()
+        after, _ = m.step(c, fetch())
+        assert after.rsb.top() == 2  # return point
+
+    def test_call_store_holds_return_point(self):
+        m, c = _setup()
+        after, _ = m.step(c, fetch())
+        assert after.buf[3].src == Value(2, PUBLIC)
+
+    def test_call_with_pred_stuck(self):
+        m, c = _setup()
+        with pytest.raises(StuckError):
+            m.step(c, fetch(5))
+
+
+class TestCallRetire:
+    def test_group_retires_together(self):
+        m, c = _setup()
+        res = run(m, c, [fetch(), execute(2), execute(3, "addr"), RETIRE])
+        assert res.final.is_terminal() is False or True
+        assert len(res.final.buf) == 0
+        assert res.final.reg("rsp").val == 0xFF
+        assert res.final.mem.read(0xFF).val == 2  # return address in memory
+        assert res.retired == 1
+
+    def test_unresolved_group_cannot_retire(self):
+        m, c = _setup()
+        res = run(m, c, [fetch()])
+        with pytest.raises(StuckError):
+            m.step(res.final, RETIRE)
+
+
+class TestRetFetch:
+    def test_ret_uses_rsb_prediction(self):
+        m, c = _setup()
+        res = run(m, c, [fetch(), fetch()])  # call, then ret? no: callee op
+        # fetch callee body then the ret
+        res = run(m, res.final, [fetch()])
+        assert res.final.pc == 2  # RSB-predicted return point
+
+    def test_ret_group_shape(self):
+        m, c = _setup()
+        res = run(m, c, [fetch(), fetch(), fetch()])
+        buf = res.final.buf
+        marker_idx = next(i for i, e in buf.items()
+                          if isinstance(e, TRetMarker))
+        assert isinstance(buf[marker_idx + 1], TLoad)
+        assert buf[marker_idx + 1].dest == RTMP
+        assert isinstance(buf[marker_idx + 2], TOp)
+        assert isinstance(buf[marker_idx + 3], TJmpi)
+        assert buf[marker_idx + 3].guess == 2
+
+    def test_ret_pops_rsb(self):
+        m, c = _setup()
+        res = run(m, c, [fetch(), fetch(), fetch()])
+        assert res.final.rsb.top() is BOTTOM
+
+    def test_rsb_empty_directive_policy_takes_target(self):
+        prog = assemble("ret\nhalt")
+        m = Machine(prog, rsb_policy="directive")
+        c = Config.initial({"rsp": 0x100}, Memory(), 1)
+        after, _ = m.step(c, fetch(7))
+        assert after.pc == 7
+
+    def test_rsb_empty_refuse_policy_stuck(self):
+        prog = assemble("ret\nhalt")
+        m = Machine(prog, rsb_policy="refuse")
+        c = Config.initial({"rsp": 0x100}, Memory(), 1)
+        with pytest.raises(StuckError):
+            m.step(c, fetch(7))
+        with pytest.raises(StuckError):
+            m.step(c, fetch())
+
+    def test_rsb_empty_circular_policy_replays(self):
+        prog = assemble("call f\nhalt\nf: ret\nhalt")
+        m = Machine(prog, rsb_policy="circular")
+        mem = Memory().with_region(Region("stack", 0xF8, 8, PUBLIC), None)
+        c = Config.initial({"rsp": 0x100}, mem, 1)
+        res = run(m, c, [fetch(), fetch()])   # call then ret (top=2)
+        # now RSB is logically empty; a second ret replays the popped 2
+        prog2 = assemble("call f\nret\nf: ret\nhalt")
+        m2 = Machine(prog2, rsb_policy="circular")
+        c2 = Config.initial({"rsp": 0x100}, mem, 1)
+        res2 = run(m2, c2, [fetch(), fetch(), fetch()])
+        assert res2.final.pc == 2  # replayed stale slot
+
+
+class TestRetRetire:
+    def test_ret_commits_rsp_only(self):
+        """ret-retire updates rsp but rtmp stays microarchitectural."""
+        m, c = _setup()
+        seq = run_sequential(m, c)
+        assert seq.final.reg("rsp").val == 0x100   # balanced call/ret
+        assert RTMP not in seq.final.regs
+        assert seq.final.reg("ra").val == 2        # callee ran
+        assert seq.final.reg("rd").val == 7        # continuation ran
+
+    def test_sequential_call_ret_observations(self):
+        m, c = _setup()
+        seq = run_sequential(m, c)
+        kinds = [type(o).__name__ for o in seq.trace]
+        # call: fwd (store addr) + write (retire); ret: read + jump
+        assert "Write" in kinds and "Read" in kinds and "Jump" in kinds

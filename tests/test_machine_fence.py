@@ -1,0 +1,76 @@
+"""Machine tests: speculation barriers (§3.6, Fig 8)."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.core import (Config, Machine, Memory, RETIRE, StuckError, TFence,
+                        execute, fetch, run)
+from repro.core.lattice import PUBLIC, SECRET
+from repro.core.memory import layout
+
+
+def _machine(src):
+    return Machine(assemble(src))
+
+
+class TestFence:
+    def test_fence_fetches_as_transient(self):
+        m = _machine("fence\nhalt")
+        c, _ = m.step(Config.initial({}, Memory(), 1), fetch())
+        assert isinstance(c.buf[1], TFence)
+
+    def test_fence_blocks_younger_execution(self):
+        m = _machine("fence\n%ra = load [0x40]\nhalt")
+        res = run(m, Config.initial({}, Memory(), 1), [fetch(), fetch()])
+        with pytest.raises(StuckError):
+            m.step(res.final, execute(2))
+
+    def test_fence_does_not_block_older(self):
+        m = _machine("%ra = load [0x40]\nfence\nhalt")
+        res = run(m, Config.initial({}, Memory(), 1),
+                  [fetch(), fetch(), execute(1)])
+        assert res.final.buf[1].value.val == 0
+
+    def test_fence_has_no_execute_rule(self):
+        m = _machine("fence\nhalt")
+        res = run(m, Config.initial({}, Memory(), 1), [fetch()])
+        with pytest.raises(StuckError):
+            m.step(res.final, execute(1))
+
+    def test_fence_retires_and_unblocks(self):
+        m = _machine("fence\n%ra = load [0x40]\nhalt")
+        res = run(m, Config.initial({}, Memory(), 1),
+                  [fetch(), fetch(), RETIRE, execute(2)])
+        assert res.final.buf[2].value.val == 0
+
+    def test_fig8_fence_blocks_spectre_v1(self):
+        """Figure 8: the fence forces the branch to resolve first."""
+        mem = layout(("A", 4, PUBLIC, [1, 2, 3, 0]),
+                     ("B", 4, PUBLIC, None),
+                     ("Key", 4, SECRET, [0xA1, 0xA2, 0xA3, 0xA4]))
+        m = _machine("""
+            br gt, 4, %ra -> 2, 5
+            fence
+            %rb = load [0x40, %ra]
+            %rc = load [0x44, %rb]
+            halt
+        """)
+        c = Config.initial({"ra": 9}, mem, 1)
+        res = run(m, c, [fetch(True), fetch(), fetch(), fetch()])
+        # neither load may execute while the fence is in flight
+        with pytest.raises(StuckError):
+            m.step(res.final, execute(3))
+        with pytest.raises(StuckError):
+            m.step(res.final, execute(4))
+        # resolving the branch exposes the misprediction and squashes all
+        after, leak = m.step(res.final, execute(1))
+        assert after.pc == 5
+        assert all(i not in after.buf for i in (2, 3, 4))
+
+    def test_self_loop_fence_pins_fetch(self):
+        """'fence self' (Fig 13's landing pad) refetches itself forever."""
+        m = _machine("fence self\nhalt")
+        c = Config.initial({}, Memory(), 1)
+        res = run(m, c, [fetch(), fetch(), fetch()])
+        assert res.final.pc == 1
+        assert all(isinstance(e, TFence) for _i, e in res.final.buf.items())

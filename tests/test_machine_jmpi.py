@@ -1,0 +1,94 @@
+"""Machine tests: indirect jumps (Appendix A.1)."""
+
+import pytest
+
+from repro.core import (Config, Jump, Machine, Memory, RETIRE, Rollback,
+                        StuckError, TJmpi, TJump, execute, fetch, run)
+from repro.core.isa import Fence, Jmpi, Load, Op
+from repro.core.lattice import PUBLIC, SECRET
+from repro.core.program import Program
+from repro.core.values import Reg, Value, operands, secret
+
+
+def _machine():
+    return Machine(Program({
+        1: Jmpi(operands(12, "rb")),
+        17: Op(Reg("rx"), "mov", operands(1), 18),
+        20: Op(Reg("ry"), "mov", operands(2), 21),
+    }, entry=1))
+
+
+def _cfg(**regs):
+    defaults = {"rb": 8}
+    defaults.update(regs)
+    return Config.initial(defaults, Memory(), pc=1)
+
+
+class TestJmpiFetch:
+    def test_fetch_records_guess_and_redirects(self):
+        m = _machine()
+        c, _ = m.step(_cfg(), fetch(17))
+        assert c.pc == 17
+        assert c.buf[1] == TJmpi(operands(12, "rb"), 17)
+
+    def test_plain_fetch_stuck(self):
+        m = _machine()
+        with pytest.raises(StuckError):
+            m.step(_cfg(), fetch())
+
+    def test_bool_fetch_stuck(self):
+        m = _machine()
+        with pytest.raises(StuckError):
+            m.step(_cfg(), fetch(True))
+
+
+class TestJmpiExecute:
+    def test_correct_guess_resolves(self):
+        m = _machine()
+        res = run(m, _cfg(), [fetch(20), execute(1)])
+        assert res.final.buf[1] == TJump(20)
+        assert res.trace == (Jump(20, PUBLIC),)
+        assert res.final.pc == 20
+
+    def test_incorrect_guess_rolls_back(self):
+        m = _machine()
+        res = run(m, _cfg(), [fetch(17), fetch(), execute(1)])
+        assert res.final.buf[1] == TJump(20)
+        assert 2 not in res.final.buf          # squashed
+        assert res.final.pc == 20
+        assert res.trace == (Rollback(), Jump(20, PUBLIC))
+
+    def test_target_label_from_operands(self):
+        m = _machine()
+        res = run(m, _cfg(rb=secret(8)), [fetch(20), execute(1)])
+        (jump,) = res.trace
+        assert jump.label == SECRET
+
+    def test_unresolved_operand_stuck(self):
+        prog = Program({
+            1: Op(Reg("rb"), "add", operands(4, 4), 2),
+            2: Jmpi(operands(12, "rb")),
+            20: Op(Reg("ry"), "mov", operands(2), 21),
+        })
+        m = Machine(prog)
+        c = Config.initial({}, Memory(), 1)
+        res = run(m, c, [fetch(), fetch(20)])
+        with pytest.raises(StuckError):
+            m.step(res.final, execute(2))
+
+    def test_jump_retires(self):
+        m = _machine()
+        res = run(m, _cfg(), [fetch(20), execute(1), RETIRE])
+        assert res.final.is_terminal()
+
+    def test_fence_blocks_jmpi(self):
+        prog = Program({
+            1: Fence(2),
+            2: Jmpi(operands(20)),
+            20: Op(Reg("ry"), "mov", operands(2), 21),
+        })
+        m = Machine(prog)
+        c = Config.initial({}, Memory(), 1)
+        res = run(m, c, [fetch(), fetch(20)])
+        with pytest.raises(StuckError):
+            m.step(res.final, execute(2))

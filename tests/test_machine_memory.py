@@ -1,0 +1,191 @@
+"""Machine tests: load/store rules and hazards (§3.4, Fig 5)."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.core import (Config, Fwd, Machine, Memory, Read, RETIRE, Rollback,
+                        StuckError, TStore, TValue, Write, execute, fetch,
+                        run)
+from repro.core.lattice import PUBLIC, SECRET
+from repro.core.values import BOTTOM, Value, secret
+
+
+def _machine(src: str) -> Machine:
+    return Machine(assemble(src))
+
+
+class TestLoadExecute:
+    def test_nodep_reads_memory_and_annotates(self):
+        m = _machine("%ra = load [0x40]\nhalt")
+        mem = Memory().write(0x40, secret(7))
+        res = run(m, Config.initial({}, mem, 1), [fetch(), execute(1)])
+        entry = res.final.buf[1]
+        assert isinstance(entry, TValue)
+        assert entry.value == secret(7)
+        assert entry.dep is BOTTOM and entry.addr == 0x40 and entry.pp == 1
+        assert res.trace == (Read(0x40, PUBLIC),)
+
+    def test_address_label_joins_operands(self):
+        m = _machine("%ra = load [0x40, %rx]\nhalt")
+        c = Config.initial({"rx": secret(2)}, Memory(), 1)
+        res = run(m, c, [fetch(), execute(1)])
+        assert res.trace == (Read(0x42, SECRET),)
+
+    def test_forward_from_resolved_store(self):
+        m = _machine("store 12, [0x43]\n%rc = load [0x43]\nhalt")
+        res = run(m, Config.initial({}, Memory(), 1),
+                  [fetch(), fetch(), execute(1, "addr"), execute(2)])
+        entry = res.final.buf[2]
+        assert entry.value.val == 12 and entry.dep == 1 and entry.addr == 0x43
+        assert res.trace[-1] == Fwd(0x43, PUBLIC)
+
+    def test_forward_needs_resolved_value(self):
+        m = _machine("store %rv, [0x43]\n%rc = load [0x43]\nhalt")
+        c = Config.initial({"rv": 5}, Memory(), 1)
+        res = run(m, c, [fetch(), fetch(), execute(1, "addr")])
+        with pytest.raises(StuckError):
+            m.step(res.final, execute(2))
+
+    def test_load_skips_unresolved_store_addresses(self):
+        """The v4 behaviour: pending store addresses don't block loads."""
+        m = _machine("store 0, [%rp]\n%rc = load [0x40]\nhalt")
+        mem = Memory().write(0x40, secret(9))
+        c = Config.initial({"rp": 0x40}, mem, 1)
+        res = run(m, c, [fetch(), fetch(), execute(2)])
+        assert res.final.buf[2].value == secret(9)  # stale read
+        assert res.trace == (Read(0x40, PUBLIC),)
+
+    def test_most_recent_matching_store_wins(self):
+        m = _machine(
+            "store 1, [0x40]\nstore 2, [0x40]\n%rc = load [0x40]\nhalt")
+        res = run(m, Config.initial({}, Memory(), 1),
+                  [fetch(), fetch(), fetch(),
+                   execute(1, "addr"), execute(2, "addr"), execute(3)])
+        assert res.final.buf[3].value.val == 2
+        assert res.final.buf[3].dep == 2
+
+
+class TestStoreExecute:
+    def test_value_then_addr(self):
+        m = _machine("store %rv, [0x40]\nhalt")
+        c = Config.initial({"rv": secret(7)}, Memory(), 1)
+        res = run(m, c, [fetch(), execute(1, "value"), execute(1, "addr")])
+        entry = res.final.buf[1]
+        assert entry.fully_resolved()
+        assert entry.src == secret(7)
+        assert entry.addr == Value(0x40, PUBLIC)
+
+    def test_addr_then_value(self):
+        m = _machine("store %rv, [0x40]\nhalt")
+        c = Config.initial({"rv": secret(7)}, Memory(), 1)
+        res = run(m, c, [fetch(), execute(1, "addr"), execute(1, "value")])
+        assert res.final.buf[1].fully_resolved()
+
+    def test_addr_resolution_leaks_fwd(self):
+        m = _machine("store 0, [0x40, %rx]\nhalt")
+        c = Config.initial({"rx": secret(2)}, Memory(), 1)
+        res = run(m, c, [fetch(), execute(1, "addr")])
+        assert res.trace == (Fwd(0x42, SECRET),)
+
+    def test_double_value_resolution_stuck(self):
+        m = _machine("store %rv, [0x40]\nhalt")
+        c = Config.initial({"rv": 1}, Memory(), 1)
+        res = run(m, c, [fetch(), execute(1, "value")])
+        with pytest.raises(StuckError):
+            m.step(res.final, execute(1, "value"))
+
+    def test_immediate_value_resolution_stuck(self):
+        """'Either step may be skipped if already immediate' (§3.4)."""
+        m = _machine("store 3, [0x40]\nhalt")
+        res = run(m, Config.initial({}, Memory(), 1), [fetch()])
+        with pytest.raises(StuckError):
+            m.step(res.final, execute(1, "value"))
+
+
+class TestStoreHazard:
+    """Figure 5: a late store-address resolution invalidates a forward."""
+
+    SRC = """
+        store 12, [0x43]
+        store 20, [3, %ra]
+        %rc = load [0x43]
+        halt
+    """
+
+    def _run_fig5(self):
+        m = _machine(self.SRC)
+        c = Config.initial({"ra": 0x40}, Memory(), 1)
+        return m, run(m, c, [fetch(), fetch(), fetch(), execute(1, "addr"),
+                             execute(3), execute(2, "addr")])
+
+    def test_hazard_rolls_back_to_load(self):
+        m, res = self._run_fig5()
+        assert res.final.pc == 3               # the load's program point
+        assert 3 not in res.final.buf          # load squashed
+
+    def test_hazard_resolves_the_store(self):
+        _m, res = self._run_fig5()
+        entry = res.final.buf[2]
+        assert isinstance(entry, TStore) and entry.addr.val == 0x43
+
+    def test_hazard_leakage(self):
+        _m, res = self._run_fig5()
+        assert res.trace == (Fwd(0x43, PUBLIC), Fwd(0x43, PUBLIC),
+                             Rollback(), Fwd(0x43, PUBLIC))
+
+    def test_no_hazard_when_forward_was_from_newer_store(self):
+        """A load that forwarded from store j ≥ i is not a hazard for i."""
+        m = _machine(self.SRC)
+        c = Config.initial({"ra": 0x40}, Memory(), 1)
+        res = run(m, c, [fetch(), fetch(), fetch(),
+                         execute(2, "addr"), execute(3), execute(1, "addr")])
+        # load forwarded from store 2 (newer than 1): resolving 1 is fine
+        assert 3 in res.final.buf
+        assert not any(isinstance(o, Rollback) for o in res.trace)
+
+    def test_memory_loaded_value_hazards_with_any_store(self):
+        """⊥ < n: a load that read memory hazards with *any* prior store
+        resolving to its address (Fig 7's v4 pattern)."""
+        m = _machine("store 0, [%rp]\n%rc = load [0x40]\nhalt")
+        mem = Memory().write(0x40, secret(9))
+        c = Config.initial({"rp": 0x40}, mem, 1)
+        res = run(m, c, [fetch(), fetch(), execute(2), execute(1, "addr")])
+        assert any(isinstance(o, Rollback) for o in res.trace)
+        assert res.final.pc == 2
+
+
+class TestRetire:
+    def test_value_retire_commits_register(self):
+        m = _machine("%ra = load [0x40]\nhalt")
+        mem = Memory().write(0x40, secret(7))
+        res = run(m, Config.initial({}, mem, 1),
+                  [fetch(), execute(1), RETIRE])
+        assert res.final.reg("ra") == secret(7)
+        assert res.final.is_terminal()
+
+    def test_store_retire_commits_memory_and_leaks_write(self):
+        m = _machine("store 5, [0x40]\nhalt")
+        res = run(m, Config.initial({}, Memory(), 1),
+                  [fetch(), execute(1, "addr"), RETIRE])
+        assert res.final.mem.read(0x40).val == 5
+        assert res.trace[-1] == Write(0x40, PUBLIC)
+
+    def test_unresolved_store_cannot_retire(self):
+        m = _machine("store 5, [0x40]\nhalt")
+        res = run(m, Config.initial({}, Memory(), 1), [fetch()])
+        with pytest.raises(StuckError):
+            m.step(res.final, RETIRE)
+
+    def test_retire_empty_buffer_stuck(self):
+        m = _machine("%ra = op mov, 0\nhalt")
+        with pytest.raises(StuckError):
+            m.step(Config.initial({}, Memory(), 1), RETIRE)
+
+    def test_retire_is_fifo(self):
+        m = _machine("%ra = load [0x40]\n%rb = load [0x41]\nhalt")
+        res = run(m, Config.initial({}, Memory(), 1),
+                  [fetch(), fetch(), execute(2), execute(1)])
+        # retiring commits index 1 (ra) first
+        step1, _ = m.step(res.final, RETIRE)
+        assert "ra" in {r.name for r in step1.regs}
+        assert step1.buf.min_index() == 2

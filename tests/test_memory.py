@@ -1,0 +1,85 @@
+"""Unit tests for labelled memory and regions."""
+
+import pytest
+
+from repro.core.lattice import PUBLIC, SECRET
+from repro.core.memory import Memory, Region, layout
+from repro.core.values import Value, public, secret
+
+
+class TestMemory:
+    def test_unmapped_reads_public_zero(self):
+        assert Memory().read(0x1234) == Value(0, PUBLIC)
+
+    def test_write_read_roundtrip(self):
+        mem = Memory().write(0x40, secret(7))
+        assert mem.read(0x40) == secret(7)
+
+    def test_write_is_functional(self):
+        mem = Memory()
+        mem2 = mem.write(0x40, public(1))
+        assert not mem.is_mapped(0x40) and mem2.is_mapped(0x40)
+
+    def test_write_all(self):
+        mem = Memory().write_all([(0x40, public(1)), (0x41, public(2))])
+        assert mem.read(0x41).val == 2
+
+    def test_overwrite_changes_label(self):
+        mem = Memory().write(0x40, secret(7)).write(0x40, public(0))
+        assert mem.read(0x40).is_public()
+
+
+class TestRegions:
+    def test_region_contains(self):
+        r = Region("a", 0x40, 4, PUBLIC)
+        assert 0x40 in r and 0x43 in r and 0x44 not in r
+
+    def test_region_addr(self):
+        assert Region("a", 0x40, 4).addr(2) == 0x42
+
+    def test_with_region_initialises(self):
+        mem = Memory().with_region(Region("k", 0x40, 2, SECRET), [7, 8])
+        assert mem.read(0x41) == Value(8, SECRET)
+
+    def test_with_region_defaults_zero(self):
+        mem = Memory().with_region(Region("k", 0x40, 2, SECRET), None)
+        assert mem.read(0x40) == Value(0, SECRET)
+
+    def test_region_lookup(self):
+        mem = Memory().with_region(Region("k", 0x40, 2, SECRET), None)
+        assert mem.region("k").base == 0x40
+        with pytest.raises(KeyError):
+            mem.region("missing")
+
+    def test_region_of(self):
+        mem = Memory().with_region(Region("k", 0x40, 2, SECRET), None)
+        assert mem.region_of(0x41).name == "k"
+        assert mem.region_of(0x99) is None
+
+    def test_layout_contiguous_from_0x40(self):
+        mem = layout(("A", 4, PUBLIC, [1, 2, 3, 4]),
+                     ("K", 4, SECRET, [9, 9, 9, 9]))
+        assert mem.region("A").base == 0x40
+        assert mem.region("K").base == 0x44
+        assert mem.read(0x44) == Value(9, SECRET)
+
+
+class TestLowEquivalence:
+    def test_equal_memories_low_equivalent(self):
+        a = layout(("A", 2, PUBLIC, [1, 2]), ("K", 2, SECRET, [7, 8]))
+        assert a.low_equivalent(a)
+
+    def test_secret_differences_allowed(self):
+        a = layout(("A", 2, PUBLIC, [1, 2]), ("K", 2, SECRET, [7, 8]))
+        b = layout(("A", 2, PUBLIC, [1, 2]), ("K", 2, SECRET, [0, 1]))
+        assert a.low_equivalent(b)
+
+    def test_public_differences_rejected(self):
+        a = layout(("A", 2, PUBLIC, [1, 2]))
+        b = layout(("A", 2, PUBLIC, [1, 3]))
+        assert not a.low_equivalent(b)
+
+    def test_label_mismatch_rejected(self):
+        a = Memory().write(0x40, public(1))
+        b = Memory().write(0x40, secret(1))
+        assert not a.low_equivalent(b)

@@ -1,0 +1,72 @@
+"""Tests for observations, directives, and their helpers."""
+
+import pytest
+
+from repro.core.directives import (Execute, Fetch, RETIRE, Retire, execute,
+                                   fetch, retire_count)
+from repro.core.lattice import PUBLIC, SECRET
+from repro.core.observations import (Fwd, Jump, Read, Rollback, Write,
+                                     addresses, is_secret_dependent,
+                                     secret_observations)
+
+
+class TestObservations:
+    def test_rollback_carries_no_label(self):
+        assert not is_secret_dependent(Rollback())
+
+    def test_public_observation_not_flagged(self):
+        assert not is_secret_dependent(Read(0x40, PUBLIC))
+
+    @pytest.mark.parametrize("obs", [
+        Read(0x40, SECRET), Fwd(0x40, SECRET), Write(0x40, SECRET),
+        Jump(7, SECRET)])
+    def test_secret_observations_flagged(self, obs):
+        assert is_secret_dependent(obs)
+
+    def test_secret_subtrace(self):
+        trace = (Read(1, PUBLIC), Read(2, SECRET), Rollback(),
+                 Jump(3, SECRET))
+        assert secret_observations(trace) == (Read(2, SECRET),
+                                              Jump(3, SECRET))
+
+    def test_addresses_extracts_in_order(self):
+        trace = (Read(1, PUBLIC), Jump(9, PUBLIC), Rollback(),
+                 Write(2, SECRET), Fwd(3, PUBLIC))
+        assert addresses(trace) == (1, 9, 2, 3)
+
+    def test_observation_equality(self):
+        assert Read(1, PUBLIC) == Read(1, PUBLIC)
+        assert Read(1, PUBLIC) != Read(1, SECRET)
+        assert Rollback() == Rollback()
+
+
+class TestDirectives:
+    def test_fetch_constructor(self):
+        assert fetch() == Fetch(None)
+        assert fetch(True) == Fetch(True)
+        assert fetch(17) == Fetch(17)
+
+    def test_execute_constructor(self):
+        assert execute(3) == Execute(3, None)
+        assert execute(3, "addr") == Execute(3, "addr")
+        assert execute(3, 1) == Execute(3, 1)
+
+    def test_execute_rejects_bad_part(self):
+        with pytest.raises(ValueError):
+            execute(3, "bogus")
+
+    def test_retire_singleton_equality(self):
+        assert RETIRE == Retire()
+
+    def test_retire_count(self):
+        assert retire_count((fetch(), RETIRE, execute(1), RETIRE)) == 2
+        assert retire_count(()) == 0
+
+    def test_directives_hashable(self):
+        assert len({fetch(True), fetch(True), execute(1), RETIRE}) == 3
+
+    def test_reprs_match_paper_syntax(self):
+        assert repr(fetch(True)) == "fetch: True"
+        assert repr(execute(7, 2)) == "execute 7: fwd 2"
+        assert repr(execute(7, "addr")) == "execute 7: addr"
+        assert repr(RETIRE) == "retire"

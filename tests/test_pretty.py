@@ -1,0 +1,48 @@
+"""Tests for the figure-style execution renderer."""
+
+from repro.core import (Machine, render_execution, render_trace, run,
+                        Read, Rollback, PUBLIC, SECRET)
+from repro.litmus import find_case
+
+
+class TestRenderExecution:
+    def test_fig1_table_shape(self):
+        case = find_case("v1_fig1")
+        res = run(Machine(case.program), case.config(),
+                  case.attack_schedule)
+        table = render_execution(res)
+        assert "Directive" in table and "Leakage" in table
+        assert "read 73_public" in table
+        assert "read 230_secret" in table
+
+    def test_quiet_steps_can_be_hidden(self):
+        case = find_case("v1_fig1")
+        res = run(Machine(case.program), case.config(),
+                  case.attack_schedule)
+        full = render_execution(res, show_quiet_steps=True)
+        quiet = render_execution(res, show_quiet_steps=False)
+        assert full.count("\n") > quiet.count("\n")
+        assert "fetch" not in quiet  # fetches emit no leakage
+
+    def test_rollback_effect_shows_squash(self):
+        case = find_case("v4_fig7")
+        res = run(Machine(case.program), case.config(),
+                  case.attack_schedule)
+        table = render_execution(res)
+        assert "∉ buf" in table        # squashed indices reported
+        assert "pc := 3" in table      # and the rollback target
+
+    def test_empty_run(self):
+        case = find_case("v1_fig1")
+        res = run(Machine(case.program), case.config(), [])
+        assert render_execution(res) == "(no steps)"
+
+
+class TestRenderTrace:
+    def test_empty(self):
+        assert render_trace(()) == "(empty)"
+
+    def test_sequence(self):
+        text = render_trace((Read(0x40, PUBLIC), Rollback(),
+                             Read(0x44, SECRET)))
+        assert text == "read 64_public; rollback; read 68_secret"

@@ -1,0 +1,111 @@
+"""Unit tests for Program (µ's instruction half) and Config."""
+
+import pytest
+
+from repro.core.config import Config
+from repro.core.errors import IllFormedProgramError
+from repro.core.isa import Br, Call, Fence, Jmpi, Load, Op, Ret, Store
+from repro.core.lattice import PUBLIC, SECRET
+from repro.core.memory import Memory, layout
+from repro.core.program import Program
+from repro.core.values import Reg, Value, operands, public, secret
+
+
+def _prog():
+    return Program({
+        1: Op(Reg("ra"), "mov", operands(0), 2),
+        2: Br("eq", operands(0, 0), 1, 3),
+        3: Call(5, 4),
+        5: Ret(),
+    }, entry=1, labels={"main": 1, "fn": 5})
+
+
+class TestProgram:
+    def test_empty_program_rejected(self):
+        with pytest.raises(IllFormedProgramError):
+            Program({})
+
+    def test_entry_defaults_to_min(self):
+        p = Program({7: Ret()})
+        assert p.entry == 7
+
+    def test_getitem_missing_raises(self):
+        with pytest.raises(IllFormedProgramError):
+            _prog()[99]
+
+    def test_get_missing_is_none(self):
+        assert _prog().get(99) is None
+
+    def test_labels(self):
+        p = _prog()
+        assert p.label("fn") == 5 and p.name_of(1) == "main"
+        assert p.name_of(2) is None
+
+    def test_successors(self):
+        p = _prog()
+        assert p.successors(1) == (2,)
+        assert p.successors(2) == (1, 3)
+        assert p.successors(3) == (5,)
+        assert p.successors(5) == ()
+
+    def test_validate_ok(self):
+        _prog().validate(allow_halt_targets=False)
+
+    def test_validate_missing_branch_target(self):
+        p = Program({1: Br("eq", operands(0, 0), 1, 99)})
+        p.validate()  # 99 is a legal halt point by default
+        with pytest.raises(IllFormedProgramError):
+            p.validate(allow_halt_targets=False)
+
+    def test_validate_missing_call_target(self):
+        p = Program({1: Call(99, 2)})
+        with pytest.raises(IllFormedProgramError):
+            p.validate(allow_halt_targets=False)
+
+    def test_points_sorted(self):
+        assert list(_prog().points()) == [1, 2, 3, 5]
+
+
+class TestConfig:
+    def _config(self, **regs):
+        mem = layout(("A", 2, PUBLIC, [1, 2]), ("K", 2, SECRET, [7, 8]))
+        return Config.initial(regs or {"ra": 1}, mem, pc=1)
+
+    def test_initial_coerces_strings_and_ints(self):
+        c = self._config(ra=5)
+        assert c.reg("ra") == Value(5, PUBLIC)
+
+    def test_initial_is_terminal(self):
+        assert self._config().is_initial() and self._config().is_terminal()
+
+    def test_with_updates(self):
+        c = self._config()
+        assert c.with_(pc=9).pc == 9 and c.pc == 1
+
+    def test_low_equivalence_reflexive(self):
+        assert self._config().low_equivalent(self._config())
+
+    def test_low_equivalence_secret_regs_differ(self):
+        a = Config.initial({"rk": secret(1)}, Memory(), pc=1)
+        b = Config.initial({"rk": secret(2)}, Memory(), pc=1)
+        assert a.low_equivalent(b)
+
+    def test_low_equivalence_public_regs_must_match(self):
+        a = Config.initial({"ra": 1}, Memory(), pc=1)
+        b = Config.initial({"ra": 2}, Memory(), pc=1)
+        assert not a.low_equivalent(b)
+
+    def test_low_equivalence_label_mismatch(self):
+        a = Config.initial({"ra": public(1)}, Memory(), pc=1)
+        b = Config.initial({"ra": secret(1)}, Memory(), pc=1)
+        assert not a.low_equivalent(b)
+
+    def test_low_equivalence_pc_must_match(self):
+        assert not self._config().with_(pc=2).low_equivalent(self._config())
+
+    def test_arch_equivalence_ignores_pc(self):
+        """≈ compares memories and register files only (Thm 3.2)."""
+        assert self._config().with_(pc=9).arch_equivalent(self._config())
+
+    def test_config_hash_equal(self):
+        assert hash(self._config()) == hash(self._config())

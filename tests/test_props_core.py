@@ -1,0 +1,150 @@
+"""Property-based tests (hypothesis) for core data structures."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.lattice import PUBLIC, SECRET, join_all
+from repro.core.memory import Memory
+from repro.core.rob import ReorderBuffer, resolve_register
+from repro.core.rsb import ReturnStackBuffer
+from repro.core.transient import TOp, TValue
+from repro.core.values import Reg, Value, operands
+
+labels = st.sampled_from([PUBLIC, SECRET])
+payloads = st.integers(min_value=0, max_value=2**16)
+regnames = st.sampled_from(["r0", "r1", "r2"])
+
+
+class TestLatticeProps:
+    @given(labels, labels)
+    def test_join_commutative(self, a, b):
+        assert a.join(b) == b.join(a)
+
+    @given(labels, labels, labels)
+    def test_join_associative(self, a, b, c):
+        assert a.join(b).join(c) == a.join(b.join(c))
+
+    @given(labels)
+    def test_join_idempotent(self, a):
+        assert a.join(a) == a
+
+    @given(labels, labels)
+    def test_join_is_upper_bound(self, a, b):
+        assert a.flows_to(a.join(b)) and b.flows_to(a.join(b))
+
+    @given(st.lists(labels))
+    def test_join_all_matches_fold(self, ls):
+        out = join_all(ls)
+        assert all(l.flows_to(out) for l in ls)
+
+
+class TestBufferProps:
+    @given(st.lists(payloads, min_size=1, max_size=12))
+    def test_insert_preserves_contiguity(self, vals):
+        buf = ReorderBuffer()
+        for v in vals:
+            _i, buf = buf.insert_next(TValue(Reg("r0"), Value(v)))
+        idx = list(buf.indices())
+        assert idx == list(range(idx[0], idx[0] + len(vals)))
+
+    @given(st.lists(payloads, min_size=1, max_size=12),
+           st.integers(min_value=0, max_value=14))
+    def test_truncate_keeps_prefix(self, vals, cut):
+        buf = ReorderBuffer()
+        for v in vals:
+            _i, buf = buf.insert_next(TValue(Reg("r0"), Value(v)))
+        t = buf.truncate_before(cut)
+        assert all(i < cut for i in t.indices())
+        for i in t.indices():
+            assert t[i] == buf[i]
+
+    @given(st.lists(payloads, min_size=2, max_size=12),
+           st.integers(min_value=1, max_value=5))
+    def test_retire_then_insert_monotone(self, vals, k):
+        buf = ReorderBuffer()
+        for v in vals:
+            _i, buf = buf.insert_next(TValue(Reg("r0"), Value(v)))
+        k = min(k, len(vals))
+        old_max = buf.max_index()
+        buf = buf.remove_min(k)
+        i, _buf = buf.insert_next(TValue(Reg("r0"), Value(0)))
+        assert i == old_max + 1
+
+    @given(st.lists(st.tuples(regnames, payloads, st.booleans()),
+                    min_size=0, max_size=10), regnames, payloads)
+    def test_resolve_matches_naive_model(self, writes, target, fallback):
+        """(buf +i ρ) against a direct transcription of Fig 3."""
+        buf = ReorderBuffer()
+        for name, v, resolved in writes:
+            instr = (TValue(Reg(name), Value(v)) if resolved
+                     else TOp(Reg(name), "mov", operands(v)))
+            _i, buf = buf.insert_next(instr)
+        regs = {Reg(target): Value(fallback)}
+        i = buf.max_index() + 1
+        got = resolve_register(buf, i, regs, Reg(target))
+        relevant = [(v, resolved) for name, v, resolved in writes
+                    if name == target]
+        if not relevant:
+            assert got == Value(fallback)
+        else:
+            v, resolved = relevant[-1]
+            from repro.core.values import BOTTOM
+            assert got == (Value(v) if resolved else BOTTOM)
+
+
+class TestRSBProps:
+    @given(st.lists(st.one_of(st.integers(min_value=1, max_value=30),
+                              st.none()), max_size=12))
+    def test_top_matches_list_stack(self, cmds):
+        """push n / pop (None) against a plain Python list."""
+        rsb = ReturnStackBuffer()
+        model = []
+        for k, cmd in enumerate(cmds):
+            if cmd is None:
+                rsb = rsb.pop(k)
+                if model:
+                    model.pop()
+            else:
+                rsb = rsb.push(k, cmd)
+                model.append(cmd)
+        from repro.core.values import BOTTOM
+        expected = model[-1] if model else BOTTOM
+        assert rsb.top() == expected
+
+    @given(st.lists(st.integers(min_value=1, max_value=30), max_size=8),
+           st.integers(min_value=0, max_value=8))
+    def test_truncate_is_prefix_replay(self, pushes, cut):
+        rsb = ReturnStackBuffer()
+        for k, n in enumerate(pushes):
+            rsb = rsb.push(k, n)
+        truncated = rsb.truncate_before(cut)
+        expected = pushes[:cut]
+        assert truncated.stack() == expected
+
+
+class TestMemoryProps:
+    @given(st.dictionaries(st.integers(0, 64), payloads, max_size=8))
+    def test_write_read_roundtrip(self, cells):
+        mem = Memory()
+        for a, v in cells.items():
+            mem = mem.write(a, Value(v))
+        for a, v in cells.items():
+            assert mem.read(a).val == v
+
+    @given(st.dictionaries(st.integers(0, 64),
+                           st.tuples(payloads, labels), max_size=8))
+    def test_low_equivalence_reflexive(self, cells):
+        mem = Memory()
+        for a, (v, l) in cells.items():
+            mem = mem.write(a, Value(v, l))
+        assert mem.low_equivalent(mem)
+
+    @given(st.dictionaries(st.integers(0, 16),
+                           st.tuples(payloads, labels), max_size=6),
+           payloads)
+    def test_low_equivalence_insensitive_to_secrets(self, cells, other):
+        a = Memory()
+        b = Memory()
+        for addr, (v, l) in cells.items():
+            a = a.write(addr, Value(v, l))
+            b = b.write(addr, Value(v if l == PUBLIC else other, l))
+        assert a.low_equivalent(b)

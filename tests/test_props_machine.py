@@ -1,0 +1,105 @@
+"""Property-based tests of the machine's metatheory over random
+programs and schedules (Appendix B, with hypothesis driving the
+randomness)."""
+
+import random
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core import Machine, run
+from repro.core.observations import Rollback
+from repro.verify import (check_consistency, check_determinism,
+                          check_label_stability,
+                          check_sequential_equivalence, check_tool_soundness,
+                          random_config, random_program, random_schedule)
+
+SETTINGS = settings(max_examples=25, deadline=None,
+                    suppress_health_check=[HealthCheck.too_slow])
+
+
+def _instance(seed: int):
+    rng = random.Random(seed)
+    program = random_program(rng, length=10)
+    machine = Machine(program)
+    config = random_config(rng)
+    schedule, _final = random_schedule(machine, config, rng)
+    return machine, config, schedule, rng
+
+
+class TestMetatheoryProps:
+    @SETTINGS
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_determinism(self, seed):
+        machine, config, schedule, _rng = _instance(seed)
+        assert check_determinism(machine, config, schedule)
+
+    @SETTINGS
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_sequential_equivalence(self, seed):
+        machine, config, schedule, _rng = _instance(seed)
+        assert check_sequential_equivalence(machine, config, schedule)
+
+    @SETTINGS
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_label_stability(self, seed):
+        machine, config, schedule, _rng = _instance(seed)
+        assert check_label_stability(machine, config, schedule)
+
+    @SETTINGS
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_consistency(self, seed):
+        machine, config, schedule, rng = _instance(seed)
+        other, _ = random_schedule(machine, config, rng)
+        assert check_consistency(machine, config, schedule, other)
+
+    @settings(max_examples=12, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_tool_soundness(self, seed):
+        machine, config, schedule, _rng = _instance(seed)
+        assert check_tool_soundness(machine, config, schedule, bound=12)
+
+
+class TestStructuralInvariants:
+    @SETTINGS
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_buffer_contiguous_along_every_run(self, seed):
+        machine, config, schedule, _rng = _instance(seed)
+        current = config
+        for d in schedule:
+            current, _leak = machine.step(current, d)
+            idx = list(current.buf.indices())
+            assert not idx or idx == list(range(idx[0], idx[0] + len(idx)))
+
+    @SETTINGS
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_pc_tracks_buffer_on_rollback(self, seed):
+        """After a rollback the machine refetches: pc must be a real
+        program point or a halt point, never garbage below 1."""
+        machine, config, schedule, _rng = _instance(seed)
+        current = config
+        for d in schedule:
+            current, leak = machine.step(current, d)
+            if any(isinstance(o, Rollback) for o in leak):
+                assert current.pc >= 0
+
+    @SETTINGS
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_trace_grows_monotonically(self, seed):
+        machine, config, schedule, _rng = _instance(seed)
+        res = run(machine, config, schedule)
+        assert sum(len(s.leakage) for s in res.steps) == len(res.trace)
+
+    @SETTINGS
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_retire_only_commits_architecturally(self, seed):
+        """Execute steps never change ρ or µ; only retire does."""
+        from repro.core.directives import Execute
+        machine, config, schedule, _rng = _instance(seed)
+        current = config
+        for d in schedule:
+            before = current
+            current, _leak = machine.step(current, d)
+            if isinstance(d, Execute):
+                assert current.regs == before.regs
+                assert current.mem == before.mem

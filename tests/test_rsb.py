@@ -1,0 +1,61 @@
+"""Unit tests for the return stack buffer (Appendix A.2)."""
+
+from repro.core.rsb import ReturnStackBuffer
+from repro.core.values import BOTTOM
+
+
+class TestRSB:
+    def test_empty_top_is_bottom(self):
+        assert ReturnStackBuffer().top() is BOTTOM
+
+    def test_push_then_top(self):
+        rsb = ReturnStackBuffer().push(1, 4)
+        assert rsb.top() == 4
+
+    def test_push_push_pop(self):
+        """The paper's worked example: push 4, push 5, pop → top = 4."""
+        rsb = (ReturnStackBuffer().push(1, 4).push(2, 5).pop(3))
+        assert rsb.top() == 4
+
+    def test_pop_to_empty(self):
+        rsb = ReturnStackBuffer().push(1, 4).pop(2)
+        assert rsb.top() is BOTTOM
+
+    def test_pop_on_empty_is_noop(self):
+        rsb = ReturnStackBuffer().pop(1)
+        assert rsb.top() is BOTTOM
+
+    def test_replay_in_index_order(self):
+        """Commands replay by index, regardless of insertion order."""
+        rsb = ReturnStackBuffer().pop(3).push(1, 4).push(2, 5)
+        assert rsb.top() == 4
+
+    def test_truncate_undoes_speculative_entries(self):
+        rsb = ReturnStackBuffer().push(1, 4).pop(2).push(3, 9)
+        rolled = rsb.truncate_before(2)
+        assert rolled.top() == 4
+
+    def test_truncate_everything(self):
+        rsb = ReturnStackBuffer().push(5, 4)
+        assert rsb.truncate_before(1).top() is BOTTOM
+
+    def test_last_popped_for_circular_mode(self):
+        rsb = ReturnStackBuffer().push(1, 4).pop(2).pop(3)
+        assert rsb.last_popped() == 4
+
+    def test_last_popped_default_zero(self):
+        assert ReturnStackBuffer().last_popped() == 0
+
+    def test_immutability(self):
+        rsb = ReturnStackBuffer()
+        rsb.push(1, 4)
+        assert rsb.top() is BOTTOM
+
+    def test_equality_hash(self):
+        a = ReturnStackBuffer().push(1, 4)
+        b = ReturnStackBuffer().push(1, 4)
+        assert a == b and hash(a) == hash(b)
+
+    def test_stack_returns_full_stack(self):
+        rsb = ReturnStackBuffer().push(1, 4).push(2, 5)
+        assert rsb.stack() == [4, 5]

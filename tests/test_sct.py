@@ -1,0 +1,116 @@
+"""Tests for the SCT checker (Definition 3.1)."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.core import (Config, Machine, Memory, RETIRE, check_pair,
+                        check_sct, execute, fetch, secret_variations)
+from repro.core.lattice import PUBLIC, SECRET
+from repro.core.memory import layout
+from repro.core.values import Value, secret
+from repro.pitchfork import enumerate_schedules
+
+
+def _m(src):
+    return Machine(assemble(src))
+
+
+def _fig1_machine_and_configs():
+    m = _m("""
+        br gt, 4, %ra -> 2, 4
+        %rb = load [0x40, %ra]
+        %rc = load [0x44, %rb]
+        halt
+    """)
+    def cfg(key):
+        mem = layout(("A", 4, PUBLIC, [1, 2, 3, 0]),
+                     ("B", 4, PUBLIC, None),
+                     ("Key", 4, SECRET, key))
+        return Config.initial({"ra": 9}, mem, pc=1)
+    return m, cfg
+
+
+class TestCheckPair:
+    def test_spectre_v1_distinguishes_keys(self):
+        m, cfg = _fig1_machine_and_configs()
+        schedule = (fetch(True), fetch(), fetch(), execute(2), execute(3))
+        cex = check_pair(m, cfg([1, 2, 3, 4]), cfg([9, 8, 7, 6]), schedule)
+        assert cex is not None
+        assert cex.reason == "observation traces differ"
+        assert cex.first_divergence() == 1  # the second read differs
+
+    def test_same_secret_indistinguishable(self):
+        m, cfg = _fig1_machine_and_configs()
+        schedule = (fetch(True), fetch(), fetch(), execute(2), execute(3))
+        assert check_pair(m, cfg([1, 2, 3, 4]), cfg([1, 2, 3, 4]),
+                          schedule) is None
+
+    def test_sequential_schedule_indistinguishable(self):
+        """Under the in-order schedule the program is CT."""
+        m, cfg = _fig1_machine_and_configs()
+        schedule = (fetch(False), execute(1), RETIRE)
+        assert check_pair(m, cfg([1, 2, 3, 4]), cfg([9, 8, 7, 6]),
+                          schedule) is None
+
+    def test_rejects_non_low_equivalent_pair(self):
+        m, cfg = _fig1_machine_and_configs()
+        other = cfg([1, 2, 3, 4]).with_(pc=2)
+        with pytest.raises(ValueError):
+            check_pair(m, cfg([1, 2, 3, 4]), other, ())
+
+
+class TestSecretVariations:
+    def test_variations_are_low_equivalent(self):
+        _m_, cfg = _fig1_machine_and_configs()
+        base = cfg([1, 2, 3, 4])
+        for variant in secret_variations(base):
+            assert base.low_equivalent(variant)
+
+    def test_no_secrets_yields_identity(self):
+        c = Config.initial({"ra": 1}, Memory(), 1)
+        assert secret_variations(c) == [c]
+
+    def test_secret_registers_vary(self):
+        c = Config.initial({"rk": secret(0)}, Memory(), 1)
+        variants = secret_variations(c)
+        payloads = {v.reg("rk").val for v in variants}
+        assert len(payloads) > 1
+
+
+class TestCheckSCT:
+    def test_fig1_fails_sct(self):
+        m, cfg = _fig1_machine_and_configs()
+        base = cfg([1, 2, 3, 4])
+        schedules = enumerate_schedules(m, base, bound=8, fwd_hazards=False)
+        result = check_sct(m, base, schedules)
+        assert not result.ok
+        assert result.counterexample is not None
+
+    def test_fenced_fig1_satisfies_sct(self):
+        m = _m("""
+            br gt, 4, %ra -> 2, 5
+            fence
+            %rb = load [0x40, %ra]
+            %rc = load [0x44, %rb]
+            halt
+        """)
+        def cfg(key):
+            mem = layout(("A", 4, PUBLIC, [1, 2, 3, 0]),
+                         ("B", 4, PUBLIC, None),
+                         ("Key", 4, SECRET, key))
+            return Config.initial({"ra": 9}, mem, pc=1)
+        base = cfg([1, 2, 3, 4])
+        schedules = enumerate_schedules(m, base, bound=8, fwd_hazards=False)
+        assert check_sct(m, base, schedules).ok
+
+    def test_branchless_program_satisfies_sct(self):
+        m = _m("""
+            %rc = op ltu, %rk, 4
+            %rx = op sel, %rc, 1, 2
+            store %rx, [0x40]
+            halt
+        """)
+        base = Config.initial({"rk": secret(1)}, Memory(), 1)
+        schedules = enumerate_schedules(m, base, bound=8)
+        result = check_sct(m, base, schedules)
+        assert result.ok and result.pairs_checked > 0

@@ -1,0 +1,209 @@
+"""Tests for the symbolic back end (expressions, solving, replay, and
+the combined schedules-then-symex pipeline)."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.core import (Config, Machine, Memory, PUBLIC, SECRET, Value,
+                        layout, run, secret_observations)
+from repro.core.errors import ReproError
+from repro.pitchfork import (App, Constraint, Sym, SymbolicEvaluator,
+                             SymbolicRunner, analyze_symbolic,
+                             enumerate_schedules, eval_expr,
+                             feasible_values, solve, symbols_of)
+from repro.pitchfork.symex import Fork, NeedConcretization, \
+    representative_config
+
+
+X = Sym("x", tuple(range(8)))
+Y = Sym("y", (0, 1))
+
+
+class TestExpressions:
+    def test_eval_concrete(self):
+        assert eval_expr(5, {}) == 5
+
+    def test_eval_symbol(self):
+        assert eval_expr(X, {"x": 3}) == 3
+
+    def test_eval_app(self):
+        expr = App("add", (X, App("mul", (Y, 10))))
+        assert eval_expr(expr, {"x": 3, "y": 1}) == 13
+
+    def test_symbols_of(self):
+        expr = App("add", (X, App("mul", (Y, X))))
+        assert symbols_of(expr) == (X, Y)
+
+    def test_symbols_of_concrete(self):
+        assert symbols_of(App("add", (1, 2))) == ()
+
+
+class TestSolving:
+    def test_trivial(self):
+        assert solve([]) == {}
+
+    def test_single_constraint(self):
+        model = solve([Constraint(App("eq", (X, 5)), True)])
+        assert model == {"x": 5}
+
+    def test_unsat(self):
+        cs = [Constraint(App("eq", (X, 5)), True),
+              Constraint(App("eq", (X, 2)), True)]
+        assert solve(cs) is None
+
+    def test_negated(self):
+        model = solve([Constraint(App("ltu", (X, 7)), False)])
+        assert model == {"x": 7}
+
+    def test_joint_constraints(self):
+        cs = [Constraint(App("eq", (App("add", (X, Y)), 8)), True)]
+        model = solve(cs)
+        assert model["x"] + model["y"] == 8
+
+    def test_domain_explosion_guarded(self):
+        big = [Sym(f"s{k}", tuple(range(64))) for k in range(4)]
+        expr = App("add", tuple(big))
+        with pytest.raises(ReproError):
+            solve([Constraint(expr, True)])
+
+    def test_feasible_values(self):
+        vals = feasible_values(App("add", (X, 10)),
+                               [Constraint(App("ltu", (X, 3)), True)])
+        assert vals == [10, 11, 12]
+
+
+class TestEvaluator:
+    def test_concrete_fast_path(self):
+        ev = SymbolicEvaluator()
+        out = ev.evaluate("add", [Value(2), Value(3, SECRET)])
+        assert out.val == 5 and out.label == SECRET
+
+    def test_symbolic_application(self):
+        ev = SymbolicEvaluator()
+        out = ev.evaluate("add", [Value(X), Value(1)])
+        assert out.val == App("add", (X, 1))
+
+    def test_truth_forks_on_symbolic(self):
+        ev = SymbolicEvaluator()
+        with pytest.raises(Fork):
+            ev.truth(Value(X))
+
+    def test_truth_uses_decisions(self):
+        ev = SymbolicEvaluator(decisions={X: True})
+        assert ev.truth(Value(X)) is True
+
+    def test_concretize_raises_then_uses_cache(self):
+        ev = SymbolicEvaluator()
+        with pytest.raises(NeedConcretization):
+            ev.concretize(Value(X))
+        ev.concretizations[X] = 4
+        assert ev.concretize(Value(X)) == 4
+
+
+class TestRunner:
+    def _fig1(self):
+        prog = assemble("""
+            br gt, 4, %ra -> 2, 4
+            %rb = load [0x40, %ra]
+            %rc = load [0x44, %rb]
+            halt
+        """)
+        mem = layout(("A", 4, PUBLIC, [1, 2, 3, 0]),
+                     ("B", 4, PUBLIC, None),
+                     ("Key", 4, SECRET, [0xA1, 0xA2, 0xA3, 0xA4]))
+        cfg = Config.initial({"ra": Value(Sym("x", tuple(range(12))))},
+                             mem, pc=1)
+        return prog, cfg
+
+    def test_branch_splits_worlds(self):
+        prog, cfg = self._fig1()
+        from repro.core import execute, fetch
+        runner = SymbolicRunner(prog)
+        worlds = runner.run(cfg, (fetch(True), execute(1)))
+        # one world per branch outcome, each with one constraint
+        assert len(worlds) == 2
+        truthies = {w.constraints[0].truthy for w in worlds}
+        assert truthies == {True, False}
+
+    def test_every_world_is_satisfiable(self):
+        prog, cfg = self._fig1()
+        from repro.core import execute, fetch
+        runner = SymbolicRunner(prog)
+        schedule = (fetch(True), fetch(), fetch(), execute(2), execute(3))
+        for world in runner.run(cfg, schedule):
+            assert world.model() is not None
+
+    def test_worlds_agree_with_concrete_replay(self):
+        """Instantiating a world's model and replaying concretely gives
+        the same trace prefix (soundness of the symbolic replay)."""
+        prog, cfg = self._fig1()
+        from repro.core import execute, fetch
+        runner = SymbolicRunner(prog)
+        schedule = (fetch(True), fetch(), fetch(), execute(2), execute(3))
+        for world in runner.run(cfg, schedule):
+            model = world.model()
+            concrete = Config.initial(
+                {"ra": Value(model["x"])}, cfg.mem, pc=1)
+            machine = Machine(prog)
+            try:
+                res = run(machine, concrete, schedule[:world.consumed],
+                          record_steps=False)
+            except Exception:
+                continue
+            assert res.trace == tuple(world.trace)
+
+
+class TestPipeline:
+    def test_fig1_symbolic_finds_oob_model(self):
+        prog = assemble("""
+            br gt, 4, %ra -> 2, 4
+            %rb = load [0x40, %ra]
+            %rc = load [0x44, %rb]
+            halt
+        """)
+        mem = layout(("A", 4, PUBLIC, [1, 2, 3, 0]),
+                     ("B", 4, PUBLIC, None),
+                     ("Key", 4, SECRET, [0xA1, 0xA2, 0xA3, 0xA4]))
+        cfg = Config.initial({"ra": Value(Sym("x", tuple(range(12))))},
+                             mem, pc=1)
+        findings = analyze_symbolic(prog, cfg, bound=12, fwd_hazards=False)
+        assert findings
+        # the solved model is an out-of-bounds index
+        assert all(f.model["x"] >= 4 for f in findings)
+
+    def test_fenced_program_has_no_findings(self):
+        prog = assemble("""
+            br gt, 4, %ra -> 2, 5
+            fence
+            %rb = load [0x40, %ra]
+            %rc = load [0x44, %rb]
+            halt
+        """)
+        mem = layout(("A", 4, PUBLIC, [1, 2, 3, 0]),
+                     ("B", 4, PUBLIC, None),
+                     ("Key", 4, SECRET, [0xA1, 0xA2, 0xA3, 0xA4]))
+        cfg = Config.initial({"ra": Value(Sym("x", tuple(range(12))))},
+                             mem, pc=1)
+        assert analyze_symbolic(prog, cfg, bound=12) == []
+
+    def test_concrete_inputs_still_work(self):
+        """The symbolic pipeline degrades to concrete analysis."""
+        prog = assemble("""
+            br gt, 4, %ra -> 2, 4
+            %rb = load [0x40, %ra]
+            %rc = load [0x44, %rb]
+            halt
+        """)
+        mem = layout(("A", 4, PUBLIC, [1, 2, 3, 0]),
+                     ("B", 4, PUBLIC, None),
+                     ("Key", 4, SECRET, [0xA1, 0xA2, 0xA3, 0xA4]))
+        cfg = Config.initial({"ra": 9}, mem, pc=1)
+        findings = analyze_symbolic(prog, cfg, bound=12, fwd_hazards=False)
+        assert findings and findings[0].model == {}
+
+    def test_representative_config(self):
+        mem = Memory().write(0x40, Value(Sym("m", (3, 4)), SECRET))
+        cfg = Config.initial({"ra": Value(Sym("x", (7, 8)))}, mem, pc=1)
+        rep = representative_config(cfg)
+        assert rep.reg("ra").val == 7
+        assert rep.mem.read(0x40) == Value(3, SECRET)

@@ -1,0 +1,73 @@
+"""Unit tests for labelled values, registers and operands."""
+
+import pytest
+
+from repro.core.lattice import PUBLIC, SECRET
+from repro.core.values import (BOTTOM, Reg, Value, join_labels, labels_of,
+                               operands, public, secret)
+
+
+class TestValue:
+    def test_default_label_public(self):
+        assert Value(5).label == PUBLIC
+
+    def test_join_raises_label(self):
+        assert Value(5, PUBLIC).join(SECRET).label == SECRET
+
+    def test_join_keeps_payload(self):
+        assert Value(5, PUBLIC).join(SECRET).val == 5
+
+    def test_relabel(self):
+        assert Value(5, SECRET).relabel(PUBLIC) == Value(5, PUBLIC)
+
+    def test_is_public(self):
+        assert public(1).is_public()
+        assert not secret(1).is_public()
+
+    def test_equality_includes_label(self):
+        assert public(3) != secret(3)
+
+    def test_hashable(self):
+        assert len({public(1), public(1), secret(1)}) == 2
+
+
+class TestBottom:
+    def test_singleton(self):
+        from repro.core.values import _Bottom
+        assert _Bottom() is BOTTOM
+
+    def test_falsy(self):
+        assert not BOTTOM
+
+
+class TestOperands:
+    def test_int_becomes_public_value(self):
+        (op,) = operands(42)
+        assert op == Value(42, PUBLIC)
+
+    def test_str_becomes_reg(self):
+        (op,) = operands("ra")
+        assert op == Reg("ra")
+
+    def test_value_passes_through(self):
+        v = secret(1)
+        assert operands(v) == (v,)
+
+    def test_reg_passes_through(self):
+        r = Reg("rb")
+        assert operands(r) == (r,)
+
+    def test_mixed(self):
+        ops = operands(0x40, "ra", secret(7))
+        assert ops == (Value(0x40), Reg("ra"), secret(7))
+
+    def test_rejects_garbage(self):
+        with pytest.raises(TypeError):
+            operands(3.14)
+
+    def test_labels_of(self):
+        assert labels_of([public(1), secret(2)]) == (PUBLIC, SECRET)
+
+    def test_join_labels(self):
+        assert join_labels([public(1), secret(2)]) == SECRET
+        assert join_labels([public(1), public(2)]) == PUBLIC

@@ -1,0 +1,86 @@
+"""Tests for the executable metatheory (Appendix B) and its generators."""
+
+import random
+
+import pytest
+
+from repro.core import Machine, run
+from repro.verify import (check_consistency, check_determinism,
+                          check_label_stability,
+                          check_sequential_equivalence, check_tool_soundness,
+                          random_config, random_program, random_schedule,
+                          run_experiments)
+
+
+class TestGenerators:
+    def test_programs_are_loop_free(self):
+        rng = random.Random(7)
+        for _ in range(20):
+            program = random_program(rng)
+            for n, _instr in program.items():
+                for succ in program.successors(n):
+                    assert succ > n
+
+    def test_random_schedule_is_well_formed(self):
+        rng = random.Random(3)
+        for _ in range(10):
+            program = random_program(rng)
+            machine = Machine(program)
+            config = random_config(rng)
+            schedule, final = random_schedule(machine, config, rng)
+            replay = run(machine, config, schedule, record_steps=False)
+            assert replay.final == final
+
+    def test_random_schedules_differ(self):
+        rng = random.Random(5)
+        program = random_program(rng, length=12)
+        machine = Machine(program)
+        config = random_config(rng)
+        s1, _ = random_schedule(machine, config, rng)
+        s2, _ = random_schedule(machine, config, rng)
+        assert s1 != s2  # overwhelmingly likely
+
+
+class TestSingleChecks:
+    @pytest.fixture()
+    def instance(self):
+        rng = random.Random(11)
+        program = random_program(rng, length=12)
+        machine = Machine(program)
+        config = random_config(rng)
+        schedule, _ = random_schedule(machine, config, rng)
+        return machine, config, schedule, rng
+
+    def test_determinism(self, instance):
+        machine, config, schedule, _rng = instance
+        assert check_determinism(machine, config, schedule)
+
+    def test_sequential_equivalence(self, instance):
+        machine, config, schedule, _rng = instance
+        assert check_sequential_equivalence(machine, config, schedule)
+
+    def test_label_stability(self, instance):
+        machine, config, schedule, _rng = instance
+        assert check_label_stability(machine, config, schedule)
+
+    def test_tool_soundness(self, instance):
+        machine, config, schedule, _rng = instance
+        assert check_tool_soundness(machine, config, schedule, bound=12)
+
+    def test_consistency(self, instance):
+        machine, config, schedule, rng = instance
+        other, _ = random_schedule(machine, config, rng)
+        assert check_consistency(machine, config, schedule, other)
+
+
+class TestSweeps:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_experiment_sweep(self, seed):
+        stats = run_experiments(seed=seed, programs=10,
+                                schedules_per_program=3)
+        assert stats.ok, f"{stats.failures} failures of {stats.experiments}"
+
+    def test_longer_programs(self):
+        stats = run_experiments(seed=9, programs=6,
+                                schedules_per_program=2, program_length=18)
+        assert stats.ok
