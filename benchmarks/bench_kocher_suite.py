@@ -11,21 +11,20 @@ import pytest
 
 from conftest import once
 
+from repro.api import AnalysisManager, Project
 from repro.litmus import all_suites, load_suite
-from repro.pitchfork import analyze
 
 
-def _audit(cases):
-    results = {}
-    for case in cases:
-        report = analyze(case.program, case.config(), bound=case.min_bound,
-                         fwd_hazards=case.needs_fwd_hazards,
-                         explore_aliasing=case.needs_aliasing,
-                         jmpi_targets=case.jmpi_targets,
-                         rsb_targets=case.rsb_targets,
-                         rsb_policy=case.rsb_policy, max_paths=8000)
-        results[case.name] = not report.secure
-    return results
+def _audit(cases, workers=None):
+    """One Pitchfork run per case through the batch manager.
+
+    ``Project.from_litmus`` mirrors each case's ground-truth knobs
+    (bound, forwarding hazards, aliasing, indirect targets) into its
+    options, so this is the same audit the old hand-rolled loop ran.
+    """
+    projects = [Project.from_litmus(case) for case in cases]
+    reports = AnalysisManager("pitchfork", workers=workers).run(projects)
+    return {p.name: not r.ok for p, r in zip(projects, reports)}
 
 
 @pytest.mark.parametrize("suite", sorted(all_suites()))
@@ -47,3 +46,11 @@ def test_kocher_suite_flags_14_of_15(benchmark):
     results = once(benchmark, _audit, cases)
     assert sum(results.values()) == 14
     assert results["kocher_08"] is False
+
+
+def test_kocher_suite_parallel_matches_serial(benchmark):
+    """The worker-pool fan-out returns exactly the serial verdicts."""
+    cases = load_suite("kocher")
+    serial = _audit(cases)
+    parallel = once(benchmark, _audit, cases, workers=4)
+    assert parallel == serial

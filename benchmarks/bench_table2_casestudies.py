@@ -16,6 +16,7 @@ import pytest
 
 from conftest import once
 
+from repro.api import AnalysisManager, AnalysisOptions, Project
 from repro.casestudies import (all_case_studies, evaluate_variant,
                                render_table2, table2)
 
@@ -58,3 +59,17 @@ def test_clean_cells_donna(benchmark):
     flags = once(benchmark, lambda: (evaluate_variant(study.c),
                                      evaluate_variant(study.fact)))
     assert flags == ("clean", "clean")
+
+
+def test_table2_parallel_audit(benchmark):
+    """The same table through the AnalysisManager worker pool: the
+    batch path the API makes possible, asserted identical to serial."""
+    studies = all_case_studies()
+    manager = AnalysisManager("two-phase", workers=4)
+    projects = [Project.from_variant(v, options=AnalysisOptions.table2())
+                for cs in studies for v in cs.variants()]
+    reports = once(benchmark, manager.run, projects)
+    results = {cs.name: {"C": c.status, "FaCT": f.status}
+               for cs, (c, f) in zip(studies,
+                                     zip(reports[::2], reports[1::2]))}
+    assert results == PAPER_TABLE2

@@ -9,7 +9,8 @@ and FaCT builds and prints the flag table:
 * ``f``  — violation found only with forwarding-hazard detection at the
   reduced bound (phase 2).
 
-Run:  python examples/audit_crypto.py          (~1 min)
+Run:  python examples/audit_crypto.py          (~1 min; CLI equivalent:
+      python -m repro table2 --workers 4)
 """
 
 import time
@@ -21,9 +22,11 @@ from repro.pitchfork import analyze, format_violation
 def main() -> None:
     studies = all_case_studies()
     t0 = time.time()
-    results = table2(studies)
+    # table2 now rides repro.api's AnalysisManager; workers=4 fans the
+    # eight Table 2 cells out over a process pool.
+    results = table2(studies, workers=4)
     print(render_table2(results))
-    print(f"\n({time.time() - t0:.1f}s; "
+    print(f"\n({time.time() - t0:.1f}s with 4 workers; "
           f"✓ = SCT violation, f = needs forwarding-hazard detection)")
 
     # Show the two violations the paper walks through (§4.2.2).

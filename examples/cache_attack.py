@@ -13,6 +13,7 @@ makes the full attack concrete:
 Run:  python examples/cache_attack.py
 """
 
+from repro.api import Project
 from repro.cache import CacheConfig, build_setup, run_attack
 from repro.core import run, secret_observations
 
@@ -43,6 +44,13 @@ def main() -> None:
         got = run_attack(setup)
         print(f"geometry {cfg.sets}x{cfg.ways} {cfg.policy}: "
               f"recovered 0x{got:02x}")
+
+    # The cache-attack analysis packages the same argument: find a
+    # violation with Pitchfork, fold its trace into the cache, report
+    # the attacker-probeable footprint.
+    report = Project.from_litmus("v1_fig1").analyses.cache_attack()
+    print(f"\ncache-attack analysis on v1_fig1: {report.status}; "
+          f"probeable lines: {report.details.get('lines_touched')}")
 
 
 if __name__ == "__main__":

@@ -15,8 +15,8 @@ from repro.ctcomp import (Assign, BinOp, Const, Func, If, Index, Module,
                           Var, VarDecl, ArrayDecl, compile_module,
                           count_fences, insert_fences, retpolinize,
                           type_report)
+from repro.api import Project
 from repro.litmus import find_case
-from repro.pitchfork import analyze
 
 
 def padding_clamp() -> Module:
@@ -44,21 +44,23 @@ def main() -> None:
         build = compile_module(module, style=style)
         machine = Machine(build.program)
         seq = run_sequential(machine, build.initial_config())
-        pitchfork = analyze(build.program, build.initial_config(),
-                            bound=16, fwd_hazards=False)
+        pitchfork = Project(build.program, build.initial_config(),
+                            name=f"clamp-{style}").run(
+                                "pitchfork", bound=16, fwd_hazards=False)
         print(f"\n== {style}-style build ==")
         print(disassemble(build.program))
         print("sequential leaks:",
               secret_observations(seq.trace) or "none")
-        print("Pitchfork:", "FLAGGED" if not pitchfork.secure else "secure")
+        print("Pitchfork:", "FLAGGED" if not pitchfork.ok else "secure")
 
     # -- the fence pass on Fig 1's gadget ---------------------------------
     case = find_case("v1_fig1")
     fenced = insert_fences(case.program)
-    verdict = analyze(fenced, case.config(), bound=16, fwd_hazards=False)
+    verdict = Project(fenced, case.config(), name="v1_fig1+fence").run(
+        "pitchfork", bound=16, fwd_hazards=False)
     print(f"\n== fence insertion on {case.name} ==")
     print(f"fences added: {count_fences(fenced)}; "
-          f"Pitchfork: {'FLAGGED' if not verdict.secure else 'secure'}")
+          f"Pitchfork: {'FLAGGED' if not verdict.ok else 'secure'}")
 
     # -- the retpoline pass on Fig 11's gadget ------------------------------
     from repro.core import Memory, Reg, Region, Value
@@ -69,12 +71,13 @@ def main() -> None:
     regs = dict(v2.config().regs)
     regs[Reg("rsp")] = Value(0x207)
     config = v2.config().with_(regs=regs, mem=mem)
-    verdict = analyze(transformed, config, bound=16, fwd_hazards=False,
-                      jmpi_targets=v2.jmpi_targets)
+    verdict = Project(transformed, config, name="v2+retpoline").run(
+        "pitchfork", bound=16, fwd_hazards=False,
+        jmpi_targets=v2.jmpi_targets)
     print(f"\n== retpoline on {v2.name} ==")
     print(disassemble(transformed))
     print(f"Pitchfork (with mistraining): "
-          f"{'FLAGGED' if not verdict.secure else 'secure'}")
+          f"{'FLAGGED' if not verdict.ok else 'secure'}")
 
 
 if __name__ == "__main__":

@@ -6,10 +6,10 @@ and let Pitchfork find the violation automatically.
 Run:  python examples/quickstart.py
 """
 
+from repro.api import Project
 from repro.asm import assemble, disassemble
 from repro.core import (Config, Machine, PUBLIC, SECRET, execute, fetch,
                         layout, run, run_sequential, secret_observations)
-from repro.pitchfork import analyze, format_report
 
 
 def main() -> None:
@@ -45,22 +45,22 @@ def main() -> None:
     print("leaked:", secret_observations(res.trace))
 
     # -- 4. Pitchfork finds it without being told the schedule. ----------
-    report = analyze(program, config, bound=20, fwd_hazards=False,
-                     name="fig1")
-    print("\n" + format_report(report, program))
+    #    (The Project facade is the 5-line front door: wrap the target,
+    #    pick an analysis off `project.analyses`, read the Report.)
+    project = Project(program, config, name="fig1")
+    report = project.analyses.pitchfork(bound=20, fwd_hazards=False)
+    print("\n" + report.render())
 
     # -- 5. The Fig 8 mitigation: a fence after the branch. ---------------
-    fenced = assemble("""
+    fenced = Project.from_asm("""
         check:  br gt, 4, %ra -> body, done
         body:   fence
                 %rb = load [0x40, %ra]
                 %rc = load [0x44, %rb]
         done:   halt
-    """)
-    fenced_config = Config.initial({"ra": 9}, memory, pc=fenced.entry)
-    report = analyze(fenced, fenced_config, bound=20, fwd_hazards=False,
-                     name="fig1+fence")
-    print(format_report(report, fenced))
+    """, regs={"ra": 9}, mem=memory, name="fig1+fence")
+    report = fenced.analyses.pitchfork(bound=20, fwd_hazards=False)
+    print(report.render())
 
 
 if __name__ == "__main__":

@@ -10,10 +10,9 @@ exploration is switched on.
 Run:  python examples/spectre_zoo.py
 """
 
-from repro.asm import disassemble
-from repro.core import Machine, render_execution, run, secret_observations
+from repro.api import Project
+from repro.core import render_execution, run, secret_observations
 from repro.litmus import all_cases
-from repro.pitchfork import analyze
 
 
 def main() -> None:
@@ -24,27 +23,25 @@ def main() -> None:
         print(f"{case.figure}: {case.name} [{case.variant}]")
         print(case.description)
         print("-" * 72)
-        machine = Machine(case.program, rsb_policy=case.rsb_policy)
+        # Project.from_litmus mirrors the case's ground-truth knobs
+        # (bound, fwd hazards, aliasing, indirect targets) into options.
+        project = Project.from_litmus(case)
         if case.attack_schedule:
-            res = run(machine, case.config(), case.attack_schedule)
+            res = run(project.machine(), project.config(),
+                      case.attack_schedule)
             print(render_execution(res, show_quiet_steps=False))
             leaks = secret_observations(res.trace)
             print(f"  secret observations: {leaks or 'none'}")
 
-        core = analyze(case.program, case.config(), bound=case.min_bound,
-                       fwd_hazards=case.needs_fwd_hazards,
-                       rsb_policy=case.rsb_policy)
-        verdict = "FLAGGED" if not core.secure else "clean"
+        # The core tool, as evaluated in the paper: no aliasing
+        # prediction, no mistrained indirect targets.
+        core = project.analyses.pitchfork(explore_aliasing=False,
+                                          jmpi_targets=(), rsb_targets=())
+        verdict = "FLAGGED" if not core.ok else "clean"
         print(f"  Pitchfork (core):     {verdict}")
         if case.jmpi_targets or case.rsb_targets or case.needs_aliasing:
-            extended = analyze(case.program, case.config(),
-                               bound=case.min_bound,
-                               fwd_hazards=case.needs_fwd_hazards,
-                               explore_aliasing=case.needs_aliasing,
-                               jmpi_targets=case.jmpi_targets,
-                               rsb_targets=case.rsb_targets,
-                               rsb_policy=case.rsb_policy)
-            verdict = "FLAGGED" if not extended.secure else "clean"
+            extended = project.analyses.pitchfork()
+            verdict = "FLAGGED" if not extended.ok else "clean"
             print(f"  Pitchfork (extended): {verdict}")
     print("=" * 72)
 

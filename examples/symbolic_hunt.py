@@ -11,28 +11,27 @@ extreme satisfiable values), and solves each finding for a witness.
 Run:  python examples/symbolic_hunt.py
 """
 
-from repro.asm import assemble
-from repro.core import Config, PUBLIC, SECRET, Value, layout
+from repro.api import Project
+from repro.core import PUBLIC, SECRET, Value, layout
 from repro.pitchfork import Sym, analyze_symbolic
 
 
 def main() -> None:
     # Fig 1's gadget, but the attacker index is a symbol: which values
     # of x make the gadget leak?
-    program = assemble("""
-        check:  br gt, 4, %ra -> body, done
-        body:   %rb = load [0x40, %ra]
-                %rc = load [0x44, %rb]
-        done:   halt
-    """)
     memory = layout(("A", 4, PUBLIC, [1, 2, 3, 0]),
                     ("B", 4, PUBLIC, None),
                     ("Key", 4, SECRET, [0xA1, 0xA2, 0xA3, 0xA4]))
     x = Sym("x", tuple(range(16)))
-    config = Config.initial({"ra": Value(x, PUBLIC)}, memory, pc=1)
+    project = Project.from_asm("""
+        check:  br gt, 4, %ra -> body, done
+        body:   %rb = load [0x40, %ra]
+                %rc = load [0x44, %rb]
+        done:   halt
+    """, regs={"ra": Value(x, PUBLIC)}, mem=memory, name="fig1-symbolic")
 
-    findings = analyze_symbolic(program, config, bound=12,
-                                fwd_hazards=False)
+    findings = analyze_symbolic(project.program, project.config(),
+                                bound=12, fwd_hazards=False)
     print(f"findings: {len(findings)}")
     for f in findings:
         print(f"  {f.observation!r}")
@@ -40,15 +39,14 @@ def main() -> None:
         print(f"    path constraints: {[repr(c) for c in f.constraints]}")
 
     # A properly masked index admits NO leaking input at all:
-    masked = assemble("""
+    masked = Project.from_asm("""
         %ra = op and, %ra, 3
         br gt, 4, %ra -> 3, 5
         %rb = load [0x40, %ra]
         %rc = load [0x44, %rb]
         halt
-    """)
-    config = Config.initial({"ra": Value(x, PUBLIC)}, memory, pc=1)
-    findings = analyze_symbolic(masked, config, bound=12,
+    """, regs={"ra": Value(x, PUBLIC)}, mem=memory, name="fig1-masked")
+    findings = analyze_symbolic(masked.program, masked.config(), bound=12,
                                 fwd_hazards=False)
     print(f"\nmasked variant findings: {len(findings)} "
           f"(no input leaks — the mitigation is input-independent)")

@@ -15,6 +15,7 @@ Run:  python examples/verify_metatheory.py
 
 import time
 
+from repro.api import Project
 from repro.verify import run_experiments
 
 
@@ -33,6 +34,14 @@ def main() -> None:
     dt = time.time() - t0
     print(f"\n{total_exp} experiments in {dt:.1f}s — "
           f"{'ALL THEOREMS HOLD' if total_fail == 0 else 'FAILURES!'}")
+
+    # The same theorem checks are an analysis: replay them on a concrete
+    # target of interest instead of random programs.
+    report = Project.from_litmus("v1_fig1").analyses.metatheory(
+        experiments=6, seed=1)
+    print(f"\nmetatheory on v1_fig1: {report.status} "
+          f"({report.details['experiments']} experiments, "
+          f"{report.details['skipped']} vacuous)")
 
 
 if __name__ == "__main__":

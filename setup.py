@@ -1,4 +1,55 @@
-"""Legacy shim so `pip install -e .` works offline (no wheel package)."""
-from setuptools import setup
+"""Packaging for the repro distribution (src/ layout, stdlib-only).
 
-setup()
+``pip install -e .`` exposes the library as ``repro`` and installs the
+``repro`` console command (the same entry point as ``python -m repro``).
+"""
+
+import os
+import re
+
+from setuptools import find_packages, setup
+
+
+def _version() -> str:
+    here = os.path.dirname(os.path.abspath(__file__))
+    init = os.path.join(here, "src", "repro", "__init__.py")
+    with open(init, encoding="utf-8") as fh:
+        match = re.search(r'^__version__ = "([^"]+)"', fh.read(), re.M)
+    return match.group(1) if match else "0.0.0"
+
+
+setup(
+    name="repro-spectre-ct",
+    version=_version(),
+    description=("Reproduction of 'Constant-Time Foundations for the New "
+                 "Spectre Era' (Cauligi et al., PLDI 2020): speculative "
+                 "out-of-order semantics, SCT, and the Pitchfork detector"),
+    long_description=("A self-contained, stdlib-only reproduction of the "
+                      "PLDI 2020 paper: the speculative machine semantics, "
+                      "the speculative constant-time property, the "
+                      "Pitchfork detector, litmus suites, the Table 2 "
+                      "crypto case studies, and an angr-style Project/"
+                      "AnalysisManager front end with batch execution."),
+    long_description_content_type="text/plain",
+    license="MIT",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.8",
+    install_requires=[],
+    extras_require={
+        "test": ["pytest", "hypothesis", "pytest-benchmark"],
+    },
+    entry_points={
+        "console_scripts": [
+            "repro = repro.api.cli:main",
+        ],
+    },
+    classifiers=[
+        "Development Status :: 4 - Beta",
+        "Intended Audience :: Science/Research",
+        "License :: OSI Approved :: MIT License",
+        "Programming Language :: Python :: 3",
+        "Topic :: Security",
+        "Topic :: Scientific/Engineering",
+    ],
+)

@@ -1,9 +1,23 @@
 """repro — a reproduction of *Constant-Time Foundations for the New
 Spectre Era* (Cauligi et al., PLDI 2020).
 
+The front door is :mod:`repro.api` (angr-style)::
+
+    from repro.api import Project, AnalysisManager
+
+    report = Project.from_litmus("kocher_01").analyses.pitchfork()
+    reports = AnalysisManager("two-phase", workers=4).run(projects)
+
+or, from a shell, ``python -m repro {list,analyze,litmus,table2}``.
+
 Subpackages
 -----------
 
+``repro.api``
+    The high-level front end: the :class:`~repro.api.Project` facade,
+    the pluggable analysis registry, the unified
+    :class:`~repro.api.Report`, batch execution via
+    :class:`~repro.api.AnalysisManager`, and the CLI.
 ``repro.core``
     The speculative out-of-order machine semantics, attacker directives,
     leakage observations, and the speculative constant-time (SCT)
@@ -28,4 +42,10 @@ Subpackages
     Executable metatheory: empirical checks of the paper's theorems.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+from .api import (AnalysisManager, AnalysisOptions,  # noqa: E402
+                  Project, Report)
+
+__all__ = ["AnalysisManager", "AnalysisOptions", "Project", "Report",
+           "__version__"]

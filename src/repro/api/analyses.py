@@ -1,0 +1,328 @@
+"""Pluggable analyses over a :class:`~repro.api.project.Project`.
+
+Each analysis wraps one existing engine behind the uniform contract
+``run(project, **option_overrides) -> Report``:
+
+* :class:`PitchforkAnalysis` — one Pitchfork exploration (§4.1/4.2);
+* :class:`TwoPhaseAnalysis` — the paper's §4.2.1 two-phase procedure
+  with the Table 2 ``clean``/``v1``/``f`` classification;
+* :class:`SCTAnalysis` — the full two-trace Definition 3.1 check over
+  enumerated tool schedules and secret variations;
+* :class:`CacheAttackAnalysis` — folds a violating trace into the cache
+  model (§3.1's "the cache is a function of the observations");
+* :class:`MetatheoryAnalysis` — replays the Appendix B theorem checks
+  on this target under random well-formed schedules.
+
+Analyses register themselves by name; discover them via
+``Project.analyses`` (attribute style, angr's ``project.analyses.CFG()``
+idiom) or :func:`get_analysis` / :func:`available_analyses`.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Dict, List, Optional, Type
+
+from ..core.sct import check_sct
+from ..pitchfork import analyze, enumerate_schedules
+from .project import AnalysisOptions, Project
+from .report import (PhaseReport, Report, from_analysis_report,
+                     summarize_counterexample)
+
+_REGISTRY: Dict[str, Type["Analysis"]] = {}
+
+#: Convenience spellings accepted by :func:`get_analysis`.
+_ALIASES = {
+    "two_phase": "two-phase",
+    "twophase": "two-phase",
+    "table2": "two-phase",
+    "cache": "cache-attack",
+    "cache_attack": "cache-attack",
+}
+
+
+def register(cls: Type["Analysis"]) -> Type["Analysis"]:
+    """Class decorator adding an analysis to the registry."""
+    if not getattr(cls, "name", None):
+        raise ValueError(f"{cls.__name__} needs a non-empty name")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def get_analysis(name) -> "Analysis":
+    """Instantiate a registered analysis by name (or pass one through)."""
+    if isinstance(name, Analysis):
+        return name
+    if isinstance(name, type) and issubclass(name, Analysis):
+        return name()
+    key = str(name).lower().replace(" ", "-")
+    key = _ALIASES.get(key, key)
+    try:
+        return _REGISTRY[key]()
+    except KeyError:
+        raise KeyError(f"unknown analysis {name!r}; "
+                       f"available: {sorted(_REGISTRY)}") from None
+
+
+def available_analyses() -> Dict[str, str]:
+    """Registered analysis names → one-line descriptions."""
+    return {name: cls.description for name, cls in sorted(_REGISTRY.items())}
+
+
+class Analysis:
+    """Base contract: ``run(project, **overrides) -> Report``."""
+
+    name: str = ""
+    description: str = ""
+
+    def run(self, project: Project, **overrides) -> Report:
+        options = project.options.with_(**overrides)
+        t0 = time.perf_counter()
+        report = self._run(project, options)
+        if report.wall_time == 0.0:
+            report = report.with_(wall_time=time.perf_counter() - t0)
+        return report
+
+    def _run(self, project: Project, options: AnalysisOptions) -> Report:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__}>"
+
+
+class AnalysisHub:
+    """``project.analyses`` — attribute access to the registry, bound to
+    one project.  Lowercase attribute names map to registered analyses
+    (dashes become underscores): ``project.analyses.two_phase()``."""
+
+    def __init__(self, project: Project):
+        self._project = project
+
+    def __getattr__(self, name: str):
+        key = name.replace("_", "-")
+        if key not in _REGISTRY:
+            raise AttributeError(
+                f"no analysis {name!r}; available: {sorted(_REGISTRY)}")
+        analysis = _REGISTRY[key]()
+        return lambda **overrides: analysis.run(self._project, **overrides)
+
+    def __iter__(self):
+        return iter(sorted(_REGISTRY))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<AnalysisHub {sorted(_REGISTRY)} on {self._project.name!r}>"
+
+
+def _explore(project: Project, options: AnalysisOptions, *,
+             bound: int, fwd_hazards: bool):
+    """One Pitchfork run with the project's full knob set."""
+    return analyze(project.program, project.config(), bound=bound,
+                   fwd_hazards=fwd_hazards, name=project.name,
+                   stop_at_first=options.stop_at_first,
+                   explore_aliasing=options.explore_aliasing,
+                   jmpi_targets=options.jmpi_targets,
+                   rsb_targets=options.rsb_targets,
+                   max_paths=options.max_paths,
+                   rsb_policy=options.rsb_policy)
+
+
+@register
+class PitchforkAnalysis(Analysis):
+    """One worst-case-schedule exploration at ``options.bound``."""
+
+    name = "pitchfork"
+    description = ("single Pitchfork exploration: flag secret-dependent "
+                   "observations under worst-case schedules (§4.1)")
+
+    def _run(self, project: Project, options: AnalysisOptions) -> Report:
+        t0 = time.perf_counter()
+        report = _explore(project, options, bound=options.bound,
+                          fwd_hazards=options.fwd_hazards)
+        return from_analysis_report(report, project.name, self.name,
+                                    wall_time=time.perf_counter() - t0)
+
+
+@register
+class TwoPhaseAnalysis(Analysis):
+    """The paper's §4.2.1 procedure, classifying ``clean``/``v1``/``f``.
+
+    Phase 1 hunts v1/v1.1 without forwarding hazards at
+    ``options.bound_no_fwd``; only if clean, phase 2 re-runs with
+    forwarding-hazard detection at ``options.bound_fwd``.
+    """
+
+    name = "two-phase"
+    description = ("the paper's two-phase audit (§4.2.1): v1/v1.1 at the "
+                   "big bound, then v4 at the reduced bound; classifies "
+                   "clean/v1/f")
+
+    def _run(self, project: Project, options: AnalysisOptions) -> Report:
+        t0 = time.perf_counter()
+        first = _explore(project, options, bound=options.bound_no_fwd,
+                         fwd_hazards=False)
+        t1 = time.perf_counter()
+        phases = [PhaseReport(first.phase, first.bound, first.secure,
+                              first.paths_explored, first.states_stepped,
+                              first.truncated, t1 - t0)]
+        if not first.secure:
+            return from_analysis_report(
+                first, project.name, self.name, wall_time=t1 - t0,
+                phases=tuple(phases),
+                details={"classification": "v1"}).with_(status="v1")
+        second = _explore(project, options, bound=options.bound_fwd,
+                          fwd_hazards=True)
+        t2 = time.perf_counter()
+        phases.append(PhaseReport(second.phase, second.bound, second.secure,
+                                  second.paths_explored,
+                                  second.states_stepped, second.truncated,
+                                  t2 - t1))
+        status = "clean" if second.secure else "f"
+        return from_analysis_report(
+            second, project.name, self.name, wall_time=t2 - t0,
+            phases=tuple(phases),
+            details={"classification": status}).with_(status=status)
+
+
+@register
+class SCTAnalysis(Analysis):
+    """The full two-trace SCT check (Definition 3.1).
+
+    Enumerates tool schedules at ``options.sct_bound`` and quantifies
+    over auto-generated low-equivalent secret variations.  A vacuous
+    verdict (no pair actually checked) is surfaced, never silently
+    reported as secure.
+    """
+
+    name = "sct"
+    description = ("two-trace Definition 3.1 check over enumerated tool "
+                   "schedules and secret variations; flags vacuous passes")
+
+    def _run(self, project: Project, options: AnalysisOptions) -> Report:
+        t0 = time.perf_counter()
+        machine = project.machine()
+        config = project.config()
+        schedules = enumerate_schedules(
+            machine, config, bound=options.sct_bound,
+            fwd_hazards=options.fwd_hazards,
+            max_paths=options.sct_max_schedules)
+        result = check_sct(machine, config, schedules)
+        counterexamples = ()
+        if result.counterexample is not None:
+            counterexamples = (
+                summarize_counterexample(result.counterexample),)
+        return Report(
+            target=project.name, analysis=self.name,
+            status="secure" if result.ok else "insecure",
+            secure=result.ok,
+            counterexamples=counterexamples,
+            paths_explored=len(schedules),
+            vacuous=result.vacuous,
+            wall_time=time.perf_counter() - t0,
+            details={"pairs_checked": result.pairs_checked,
+                     "schedules": len(schedules)},
+        )
+
+
+@register
+class CacheAttackAnalysis(Analysis):
+    """Cache-visibility of a violation (§3.1's cache-as-fold argument).
+
+    Runs Pitchfork; if a violation is found, folds its witnessing trace
+    into a set-associative cache and reports which data addresses became
+    attacker-probeable — the bridge from semantics observations to a
+    real Flush+Reload measurement.
+    """
+
+    name = "cache-attack"
+    description = ("fold a violating trace into the cache model and "
+                   "report the attacker-probeable footprint (§3.1)")
+
+    def _run(self, project: Project, options: AnalysisOptions) -> Report:
+        from ..cache import Cache, CacheConfig, replay
+        from ..cache.cache import addresses_touching_cache
+        t0 = time.perf_counter()
+        report = _explore(project, options, bound=options.bound,
+                          fwd_hazards=options.fwd_hazards)
+        base = from_analysis_report(report, project.name, self.name,
+                                    wall_time=time.perf_counter() - t0)
+        if report.secure:
+            return base
+        trace = report.violations[0].trace
+        cache = replay(trace, Cache(CacheConfig(sets=64, ways=4,
+                                                line_size=4)))
+        touched = addresses_touching_cache(trace)
+        probeable = sorted({a for a in touched if cache.probe(a)})
+        details = dict(base.details)
+        details.update({
+            "lines_touched": len({cache.line_of(a) for a in touched}),
+            "probeable_addresses": [hex(a) for a in probeable],
+            "cache_hits": cache.hits,
+            "cache_misses": cache.misses,
+        })
+        return base.with_(details=details)
+
+
+@register
+class MetatheoryAnalysis(Analysis):
+    """Appendix B theorem checks on *this* target.
+
+    Replays determinism (B.1), sequential equivalence (3.2), label
+    stability (B.9) and consistency (B.8) under ``options.experiments``
+    random well-formed schedules drawn with ``options.seed``.
+    """
+
+    name = "metatheory"
+    description = ("replay the Appendix B theorem checks on this target "
+                   "under random well-formed schedules")
+
+    def _run(self, project: Project, options: AnalysisOptions) -> Report:
+        from ..verify.generators import random_schedule
+        from ..verify.theorems import (check_consistency, check_determinism,
+                                       check_label_stability,
+                                       check_sequential_equivalence)
+        t0 = time.perf_counter()
+        machine = project.machine()
+        config = project.config()
+        rng = random.Random(options.seed)
+        failures: List[Dict[str, str]] = []
+        experiments = skipped = 0
+        drained = []
+        for _ in range(options.experiments):
+            schedule, _final = random_schedule(machine, config, rng)
+            drained.append(schedule)
+            checks = [
+                check_determinism(machine, config, schedule),
+                check_sequential_equivalence(machine, config, schedule),
+                check_label_stability(machine, config, schedule),
+            ]
+            for check in checks:
+                experiments += 1
+                if not check.ok:
+                    failures.append({"observation": check.theorem,
+                                     "step_index": -1,
+                                     "directive": check.detail,
+                                     "schedule_tail": [], "trace_tail": []})
+                elif check.detail.startswith("skipped"):
+                    skipped += 1
+        for a, b in zip(drained, drained[1:]):
+            experiments += 1
+            check = check_consistency(machine, config, a, b)
+            if not check.ok:
+                failures.append({"observation": check.theorem,
+                                 "step_index": -1,
+                                 "directive": check.detail,
+                                 "schedule_tail": [], "trace_tail": []})
+            elif check.detail.startswith("skipped"):
+                skipped += 1
+        ok = not failures
+        return Report(
+            target=project.name, analysis=self.name,
+            status="ok" if ok else "fail",
+            secure=ok,
+            violations=tuple(failures),
+            paths_explored=len(drained),
+            wall_time=time.perf_counter() - t0,
+            details={"experiments": experiments, "skipped": skipped,
+                     "seed": options.seed},
+        )

@@ -1,0 +1,277 @@
+"""``python -m repro`` — the command-line front end.
+
+Subcommands::
+
+    python -m repro list                         # analyses, suites, cases
+    python -m repro analyze kocher_01            # one target, one analysis
+    python -m repro analyze victim.s --reg ra=9  # raw asm source
+    python -m repro litmus kocher --workers 4    # sweep suites
+    python -m repro table2 --json                # reproduce Table 2
+
+Every subcommand takes ``--json`` for machine-readable output; analysis
+knobs (``--bound``, ``--fwd-hazards``, …) map 1:1 onto
+:class:`~repro.api.project.AnalysisOptions`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from typing import Dict, List, Optional
+
+from .analyses import available_analyses
+from .manager import AnalysisManager
+from .project import AnalysisOptions, Project
+
+
+def _option_overrides(args) -> Dict:
+    """Collect --bound-style flags into AnalysisOptions overrides
+    (absent flags stay None and are ignored by ``with_``)."""
+    return {
+        "bound": args.bound,
+        "bound_no_fwd": args.bound_no_fwd,
+        "bound_fwd": args.bound_fwd,
+        "fwd_hazards": args.fwd_hazards,
+        "explore_aliasing": args.aliasing,
+        "max_paths": args.max_paths,
+    }
+
+
+def _add_preset_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--preset", choices=("paper", "table2"),
+                        help="start from a named options preset")
+
+
+def _add_option_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--bound", type=int, help="speculation bound")
+    parser.add_argument("--bound-no-fwd", type=int,
+                        help="two-phase: phase 1 bound")
+    parser.add_argument("--bound-fwd", type=int,
+                        help="two-phase: phase 2 bound")
+    parser.add_argument("--fwd-hazards", action="store_true", default=None,
+                        help="enable forwarding-hazard (v4) exploration")
+    parser.add_argument("--no-fwd-hazards", dest="fwd_hazards",
+                        action="store_false",
+                        help="disable forwarding-hazard exploration")
+    parser.add_argument("--aliasing", action="store_true", default=None,
+                        help="enable §3.5 aliasing-prediction exploration")
+    parser.add_argument("--max-paths", type=int, help="path-count cap")
+
+
+def _preset_options(args) -> Optional[AnalysisOptions]:
+    preset = getattr(args, "preset", None)
+    if preset == "paper":
+        return AnalysisOptions.paper()
+    if preset == "table2":
+        return AnalysisOptions.table2()
+    return None
+
+
+def _parse_regs(pairs: List[str]) -> Dict[str, int]:
+    regs = {}
+    for pair in pairs:
+        name, _, value = pair.partition("=")
+        if not _:
+            raise SystemExit(f"--reg wants name=value, got {pair!r}")
+        regs[name] = int(value, 0)
+    return regs
+
+
+def _resolve_target(target: str, args) -> Project:
+    """A litmus-case name, a case-variant name, or an asm file path."""
+    options = _preset_options(args)
+    if os.path.exists(target) or target.endswith(".s"):
+        try:
+            with open(target) as fh:
+                source = fh.read()
+        except OSError as exc:
+            raise SystemExit(f"cannot read {target!r}: {exc}")
+        return Project.from_asm(source, regs=_parse_regs(args.reg or []),
+                                pc=args.pc,
+                                name=os.path.basename(target),
+                                options=options)
+    from ..casestudies import all_case_studies
+    for study in all_case_studies():
+        for variant in study.variants():
+            if variant.name == target:
+                return Project.from_variant(variant, options=options)
+    from ..litmus import find_case
+    try:
+        return Project.from_litmus(target, options=options)
+    except KeyError:
+        raise SystemExit(
+            f"unknown target {target!r}: not a file, case-study variant, "
+            f"or litmus case (try `python -m repro list`)")
+
+
+# -- subcommands ------------------------------------------------------------
+
+
+def cmd_list(args) -> int:
+    from ..casestudies import all_case_studies
+    from ..litmus import all_suites
+    suites = {name: [c.name for c in cases]
+              for name, cases in all_suites().items()}
+    studies = {cs.name: [v.name for v in cs.variants()]
+               for cs in all_case_studies()}
+    if args.json:
+        print(json.dumps({"analyses": available_analyses(),
+                          "litmus_suites": suites,
+                          "case_studies": studies}, indent=2))
+        return 0
+    print("analyses:")
+    for name, description in available_analyses().items():
+        print(f"  {name:<14} {description}")
+    print("\nlitmus suites:")
+    for name, cases in suites.items():
+        print(f"  {name:<10} {len(cases):3} cases: "
+              f"{', '.join(cases[:4])}{', …' if len(cases) > 4 else ''}")
+    print("\ncase studies (Table 2):")
+    for name, variants in studies.items():
+        print(f"  {name:<30} {', '.join(variants)}")
+    return 0
+
+
+def cmd_analyze(args) -> int:
+    project = _resolve_target(args.target, args)
+    report = project.run(args.analysis, **_option_overrides(args))
+    if args.json:
+        print(report.to_json(indent=2))
+    else:
+        print(report.render())
+    return 0 if report.ok else 1
+
+
+def cmd_litmus(args) -> int:
+    from ..litmus import all_suites, load_suite
+    known = sorted(all_suites())
+    names = args.suites or known
+    unknown = [s for s in names if s not in known]
+    if unknown:
+        raise SystemExit(f"unknown suite(s) {unknown}; available: {known}")
+    manager = AnalysisManager("pitchfork", workers=args.workers)
+    out: Dict[str, Dict] = {}
+    mismatches = []
+    t0 = time.time()
+    for suite in names:
+        projects = [Project.from_litmus(case) for case in load_suite(suite)]
+        reports = manager.run(projects, **_option_overrides(args))
+        rows = {}
+        for project, report in zip(projects, reports):
+            flagged = not report.ok
+            expected = project.expected == "flagged"
+            rows[project.name] = {"flagged": flagged, "expected": expected,
+                                  "wall_time": round(report.wall_time, 3)}
+            if flagged != expected:
+                mismatches.append(project.name)
+        out[suite] = rows
+    elapsed = time.time() - t0
+    if args.json:
+        print(json.dumps({"suites": out, "mismatches": mismatches,
+                          "wall_time": round(elapsed, 3)}, indent=2))
+    else:
+        for suite, rows in out.items():
+            flagged = sum(r["flagged"] for r in rows.values())
+            print(f"{suite}: {flagged}/{len(rows)} flagged")
+            for name, row in rows.items():
+                mark = "✓" if row["flagged"] else " "
+                note = ("" if row["flagged"] == row["expected"]
+                        else "  MISMATCH")
+                print(f"  [{mark}] {name}{note}")
+        print(f"\n{sum(len(r) for r in out.values())} cases in "
+              f"{elapsed:.1f}s"
+              + (f"; MISMATCHES: {mismatches}" if mismatches else ""))
+    return 1 if mismatches else 0
+
+
+def cmd_table2(args) -> int:
+    from ..casestudies import all_case_studies, render_table2
+    manager = AnalysisManager("two-phase", workers=args.workers)
+    studies = all_case_studies()
+    options = _preset_options(args)
+    t0 = time.time()
+    # One batch for the whole table so --workers parallelises across
+    # all eight cells, not within one row.
+    projects = [Project.from_variant(v, options=options)
+                for study in studies for v in study.variants()]
+    reports = manager.run(projects, **_option_overrides(args))
+    results: Dict[str, Dict[str, str]] = {}
+    for study, (c_report, fact_report) in zip(
+            studies, zip(reports[::2], reports[1::2])):
+        results[study.name] = {"C": c_report.status,
+                               "FaCT": fact_report.status}
+    elapsed = time.time() - t0
+    if args.json:
+        print(json.dumps(results, indent=2))
+    else:
+        print(render_table2(results))
+        print(f"\n({elapsed:.1f}s; ✓ = SCT violation, "
+              f"f = needs forwarding-hazard detection)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Constant-time foundations for the new Spectre era — "
+                    "reproduction front end")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_list = sub.add_parser("list", help="list analyses, suites and cases")
+    p_list.add_argument("--json", action="store_true")
+    p_list.set_defaults(func=cmd_list)
+
+    p_analyze = sub.add_parser(
+        "analyze", help="run one analysis on one target")
+    p_analyze.add_argument("target",
+                           help="litmus case, case-study variant, or .s file")
+    p_analyze.add_argument("-a", "--analysis", default="pitchfork",
+                           help="registered analysis name "
+                                "(default: pitchfork)")
+    p_analyze.add_argument("--reg", action="append", metavar="NAME=VAL",
+                           help="initial register (asm targets; repeatable)")
+    p_analyze.add_argument("--pc", type=int, help="entry point (asm targets)")
+    p_analyze.add_argument("--json", action="store_true")
+    _add_preset_flag(p_analyze)
+    _add_option_flags(p_analyze)
+    p_analyze.set_defaults(func=cmd_analyze)
+
+    p_litmus = sub.add_parser(
+        "litmus", help="sweep litmus suites against ground truth")
+    p_litmus.add_argument("suites", nargs="*",
+                          help="suite names (default: all)")
+    p_litmus.add_argument("--workers", type=int, default=None,
+                          help="process-pool size (default: serial)")
+    p_litmus.add_argument("--json", action="store_true")
+    _add_option_flags(p_litmus)
+    p_litmus.set_defaults(func=cmd_litmus)
+
+    p_table2 = sub.add_parser(
+        "table2", help="reproduce the Table 2 crypto audit")
+    p_table2.add_argument("--workers", type=int, default=None,
+                          help="process-pool size (default: serial)")
+    p_table2.add_argument("--json", action="store_true")
+    _add_preset_flag(p_table2)
+    _add_option_flags(p_table2)
+    p_table2.set_defaults(func=cmd_table2)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except (KeyError, ValueError) as exc:
+        # Bad knob values, unknown analyses/suites: a clean CLI error,
+        # not a traceback.
+        message = exc.args[0] if exc.args else exc
+        print(f"error: {message}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,134 @@
+"""Batch execution: one analysis across many projects.
+
+The :class:`AnalysisManager` is what turns the Table 2 audit and the
+litmus sweeps from serial loops into a worker-pool fan-out:
+
+* ``workers=N`` runs tasks on a ``ProcessPoolExecutor`` (results are
+  identical to the serial path — each task is a pure function of
+  (program, config, options));
+* an in-memory result cache keyed on ``(target fingerprint, analysis,
+  options)`` makes repeated sweeps (bound ablations, re-renders) free.
+
+Projects are shipped to workers as plain ``(name, program, config,
+options)`` payloads — the configuration is materialised in the parent,
+so ``make_config`` closures never need to pickle.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .analyses import get_analysis
+from .project import AnalysisOptions, Project
+from .report import Report
+
+
+def _run_payload(analysis_name: str, name: str, program, config,
+                 options: AnalysisOptions) -> Report:
+    """Worker entry point: rebuild the project and run the analysis.
+
+    Module-level (not a closure) so it pickles under every
+    multiprocessing start method.
+    """
+    project = Project(program, config, name=name, options=options)
+    return get_analysis(analysis_name).run(project)
+
+
+@dataclass
+class CacheInfo:
+    """Hit/miss counters for the manager's result cache."""
+
+    hits: int = 0
+    misses: int = 0
+    size: int = 0
+
+
+class AnalysisManager:
+    """Run one registered analysis over many projects, cached and
+    optionally in parallel.
+
+        manager = AnalysisManager("two-phase", workers=4)
+        reports = manager.run(projects)
+    """
+
+    def __init__(self, analysis: str = "pitchfork",
+                 workers: Optional[int] = None,
+                 cache: bool = True):
+        self.analysis = get_analysis(analysis).name
+        if workers is not None and workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers
+        self._cache_enabled = cache
+        self._cache: Dict[Tuple, Report] = {}
+        self._info = CacheInfo()
+
+    # -- the batch entry point -----------------------------------------------
+
+    def run(self, projects: Iterable[Project],
+            options: Optional[AnalysisOptions] = None,
+            **overrides) -> List[Report]:
+        """Run the analysis on every project, in input order.
+
+        Each project runs under its own options unless ``options`` (a
+        shared override) or keyword overrides are given.
+        """
+        projects = list(projects)
+        payloads = []
+        for project in projects:
+            opts = (options if options is not None
+                    else project.options).with_(**overrides)
+            payloads.append((project.name, project.program,
+                             project.config(), opts))
+        keys = [self._key(project, opts)
+                for project, (_, _, _, opts) in zip(projects, payloads)]
+
+        results: Dict[int, Report] = {}
+        pending: List[int] = []
+        for i, key in enumerate(keys):
+            if self._cache_enabled and key in self._cache:
+                self._info.hits += 1
+                results[i] = self._cache[key]
+            else:
+                pending.append(i)
+        self._info.misses += len(pending)
+
+        if pending:
+            fresh = self._execute([payloads[i] for i in pending])
+            for i, report in zip(pending, fresh):
+                results[i] = report
+                if self._cache_enabled:
+                    self._cache[keys[i]] = report
+        self._info.size = len(self._cache)
+        return [results[i] for i in range(len(projects))]
+
+    def run_one(self, project: Project, **overrides) -> Report:
+        return self.run([project], **overrides)[0]
+
+    # -- execution back ends ---------------------------------------------------
+
+    def _execute(self, payloads: Sequence[Tuple]) -> List[Report]:
+        if self.workers and self.workers > 1 and len(payloads) > 1:
+            with ProcessPoolExecutor(max_workers=self.workers) as pool:
+                futures = [pool.submit(_run_payload, self.analysis, *p)
+                           for p in payloads]
+                return [f.result() for f in futures]
+        return [_run_payload(self.analysis, *p) for p in payloads]
+
+    # -- cache management -------------------------------------------------------
+
+    def _key(self, project: Project, options: AnalysisOptions) -> Tuple:
+        return (self.analysis, project.fingerprint(), options)
+
+    @property
+    def cache_info(self) -> CacheInfo:
+        return self._info
+
+    def clear_cache(self) -> None:
+        self._cache.clear()
+        self._info = CacheInfo()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"AnalysisManager({self.analysis!r}, "
+                f"workers={self.workers}, cached={len(self._cache)})")

@@ -1,0 +1,187 @@
+"""The unified analysis result model.
+
+Every :class:`repro.api.analyses.Analysis` returns a :class:`Report`,
+whatever engine it wraps — the Pitchfork explorer's
+:class:`~repro.pitchfork.detector.AnalysisReport`, the SCT checker's
+:class:`~repro.core.sct.SCTResult`, the metatheory sweep's
+:class:`~repro.verify.theorems.MetatheoryStats`, or the Table 2
+classification strings.  A report carries:
+
+* a ``status`` (``"secure"``/``"insecure"`` for single detectors,
+  ``"clean"``/``"v1"``/``"f"`` for the two-phase procedure,
+  ``"ok"``/``"fail"`` for metatheory);
+* serialisable violation/counterexample summaries;
+* path/step counters and a per-phase breakdown;
+* wall time and the options that produced it.
+
+``to_dict()``/``to_json()`` feed the CLI's ``--json`` mode and the
+result cache; ``render()`` is the human-readable view.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+#: Statuses that count as "no violation found".
+CLEAN_STATUSES = frozenset({"secure", "clean", "ok"})
+
+
+@dataclass(frozen=True)
+class PhaseReport:
+    """One engine run inside an analysis (e.g. one §4.2.1 phase)."""
+
+    name: str                  #: "v1/v1.1", "v4", "sct", …
+    bound: int
+    secure: bool
+    paths_explored: int = 0
+    states_stepped: int = 0
+    truncated: bool = False
+    wall_time: float = 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "bound": self.bound,
+            "secure": self.secure,
+            "paths_explored": self.paths_explored,
+            "states_stepped": self.states_stepped,
+            "truncated": self.truncated,
+            "wall_time": round(self.wall_time, 6),
+        }
+
+
+def summarize_violation(violation) -> Dict[str, Any]:
+    """A JSON-able digest of a :class:`repro.pitchfork.Violation`."""
+    return {
+        "observation": repr(violation.observation),
+        "step_index": violation.step_index,
+        "directive": repr(violation.directive),
+        "schedule_tail": [repr(d) for d in violation.schedule[-8:]],
+        "trace_tail": [repr(o) for o in violation.trace[-6:]],
+    }
+
+
+def summarize_counterexample(cex) -> Dict[str, Any]:
+    """A JSON-able digest of an :class:`repro.core.SCTCounterExample`."""
+    return {
+        "reason": cex.reason,
+        "first_divergence": cex.first_divergence(),
+        "schedule_tail": [repr(d) for d in cex.schedule[-8:]],
+        "trace_a_tail": [repr(o) for o in cex.trace_a[-6:]],
+        "trace_b_tail": [repr(o) for o in cex.trace_b[-6:]],
+    }
+
+
+@dataclass(frozen=True)
+class Report:
+    """Outcome of one analysis of one target."""
+
+    target: str                #: project name
+    analysis: str              #: registered analysis name
+    status: str
+    secure: Optional[bool] = None
+    violations: Tuple[Dict[str, Any], ...] = ()
+    counterexamples: Tuple[Dict[str, Any], ...] = ()
+    paths_explored: int = 0
+    states_stepped: int = 0
+    truncated: bool = False
+    #: The SCT quantifier found no real pair to check (see
+    #: ``SCTResult.vacuous``): "secure" by emptiness, not by evidence.
+    vacuous: bool = False
+    wall_time: float = 0.0
+    phases: Tuple[PhaseReport, ...] = ()
+    details: Mapping[str, Any] = field(default_factory=dict)
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+    @property
+    def ok(self) -> bool:
+        """True when the analysis found nothing wrong."""
+        if self.secure is not None:
+            return self.secure
+        return self.status in CLEAN_STATUSES
+
+    def with_(self, **kw) -> "Report":
+        """Functional record update."""
+        return replace(self, **kw)
+
+    # -- serialisation -------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "target": self.target,
+            "analysis": self.analysis,
+            "status": self.status,
+            "secure": self.secure,
+            "violations": list(self.violations),
+            "counterexamples": list(self.counterexamples),
+            "paths_explored": self.paths_explored,
+            "states_stepped": self.states_stepped,
+            "truncated": self.truncated,
+            "vacuous": self.vacuous,
+            "wall_time": round(self.wall_time, 6),
+            "phases": [p.to_dict() for p in self.phases],
+            "details": dict(self.details),
+        }
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    # -- rendering -----------------------------------------------------------
+
+    def render(self, max_violations: int = 5) -> str:
+        """Human-readable multi-line summary."""
+        head = (f"[{self.analysis}] {self.target}: {self.status.upper()} "
+                f"({self.paths_explored} paths, {self.states_stepped} steps, "
+                f"{self.wall_time:.2f}s"
+                f"{', truncated' if self.truncated else ''}"
+                f"{', VACUOUS' if self.vacuous else ''})")
+        lines = [head]
+        for phase in self.phases:
+            lines.append(f"  phase {phase.name} [bound={phase.bound}]: "
+                         f"{'secure' if phase.secure else 'VIOLATIONS'} "
+                         f"({phase.paths_explored} paths, "
+                         f"{phase.wall_time:.2f}s)")
+        for v in self.violations[:max_violations]:
+            lines.append(f"  violation: {v['observation']} "
+                         f"at step {v['step_index']} via {v['directive']}")
+        extra = len(self.violations) - max_violations
+        if extra > 0:
+            lines.append(f"  … and {extra} more")
+        for cex in self.counterexamples[:max_violations]:
+            lines.append(f"  counterexample: {cex['reason']} "
+                         f"(diverges at {cex['first_divergence']})")
+        for key, value in self.details.items():
+            lines.append(f"  {key}: {value}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"Report({self.analysis} on {self.target!r}: {self.status}, "
+                f"{len(self.violations)} violations)")
+
+
+def from_analysis_report(report, target: str, analysis: str,
+                         wall_time: float = 0.0,
+                         details: Optional[Mapping[str, Any]] = None,
+                         phases: Tuple[PhaseReport, ...] = ()) -> Report:
+    """Lift a legacy :class:`~repro.pitchfork.AnalysisReport`."""
+    phases = phases or (PhaseReport(report.phase, report.bound,
+                                    report.secure, report.paths_explored,
+                                    report.states_stepped, report.truncated,
+                                    wall_time),)
+    return Report(
+        target=target,
+        analysis=analysis,
+        status="secure" if report.secure else "insecure",
+        secure=report.secure,
+        violations=tuple(summarize_violation(v) for v in report.violations),
+        paths_explored=report.paths_explored,
+        states_stepped=report.states_stepped,
+        truncated=report.truncated,
+        wall_time=wall_time,
+        phases=phases,
+        details=dict(details or {}),
+    )

@@ -20,15 +20,15 @@ from typing import Callable, Dict, Optional, Tuple
 
 from ..core.config import Config
 from ..core.program import Program
-from ..pitchfork import analyze
 
 #: Default bounds for reproducing Table 2.  The paper used 250/20; the
 #: ported kernels are much smaller than compiled x86 functions, so a
 #: scaled-down phase-1 bound keeps path counts tractable while the
 #: phase-2 bound matches the paper's 20.  (secretbox's Fig 9 gadget
 #: needs ≥ 24 in-flight instructions — see bench_scaling_bounds.)
-TABLE2_BOUND_NO_FWD = 28
-TABLE2_BOUND_FWD = 20
+#: Canonical values live in :mod:`repro.api.project`; re-exported here
+#: for backwards compatibility.
+from ..api.project import TABLE2_BOUND_FWD, TABLE2_BOUND_NO_FWD  # noqa: E402
 
 
 @dataclass(frozen=True)
@@ -59,32 +59,51 @@ class CaseStudy:
         return (self.c, self.fact)
 
 
+def _table2_options(bound_no_fwd: int, bound_fwd: int, max_paths: int):
+    from ..api import AnalysisOptions
+    return AnalysisOptions.table2(bound_no_fwd=bound_no_fwd,
+                                  bound_fwd=bound_fwd, max_paths=max_paths)
+
+
 def evaluate_variant(variant: CaseVariant,
                      bound_no_fwd: int = TABLE2_BOUND_NO_FWD,
                      bound_fwd: int = TABLE2_BOUND_FWD,
                      max_paths: int = 20_000) -> str:
-    """Run the paper's two-phase procedure; classify as clean/v1/f."""
-    phase1 = analyze(variant.program, variant.config(), bound=bound_no_fwd,
-                     fwd_hazards=False, name=variant.name,
-                     max_paths=max_paths)
-    if not phase1.secure:
-        return "v1"
-    phase2 = analyze(variant.program, variant.config(), bound=bound_fwd,
-                     fwd_hazards=True, name=variant.name,
-                     max_paths=max_paths)
-    if not phase2.secure:
-        return "f"
-    return "clean"
+    """Run the paper's two-phase procedure; classify as clean/v1/f.
+
+    Deprecated shim: delegates to the ``two-phase`` analysis of
+    :mod:`repro.api` (``Project.from_variant(v).run("two-phase")``).
+    """
+    from ..api import Project
+    options = _table2_options(bound_no_fwd, bound_fwd, max_paths)
+    project = Project.from_variant(variant, options=options)
+    return project.run("two-phase").status
 
 
-def table2(case_studies, **kw) -> Dict[str, Dict[str, str]]:
-    """Reproduce Table 2: {case: {"C": flag, "FaCT": flag}}."""
+def table2(case_studies, workers: Optional[int] = None,
+           **kw) -> Dict[str, Dict[str, str]]:
+    """Reproduce Table 2: {case: {"C": flag, "FaCT": flag}}.
+
+    Deprecated shim over :class:`repro.api.AnalysisManager`; pass
+    ``workers=N`` to audit the table on a process pool.
+    """
+    from ..api import AnalysisManager, Project
+    unknown = set(kw) - {"bound_no_fwd", "bound_fwd", "max_paths"}
+    if unknown:
+        raise TypeError(f"table2() got unexpected keyword arguments "
+                        f"{sorted(unknown)}")
+    options = _table2_options(kw.get("bound_no_fwd", TABLE2_BOUND_NO_FWD),
+                              kw.get("bound_fwd", TABLE2_BOUND_FWD),
+                              kw.get("max_paths", 20_000))
+    manager = AnalysisManager("two-phase", workers=workers)
+    case_studies = list(case_studies)
+    projects = [Project.from_variant(v, options=options)
+                for cs in case_studies for v in cs.variants()]
+    reports = manager.run(projects)
     out: Dict[str, Dict[str, str]] = {}
-    for cs in case_studies:
-        out[cs.name] = {
-            "C": evaluate_variant(cs.c, **kw),
-            "FaCT": evaluate_variant(cs.fact, **kw),
-        }
+    for cs, (c_report, fact_report) in zip(
+            case_studies, zip(reports[::2], reports[1::2])):
+        out[cs.name] = {"C": c_report.status, "FaCT": fact_report.status}
     return out
 
 

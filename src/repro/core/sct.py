@@ -55,11 +55,18 @@ class SCTCounterExample:
 
 @dataclass(frozen=True)
 class SCTResult:
-    """Outcome of an SCT check over a family of configuration pairs."""
+    """Outcome of an SCT check over a family of configuration pairs.
+
+    ``ok=True`` with ``vacuous=True`` means the quantifier was empty —
+    every generated partner equalled the configuration or failed
+    low-equivalence, so *no pair was actually checked*.  Callers must
+    not read a vacuous pass as evidence of security.
+    """
 
     ok: bool
     counterexample: Optional[SCTCounterExample] = None
     pairs_checked: int = 0
+    vacuous: bool = False
 
     def __bool__(self) -> bool:
         return self.ok
@@ -154,7 +161,7 @@ def check_sct(machine: Machine, config: Config,
             cex = check_pair(machine, config, partner, schedule)
             if cex is not None:
                 return SCTResult(False, cex, pairs)
-    return SCTResult(True, None, pairs)
+    return SCTResult(True, None, pairs, vacuous=(pairs == 0))
 
 
 def single_trace_violations(trace: Trace) -> Trace:

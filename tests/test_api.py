@@ -1,0 +1,240 @@
+"""Tests for the repro.api front end: Project, options, registry,
+Report, and the batch AnalysisManager."""
+
+import json
+
+import pytest
+
+from repro.api import (AnalysisManager, AnalysisOptions, Project, Report,
+                       available_analyses, get_analysis)
+from repro.core import Memory, PUBLIC, SECRET, layout
+from repro.litmus import all_cases, find_case, load_suite
+
+FIG1_SRC = """
+    check:  br gt, 4, %ra -> body, done
+    body:   %rb = load [0x40, %ra]
+            %rc = load [0x44, %rb]
+    done:   halt
+"""
+
+
+def fig1_project(**kw):
+    mem = layout(("A", 4, PUBLIC, [1, 2, 3, 0]),
+                 ("B", 4, PUBLIC, None),
+                 ("Key", 4, SECRET, [0xA1, 0xA2, 0xA3, 0xA4]))
+    return Project.from_asm(FIG1_SRC, regs={"ra": 9}, mem=mem,
+                            name="fig1", **kw)
+
+
+class TestAnalysisOptions:
+    def test_defaults_validate(self):
+        options = AnalysisOptions()
+        assert options.bound == 20 and options.fwd_hazards
+
+    @pytest.mark.parametrize("bad", [
+        {"bound": 0}, {"bound_no_fwd": -1}, {"max_paths": 0},
+        {"rsb_policy": "bogus"}, {"experiments": 0},
+    ])
+    def test_rejects_bad_knobs(self, bad):
+        with pytest.raises(ValueError):
+            AnalysisOptions(**bad)
+
+    def test_paper_preset(self):
+        options = AnalysisOptions.paper()
+        assert (options.bound_no_fwd, options.bound_fwd) == (250, 20)
+
+    def test_table2_preset(self):
+        options = AnalysisOptions.table2()
+        assert (options.bound_no_fwd, options.bound_fwd) == (28, 20)
+
+    def test_for_case_mirrors_ground_truth_knobs(self):
+        case = find_case("v4_fig7")
+        options = AnalysisOptions.for_case(case)
+        assert options.bound == case.min_bound
+        assert options.fwd_hazards == case.needs_fwd_hazards
+        assert options.jmpi_targets == case.jmpi_targets
+
+    def test_with_ignores_none_and_rejects_unknown(self):
+        options = AnalysisOptions()
+        assert options.with_(bound=None) is options
+        assert options.with_(bound=7).bound == 7
+        with pytest.raises(TypeError):
+            options.with_(no_such_knob=1)
+
+    def test_targets_normalised_to_tuples(self):
+        options = AnalysisOptions(jmpi_targets=[3, 4])
+        assert options.jmpi_targets == (3, 4)
+        hash(options)  # must stay hashable (cache keys)
+
+
+class TestProject:
+    def test_needs_exactly_one_config_source(self):
+        program = fig1_project().program
+        with pytest.raises(ValueError):
+            Project(program)
+        with pytest.raises(ValueError):
+            Project(program, fig1_project().config(),
+                    make_config=lambda: None)
+
+    def test_from_asm_runs_pitchfork(self):
+        report = fig1_project().analyses.pitchfork(bound=12,
+                                                   fwd_hazards=False)
+        assert not report.ok and report.status == "insecure"
+        assert report.violations and report.analysis == "pitchfork"
+
+    def test_from_litmus_by_name_and_record(self):
+        by_name = Project.from_litmus("v1_fig1")
+        by_record = Project.from_litmus(find_case("v1_fig1"))
+        assert by_name.name == by_record.name == "v1_fig1"
+        assert by_name.options == by_record.options
+
+    def test_from_litmus_unknown_name_raises_keyerror(self):
+        with pytest.raises(KeyError):
+            Project.from_litmus("no_such_case")
+
+    def test_every_litmus_case_round_trips(self):
+        """Every registered case is reachable through the facade with
+        its ground-truth knobs mirrored into the options."""
+        for case in all_cases():
+            project = Project.from_litmus(case.name)
+            assert project.name == case.name
+            assert len(project.program) == len(case.program)
+            assert project.options.bound == case.min_bound
+            assert project.options.fwd_hazards == case.needs_fwd_hazards
+            assert project.options.explore_aliasing == case.needs_aliasing
+            assert project.options.rsb_policy == case.rsb_policy
+            assert project.config().low_equivalent(case.config())
+
+    def test_from_variant_carries_expected_flag(self):
+        from repro.casestudies import all_case_studies
+        study = all_case_studies()[0]
+        project = Project.from_variant(study.c)
+        assert project.name == study.c.name
+        assert project.expected == study.c.expected
+        assert project.options.bound_no_fwd == 28
+
+    def test_fingerprint_is_value_based(self):
+        a, b = fig1_project(), fig1_project()
+        assert a is not b and a.fingerprint() == b.fingerprint()
+
+    def test_hub_unknown_analysis(self):
+        with pytest.raises(AttributeError):
+            fig1_project().analyses.nonsense
+
+
+class TestRegistry:
+    def test_all_five_registered(self):
+        assert set(available_analyses()) == {
+            "pitchfork", "two-phase", "sct", "cache-attack", "metatheory"}
+
+    def test_aliases_and_unknown(self):
+        assert get_analysis("two_phase").name == "two-phase"
+        assert get_analysis("cache").name == "cache-attack"
+        with pytest.raises(KeyError):
+            get_analysis("nope")
+
+
+class TestReport:
+    def test_json_round_trip(self):
+        report = fig1_project().analyses.pitchfork(bound=12,
+                                                   fwd_hazards=False)
+        data = json.loads(report.to_json())
+        assert data["status"] == "insecure"
+        assert data["violations"]
+        assert data["phases"][0]["name"] == "v1/v1.1"
+
+    def test_bool_follows_ok(self):
+        assert bool(Report("t", "a", "secure", secure=True))
+        assert not bool(Report("t", "a", "insecure", secure=False))
+        assert bool(Report("t", "a", "clean"))
+        assert not bool(Report("t", "a", "v1"))
+
+    def test_render_mentions_vacuous(self):
+        report = Report("t", "sct", "secure", secure=True, vacuous=True)
+        assert "VACUOUS" in report.render()
+
+
+class TestSCTVacuous:
+    def test_no_secrets_is_vacuous_not_secure_evidence(self):
+        project = Project.from_asm(
+            "%ra = op mov, 1\nhalt", regs={}, name="no-secrets")
+        report = project.analyses.sct(sct_bound=4)
+        assert report.ok and report.vacuous
+        assert report.details["pairs_checked"] == 0
+
+    def test_real_check_is_not_vacuous(self):
+        report = fig1_project().analyses.sct(sct_bound=6,
+                                             fwd_hazards=False)
+        assert not report.vacuous
+        assert not report.ok and report.counterexamples
+
+
+class TestAnalysisManager:
+    def test_parallel_matches_serial_on_full_kocher_suite(self):
+        projects = [Project.from_litmus(c) for c in load_suite("kocher")]
+        serial = AnalysisManager("pitchfork").run(projects)
+        parallel = AnalysisManager("pitchfork", workers=4).run(projects)
+        strip = lambda r: {k: v for k, v in r.to_dict().items()
+                           if k not in ("wall_time", "phases")}
+        assert [strip(r) for r in serial] == [strip(r) for r in parallel]
+        assert sum(not r.ok for r in serial) == 14
+
+    def test_cache_hits_on_repeat(self):
+        manager = AnalysisManager("pitchfork")
+        projects = [Project.from_litmus("v1_fig1")]
+        first = manager.run(projects)
+        second = manager.run([Project.from_litmus("v1_fig1")])
+        assert manager.cache_info.hits == 1
+        assert first[0] is second[0]
+        manager.clear_cache()
+        assert manager.cache_info.size == 0
+
+    def test_option_overrides_apply(self):
+        manager = AnalysisManager("pitchfork")
+        project = Project.from_litmus("v1_fig8_fence")
+        report = manager.run_one(project, bound=6)
+        assert report.phases[0].bound == 6
+
+    def test_rejects_bad_workers(self):
+        with pytest.raises(ValueError):
+            AnalysisManager("pitchfork", workers=0)
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        from repro.api.cli import main
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "pitchfork" in out and "kocher" in out
+
+    def test_list_json(self, capsys):
+        from repro.api.cli import main
+        assert main(["list", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert "two-phase" in data["analyses"]
+
+    def test_analyze_litmus_case_json(self, capsys):
+        from repro.api.cli import main
+        code = main(["analyze", "kocher_01", "--json"])
+        data = json.loads(capsys.readouterr().out)
+        assert code == 1 and data["status"] == "insecure"
+
+    def test_analyze_asm_file(self, tmp_path, capsys):
+        from repro.api.cli import main
+        src = tmp_path / "victim.s"
+        src.write_text("%ra = op mov, 1\nhalt\n")
+        code = main(["analyze", str(src), "--reg", "ra=0", "--json"])
+        data = json.loads(capsys.readouterr().out)
+        assert code == 0 and data["status"] == "secure"
+
+    def test_analyze_unknown_target_exits(self):
+        from repro.api.cli import main
+        with pytest.raises(SystemExit):
+            main(["analyze", "definitely_not_a_case"])
+
+    def test_litmus_sweep_one_suite(self, capsys):
+        from repro.api.cli import main
+        assert main(["litmus", "spec_v1", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["mismatches"] == []
+        assert len(data["suites"]["spec_v1"]) == 9

@@ -1,0 +1,104 @@
+"""Tests for the §4.2.1 two-phase procedure: phase labelling, the
+phase-2 skip, and the API classification built on top of it."""
+
+import pytest
+
+import repro.pitchfork.detector as detector
+from repro.api import Project
+from repro.litmus import find_case
+from repro.pitchfork import analyze_two_phase
+
+
+class TestAnalyzeTwoPhase:
+    def test_v1_leak_is_labelled_phase_one(self):
+        case = find_case("v1_fig1")
+        report = analyze_two_phase(case.program, case.config(),
+                                   bound_no_fwd=case.min_bound,
+                                   bound_fwd=case.min_bound)
+        assert not report.secure
+        assert report.phase == "v1/v1.1"
+        assert report.bound == case.min_bound
+
+    def test_v4_leak_is_labelled_phase_two(self):
+        case = find_case("v4_fig7")
+        report = analyze_two_phase(case.program, case.config(),
+                                   bound_no_fwd=case.min_bound,
+                                   bound_fwd=case.min_bound)
+        assert not report.secure
+        assert report.phase == "v4"
+
+    def test_clean_program_reports_phase_two(self):
+        case = find_case("v1_fig8_fence")
+        report = analyze_two_phase(case.program, case.config(),
+                                   bound_no_fwd=case.min_bound,
+                                   bound_fwd=case.min_bound)
+        assert report.secure and report.phase == "v4"
+
+    def test_phase_two_skipped_after_phase_one_violation(self, monkeypatch):
+        """A phase-1 finding must short-circuit: phase 2 never runs."""
+        calls = []
+        real_analyze = detector.analyze
+
+        def counting_analyze(*args, **kwargs):
+            calls.append(kwargs.get("fwd_hazards"))
+            return real_analyze(*args, **kwargs)
+
+        monkeypatch.setattr(detector, "analyze", counting_analyze)
+        case = find_case("v1_fig1")
+        report = analyze_two_phase(case.program, case.config(),
+                                   bound_no_fwd=case.min_bound,
+                                   bound_fwd=case.min_bound)
+        assert not report.secure
+        assert calls == [False]
+
+    def test_both_phases_run_when_phase_one_clean(self, monkeypatch):
+        calls = []
+        real_analyze = detector.analyze
+
+        def counting_analyze(*args, **kwargs):
+            calls.append(kwargs.get("fwd_hazards"))
+            return real_analyze(*args, **kwargs)
+
+        monkeypatch.setattr(detector, "analyze", counting_analyze)
+        case = find_case("v4_fig7")
+        analyze_two_phase(case.program, case.config(),
+                          bound_no_fwd=case.min_bound,
+                          bound_fwd=case.min_bound)
+        assert calls == [False, True]
+
+
+class TestTwoPhaseAnalysis:
+    """The API wrapper classifies exactly like evaluate_variant."""
+
+    def test_v1_classification(self):
+        case = find_case("v1_fig1")
+        report = Project.from_litmus(case).run(
+            "two-phase", bound_no_fwd=case.min_bound,
+            bound_fwd=case.min_bound)
+        assert report.status == "v1"
+        assert [p.name for p in report.phases] == ["v1/v1.1"]
+
+    def test_f_classification_records_both_phases(self):
+        case = find_case("v4_fig7")
+        report = Project.from_litmus(case).run(
+            "two-phase", bound_no_fwd=case.min_bound,
+            bound_fwd=case.min_bound)
+        assert report.status == "f"
+        assert [p.name for p in report.phases] == ["v1/v1.1", "v4"]
+        assert report.phases[0].secure and not report.phases[1].secure
+
+    def test_clean_classification(self):
+        case = find_case("v1_fig8_fence")
+        report = Project.from_litmus(case).run(
+            "two-phase", bound_no_fwd=case.min_bound,
+            bound_fwd=case.min_bound)
+        assert report.status == "clean" and report.ok
+
+
+class TestFindCase:
+    def test_unknown_name_raises_keyerror(self):
+        with pytest.raises(KeyError):
+            find_case("not_a_registered_case")
+
+    def test_known_name_round_trips(self):
+        assert find_case("kocher_01").name == "kocher_01"
