@@ -18,6 +18,12 @@ Subpackages
     the pluggable analysis registry, the unified
     :class:`~repro.api.Report`, batch execution via
     :class:`~repro.api.AnalysisManager`, and the CLI.
+``repro.engine``
+    The structural-sharing execution core every driver steps through:
+    :class:`~repro.engine.ExecutionEngine` (step/fork/reuse counters,
+    trial-step cache), O(1)-fork :class:`~repro.engine.MachineState`,
+    persistent :class:`~repro.engine.Log` journals, and the
+    :class:`~repro.engine.ScheduleTree` fork trie (see DESIGN.md).
 ``repro.core``
     The speculative out-of-order machine semantics, attacker directives,
     leakage observations, and the speculative constant-time (SCT)

@@ -25,10 +25,12 @@ import time
 from typing import Dict, List, Optional, Type
 
 from ..core.sct import check_sct
-from ..pitchfork import analyze, enumerate_schedules
+from ..engine import ExecutionEngine
+from ..pitchfork import (analyze, analyze_symbolic_result,
+                         enumerate_schedules)
 from .project import AnalysisOptions, Project
 from .report import (PhaseReport, Report, from_analysis_report,
-                     summarize_counterexample)
+                     summarize_counterexample, summarize_finding)
 
 _REGISTRY: Dict[str, Type["Analysis"]] = {}
 
@@ -124,6 +126,7 @@ def _explore(project: Project, options: AnalysisOptions, *,
                    jmpi_targets=options.jmpi_targets,
                    rsb_targets=options.rsb_targets,
                    max_paths=options.max_paths,
+                   max_steps=options.max_steps,
                    rsb_policy=options.rsb_policy)
 
 
@@ -185,6 +188,45 @@ class TwoPhaseAnalysis(Analysis):
 
 
 @register
+class SymbolicAnalysis(Analysis):
+    """Pitchfork's symbolic back end on the engine's schedule tree.
+
+    Enumerates DT(``options.bound``) once — keeping the DFS fork
+    structure — and replays the schedule *tree* symbolically, resuming
+    every shared prefix from its snapshot instead of re-running each
+    schedule from step 0 (fully concrete targets skip the replay and
+    harvest the recorded traces).  Reports a solved attacker-input
+    model per finding, plus step/reuse counters and honest truncation.
+    """
+
+    name = "symbolic"
+    description = ("symbolic replay of the tool-schedule tree (§4.2): "
+                   "solve for attacker inputs reaching secret "
+                   "observations; prefix-shared via repro.engine")
+
+    def _run(self, project: Project, options: AnalysisOptions) -> Report:
+        t0 = time.perf_counter()
+        result = analyze_symbolic_result(
+            project.program, project.config(), bound=options.bound,
+            fwd_hazards=options.fwd_hazards,
+            max_schedules=options.max_schedules,
+            max_worlds=options.max_worlds)
+        return Report(
+            target=project.name, analysis=self.name,
+            status="secure" if result.secure else "insecure",
+            secure=result.secure,
+            violations=tuple(summarize_finding(f) for f in result.findings),
+            paths_explored=result.schedules,
+            states_stepped=result.states_stepped,
+            states_reused=result.states_reused,
+            truncated=result.truncated,
+            wall_time=time.perf_counter() - t0,
+            details={"worlds": result.replay.worlds,
+                     "solver_calls": result.replay.solver_calls},
+        )
+
+
+@register
 class SCTAnalysis(Analysis):
     """The full two-trace SCT check (Definition 3.1).
 
@@ -206,7 +248,11 @@ class SCTAnalysis(Analysis):
             machine, config, bound=options.sct_bound,
             fwd_hazards=options.fwd_hazards,
             max_paths=options.sct_max_schedules)
-        result = check_sct(machine, config, schedules)
+        # Run the two-trace product on the engine so the quantifier's
+        # work (every schedule × every partner, twice per pair) shows
+        # up in the report's step counters.
+        engine = ExecutionEngine(machine)
+        result = check_sct(engine, config, schedules)
         counterexamples = ()
         if result.counterexample is not None:
             counterexamples = (
@@ -217,6 +263,8 @@ class SCTAnalysis(Analysis):
             secure=result.ok,
             counterexamples=counterexamples,
             paths_explored=len(schedules),
+            states_stepped=engine.stats.steps,
+            states_reused=engine.stats.avoided,
             vacuous=result.vacuous,
             wall_time=time.perf_counter() - t0,
             details={"pairs_checked": result.pairs_checked,
@@ -282,7 +330,10 @@ class MetatheoryAnalysis(Analysis):
                                        check_label_stability,
                                        check_sequential_equivalence)
         t0 = time.perf_counter()
-        machine = project.machine()
+        # The theorem checks replay each drawn schedule several times
+        # (determinism runs it twice, consistency replays pairs); the
+        # engine counts that work so it lands in the report.
+        machine = ExecutionEngine(project.machine())
         config = project.config()
         rng = random.Random(options.seed)
         failures: List[Dict[str, str]] = []
@@ -322,6 +373,8 @@ class MetatheoryAnalysis(Analysis):
             secure=ok,
             violations=tuple(failures),
             paths_explored=len(drained),
+            states_stepped=machine.stats.steps,
+            states_reused=machine.stats.avoided,
             wall_time=time.perf_counter() - t0,
             details={"experiments": experiments, "skipped": skipped,
                      "seed": options.seed},

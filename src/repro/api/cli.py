@@ -37,7 +37,24 @@ def _option_overrides(args) -> Dict:
         "fwd_hazards": args.fwd_hazards,
         "explore_aliasing": args.aliasing,
         "max_paths": args.max_paths,
+        "max_steps": args.max_steps,
+        "max_schedules": args.max_schedules,
+        "max_worlds": args.max_worlds,
     }
+
+
+def _warn_truncated(reports) -> None:
+    """Surface capped coverage honestly: a truncated report means a
+    max_paths/max_steps/max_schedules/max_worlds cap bit, so "secure"
+    only speaks for the explored fraction."""
+    names = [r.target for r in reports if r.truncated]
+    if not names:
+        return
+    shown = ", ".join(names[:6]) + (", …" if len(names) > 6 else "")
+    print(f"warning: exploration truncated for {shown} — a "
+          f"max-paths/max-steps/max-schedules/max-worlds cap was hit; "
+          f"coverage is partial (raise the caps to explore fully)",
+          file=sys.stderr)
 
 
 def _add_preset_flag(parser: argparse.ArgumentParser) -> None:
@@ -59,6 +76,12 @@ def _add_option_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--aliasing", action="store_true", default=None,
                         help="enable §3.5 aliasing-prediction exploration")
     parser.add_argument("--max-paths", type=int, help="path-count cap")
+    parser.add_argument("--max-steps", type=int,
+                        help="per-path step budget")
+    parser.add_argument("--max-schedules", type=int,
+                        help="symbolic back end: schedule cap")
+    parser.add_argument("--max-worlds", type=int,
+                        help="symbolic back end: live-world cap")
 
 
 def _preset_options(args) -> Optional[AnalysisOptions]:
@@ -142,6 +165,7 @@ def cmd_analyze(args) -> int:
         print(report.to_json(indent=2))
     else:
         print(report.render())
+    _warn_truncated([report])
     return 0 if report.ok else 1
 
 
@@ -155,10 +179,12 @@ def cmd_litmus(args) -> int:
     manager = AnalysisManager("pitchfork", workers=args.workers)
     out: Dict[str, Dict] = {}
     mismatches = []
+    truncated = []
     t0 = time.time()
     for suite in names:
         projects = [Project.from_litmus(case) for case in load_suite(suite)]
         reports = manager.run(projects, **_option_overrides(args))
+        truncated.extend(r for r in reports if r.truncated)
         rows = {}
         for project, report in zip(projects, reports):
             flagged = not report.ok
@@ -184,6 +210,7 @@ def cmd_litmus(args) -> int:
         print(f"\n{sum(len(r) for r in out.values())} cases in "
               f"{elapsed:.1f}s"
               + (f"; MISMATCHES: {mismatches}" if mismatches else ""))
+    _warn_truncated(truncated)
     return 1 if mismatches else 0
 
 
@@ -210,6 +237,7 @@ def cmd_table2(args) -> int:
         print(render_table2(results))
         print(f"\n({elapsed:.1f}s; ✓ = SCT violation, "
               f"f = needs forwarding-hazard detection)")
+    _warn_truncated(reports)
     return 0
 
 

@@ -59,7 +59,12 @@ class AnalysisOptions:
     rsb_targets: Tuple[int, ...] = ()    #: ret2spec exploration targets
     rsb_policy: str = "directive"
     max_paths: int = 20_000
+    max_steps: int = 40_000         #: per-path step budget
     stop_at_first: bool = True
+
+    # -- the symbolic back end ----------------------------------------------
+    max_schedules: int = 512        #: tool schedules replayed symbolically
+    max_worlds: int = 256           #: live symbolic worlds per replay
 
     # -- the two-phase procedure (§4.2.1) -----------------------------------
     bound_no_fwd: int = PAPER_BOUND_NO_FWD   #: phase 1 (v1/v1.1) bound
@@ -77,7 +82,8 @@ class AnalysisOptions:
         for name in ("bound", "bound_no_fwd", "bound_fwd", "sct_bound"):
             if getattr(self, name) <= 0:
                 raise ValueError(f"{name} must be positive")
-        for name in ("max_paths", "sct_max_schedules", "experiments"):
+        for name in ("max_paths", "max_steps", "max_schedules", "max_worlds",
+                     "sct_max_schedules", "experiments"):
             if getattr(self, name) <= 0:
                 raise ValueError(f"{name} must be positive")
         if self.rsb_policy not in _RSB_POLICIES:

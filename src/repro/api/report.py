@@ -63,6 +63,23 @@ def summarize_violation(violation) -> Dict[str, Any]:
     }
 
 
+def summarize_finding(finding) -> Dict[str, Any]:
+    """A JSON-able digest of a
+    :class:`repro.pitchfork.SymbolicFinding`.
+
+    A finding records the witnessing schedule and a solved input model
+    but not the position of the observation within the schedule, so —
+    unlike :func:`summarize_violation` — no ``step_index``/``directive``
+    is reported rather than a misleading one.
+    """
+    return {
+        "observation": repr(finding.observation),
+        "schedule_tail": [repr(d) for d in finding.schedule[-8:]],
+        "model": {k: v for k, v in sorted(finding.model.items())},
+        "constraints": [repr(c) for c in finding.constraints],
+    }
+
+
 def summarize_counterexample(cex) -> Dict[str, Any]:
     """A JSON-able digest of an :class:`repro.core.SCTCounterExample`."""
     return {
@@ -85,7 +102,14 @@ class Report:
     violations: Tuple[Dict[str, Any], ...] = ()
     counterexamples: Tuple[Dict[str, Any], ...] = ()
     paths_explored: int = 0
+    #: Machine steps actually executed.  Disjoint from
+    #: ``states_reused`` for every analysis: stepped + reused is what
+    #: the same work would cost without sharing.
     states_stepped: int = 0
+    #: Machine steps the execution engine served from shared prefixes,
+    #: recorded snapshots, or its trial-step cache instead of
+    #: re-executing — the observable half of the engine's speedup.
+    states_reused: int = 0
     truncated: bool = False
     #: The SCT quantifier found no real pair to check (see
     #: ``SCTResult.vacuous``): "secure" by emptiness, not by evidence.
@@ -120,6 +144,7 @@ class Report:
             "counterexamples": list(self.counterexamples),
             "paths_explored": self.paths_explored,
             "states_stepped": self.states_stepped,
+            "states_reused": self.states_reused,
             "truncated": self.truncated,
             "vacuous": self.vacuous,
             "wall_time": round(self.wall_time, 6),
@@ -134,9 +159,11 @@ class Report:
 
     def render(self, max_violations: int = 5) -> str:
         """Human-readable multi-line summary."""
+        reused = (f", {self.states_reused} reused"
+                  if self.states_reused else "")
         head = (f"[{self.analysis}] {self.target}: {self.status.upper()} "
-                f"({self.paths_explored} paths, {self.states_stepped} steps, "
-                f"{self.wall_time:.2f}s"
+                f"({self.paths_explored} paths, {self.states_stepped} steps"
+                f"{reused}, {self.wall_time:.2f}s"
                 f"{', truncated' if self.truncated else ''}"
                 f"{', VACUOUS' if self.vacuous else ''})")
         lines = [head]
@@ -146,8 +173,12 @@ class Report:
                          f"({phase.paths_explored} paths, "
                          f"{phase.wall_time:.2f}s)")
         for v in self.violations[:max_violations]:
-            lines.append(f"  violation: {v['observation']} "
-                         f"at step {v['step_index']} via {v['directive']}")
+            line = f"  violation: {v['observation']}"
+            if "step_index" in v:
+                line += f" at step {v['step_index']} via {v['directive']}"
+            if v.get("model"):
+                line += f" with {v['model']}"
+            lines.append(line)
         extra = len(self.violations) - max_violations
         if extra > 0:
             lines.append(f"  … and {extra} more")
@@ -180,6 +211,7 @@ def from_analysis_report(report, target: str, analysis: str,
         violations=tuple(summarize_violation(v) for v in report.violations),
         paths_explored=report.paths_explored,
         states_stepped=report.states_stepped,
+        states_reused=getattr(report, "states_reused", 0),
         truncated=report.truncated,
         wall_time=wall_time,
         phases=phases,

@@ -56,9 +56,33 @@ class Config:
 
     # -- functional updates -------------------------------------------------
 
+    _FIELDS = frozenset(("regs", "mem", "pc", "buf", "rsb"))
+
     def with_(self, **kw) -> "Config":
-        """Functional record update."""
-        return replace(self, **kw)
+        """Functional record update.
+
+        Hand-rolled rather than :func:`dataclasses.replace`: this runs
+        once per machine step, and ``replace``'s field introspection is
+        measurable at exploration scale.
+        """
+        if not kw.keys() <= self._FIELDS:
+            raise TypeError(f"unknown config fields "
+                            f"{sorted(kw.keys() - self._FIELDS)}")
+        return Config(kw.get("regs", self.regs), kw.get("mem", self.mem),
+                      kw.get("pc", self.pc), kw.get("buf", self.buf),
+                      kw.get("rsb", self.rsb))
+
+    def snapshot(self) -> "Config":
+        """This configuration as an O(1) snapshot.
+
+        Configurations are immutable values whose components (memory,
+        reorder buffer, RSB) are persistent structures, so a snapshot
+        *is* the configuration: the execution engine's exploration tree
+        stores configurations directly and resumes from them without
+        any copying.  This method exists to make that contract explicit
+        at call sites.
+        """
+        return self
 
     def reg(self, name) -> Value:
         """Committed (architectural) value of a register."""

@@ -46,7 +46,13 @@ def run(machine: Machine, config: Config,
         schedule: Iterable[Directive],
         record_steps: bool = True) -> RunResult:
     """Execute ``schedule`` from ``config``; raise StuckError (annotated
-    with the failing step index) if the schedule is not well-formed."""
+    with the failing step index) if the schedule is not well-formed.
+
+    ``machine`` may be a plain :class:`Machine` or a counting
+    :class:`repro.engine.ExecutionEngine` — both expose the same
+    ``step`` relation, so every big-step driver (this one, the SCT
+    product, the metatheory checks) runs on the engine when given one.
+    """
     trace: List[Observation] = []
     steps: List[StepRecord] = []
     retired = 0

@@ -226,7 +226,16 @@ class Evaluator:
     The machine uses exactly four entry points; each works on *labelled
     values* and is responsible for propagating labels (join of the
     operand labels, per the semantics).
+
+    ``pure`` declares that the entry points are functions of their
+    arguments alone (no hidden mutable state), so one machine step is a
+    function of ``(configuration, directive)`` — the property the
+    execution engine's step cache relies on (Theorem B.1).  Stateful
+    evaluators (e.g. the symbolic one, which accumulates decisions)
+    must set it to False.
     """
+
+    pure: bool = True
 
     def evaluate(self, opcode: str, vals: Sequence[Value]) -> Value:
         """Apply ``J opcode K`` to resolved operand values."""

@@ -247,13 +247,16 @@ class Machine:
     @staticmethod
     def _check_no_fence_before(buf: ReorderBuffer, i: int,
                                d: Directive) -> None:
-        """The highlighted side condition ``∀j < i : buf(j) ≠ fence``."""
-        for j, instr in buf.items():
-            if j >= i:
-                break
-            if isinstance(instr, TFence):
-                raise StuckError(
-                    f"fence at {j} blocks execution of index {i}", d)
+        """The highlighted side condition ``∀j < i : buf(j) ≠ fence``.
+
+        Uses the buffer's cached oldest-fence index — this check runs
+        on every execute step, so rescanning the window would be
+        quadratic over a speculation bound's worth of executes.
+        """
+        j = buf.first_fence()
+        if j is not None and j < i:
+            raise StuckError(
+                f"fence at {j} blocks execution of index {i}", d)
 
     def _resolve_all(self, config: Config, i: int, args) -> Tuple[Value, ...]:
         try:

@@ -5,6 +5,16 @@ yield a fresh public zero — in the paper's attack figures speculative
 loads routinely read "irrelevant" values ``X`` from addresses the victim
 never initialised, and the semantics must not get stuck there.
 
+Memories are immutable values, but *not* copied wholesale on write:
+each instance is a persistent overlay — a shared base dict (never
+mutated once published) plus a small private delta.  A store retire
+therefore costs O(|delta|) ≤ the compaction threshold instead of
+O(|memory|); when the delta grows past the threshold it is folded into
+a fresh base, keeping reads at two dict probes.  This is the
+engine-level structural sharing the exploration stack leans on (see
+DESIGN.md, "The execution engine") — observable behaviour is exactly
+that of the seed's copy-the-dict implementation.
+
 :class:`Region` is a small allocation helper used by the litmus tests and
 case studies to lay out named arrays (``array A``, ``secretKey``, …) and
 to ask questions like "which region does this observation's address fall
@@ -18,6 +28,11 @@ from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from .lattice import Label, PUBLIC, SECRET
 from .values import Value
+
+#: Delta entries tolerated before an overlay is folded into its base.
+#: Small enough that writes stay effectively O(1), large enough that
+#: bursts of stores (a drain retiring a full buffer) rarely compact.
+_COMPACT_LIMIT = 32
 
 
 @dataclass(frozen=True)
@@ -42,31 +57,49 @@ class Region:
 
 
 class Memory:
-    """An immutable labelled memory.
+    """An immutable labelled memory (persistent base + delta overlay).
 
-    Mutation (:meth:`write`) returns a new memory sharing storage with
-    the old one (copy-on-write of a dict).  Program text lives separately
-    in :class:`repro.core.program.Program`.
+    Mutation (:meth:`write`) returns a new memory sharing the base
+    storage with the old one.  Program text lives separately in
+    :class:`repro.core.program.Program`.
     """
 
-    __slots__ = ("_cells", "_regions")
+    __slots__ = ("_base", "_delta", "_regions")
 
     def __init__(self, cells: Optional[Dict[int, Value]] = None,
                  regions: Tuple[Region, ...] = ()):
-        self._cells: Dict[int, Value] = dict(cells or {})
+        self._base: Dict[int, Value] = dict(cells or {})
+        self._delta: Dict[int, Value] = {}
         self._regions = regions
+
+    @classmethod
+    def _overlay(cls, base: Dict[int, Value], delta: Dict[int, Value],
+                 regions: Tuple[Region, ...]) -> "Memory":
+        """Internal constructor sharing ``base`` (which must never be
+        mutated after publication); compacts oversized deltas."""
+        if len(delta) > _COMPACT_LIMIT:
+            base = {**base, **delta}
+            delta = {}
+        mem = object.__new__(cls)
+        mem._base = base
+        mem._delta = delta
+        mem._regions = regions
+        return mem
 
     # -- reads -------------------------------------------------------------
 
     def read(self, addr: int) -> Value:
         """µ(a); unmapped addresses read as a fresh public 0."""
-        got = self._cells.get(addr)
+        got = self._delta.get(addr)
+        if got is not None:
+            return got
+        got = self._base.get(addr)
         if got is not None:
             return got
         return Value(0, PUBLIC)
 
     def is_mapped(self, addr: int) -> bool:
-        return addr in self._cells
+        return addr in self._delta or addr in self._base
 
     def __getitem__(self, addr: int) -> Value:
         return self.read(addr)
@@ -74,23 +107,22 @@ class Memory:
     # -- writes ------------------------------------------------------------
 
     def write(self, addr: int, value: Value) -> "Memory":
-        """µ[a ↦ v]; returns a new memory."""
-        cells = dict(self._cells)
-        cells[addr] = value
-        return Memory(cells, self._regions)
+        """µ[a ↦ v]; returns a new memory sharing storage with this one."""
+        return Memory._overlay(self._base, {**self._delta, addr: value},
+                               self._regions)
 
     def write_all(self, pairs: Iterable[Tuple[int, Value]]) -> "Memory":
-        cells = dict(self._cells)
+        delta = dict(self._delta)
         for addr, value in pairs:
-            cells[addr] = value
-        return Memory(cells, self._regions)
+            delta[addr] = value
+        return Memory._overlay(self._base, delta, self._regions)
 
     # -- regions -----------------------------------------------------------
 
     def with_region(self, region: Region,
                     init: Optional[Iterable[int]] = None) -> "Memory":
         """Register a region and optionally initialise its cells."""
-        cells = dict(self._cells)
+        cells = self.cells()
         if init is not None:
             for off, payload in enumerate(init):
                 cells[region.base + off] = Value(payload, region.label)
@@ -118,11 +150,15 @@ class Memory:
     # -- equivalences --------------------------------------------------------
 
     def addresses(self) -> Iterator[int]:
-        return iter(sorted(self._cells))
+        if not self._delta:
+            return iter(sorted(self._base))
+        return iter(sorted({*self._base, *self._delta}))
 
     def cells(self) -> Dict[int, Value]:
         """A snapshot copy of the mapped cells."""
-        return dict(self._cells)
+        if not self._delta:
+            return dict(self._base)
+        return {**self._base, **self._delta}
 
     def low_equivalent(self, other: "Memory") -> bool:
         """``≃pub`` on memories: agreement on all public cells.
@@ -131,8 +167,8 @@ class Memory:
         public values and those public values coincide.  Secret cells may
         differ arbitrarily (but must be secret in both).
         """
-        mine = {a: v for a, v in self._cells.items() if v.is_public()}
-        theirs = {a: v for a, v in other._cells.items() if v.is_public()}
+        mine = {a: v for a, v in self.cells().items() if v.is_public()}
+        theirs = {a: v for a, v in other.cells().items() if v.is_public()}
         if set(mine) != set(theirs):
             return False
         return all(mine[a].val == theirs[a].val for a in mine)
@@ -140,15 +176,17 @@ class Memory:
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Memory):
             return NotImplemented
-        return self._cells == other._cells
+        if self._base is other._base and self._delta == other._delta:
+            return True
+        return self.cells() == other.cells()
 
     def __hash__(self) -> int:
         return hash(tuple(sorted(
-            (a, v.val, v.label) for a, v in self._cells.items()
+            (a, v.val, v.label) for a, v in self.cells().items()
             if isinstance(v.val, int))))
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        cells = ", ".join(f"{a:#x}: {v!r}" for a, v in sorted(self._cells.items()))
+        cells = ", ".join(f"{a:#x}: {v!r}" for a, v in sorted(self.cells().items()))
         return f"Memory{{{cells}}}"
 
 

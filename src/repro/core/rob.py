@@ -19,18 +19,22 @@ from __future__ import annotations
 
 from typing import Dict, Iterator, Optional, Tuple, Union
 
-from .transient import Transient, assigns, resolved_value_of
+from .transient import TFence, Transient, assigns, resolved_value_of
 from .values import BOTTOM, Operand, Operands, Reg, Value, _Bottom
+
+#: Sentinel for the lazily computed oldest-fence cache.
+_UNCOMPUTED = -2
 
 
 class ReorderBuffer:
     """An immutable contiguous map from indices to transient instructions."""
 
-    __slots__ = ("_base", "_slots")
+    __slots__ = ("_base", "_slots", "_fence")
 
     def __init__(self, base: int = 1, slots: Tuple[Transient, ...] = ()):
         self._base = base          # index of the first slot
         self._slots = slots
+        self._fence = _UNCOMPUTED  # oldest fence index (-1: none)
 
     # -- queries ----------------------------------------------------------
 
@@ -77,6 +81,24 @@ class ReorderBuffer:
         """(index, instruction) pairs in increasing index order."""
         for off, instr in enumerate(self._slots):
             yield self._base + off, instr
+
+    def first_fence(self) -> Optional[int]:
+        """Index of the oldest in-flight fence, or None.
+
+        Cached per (immutable) buffer: the highlighted side condition
+        of the execute rules (``∀j < i : buf(j) ≠ fence``) asks this on
+        every execute step, and rescanning the window each time is the
+        dominant cost at large speculation bounds.
+        """
+        f = self._fence
+        if f == _UNCOMPUTED:
+            f = -1
+            for off, instr in enumerate(self._slots):
+                if isinstance(instr, TFence):
+                    f = self._base + off
+                    break
+            self._fence = f
+        return None if f == -1 else f
 
     # -- mutations (all return fresh buffers) ------------------------------
 

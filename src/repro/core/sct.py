@@ -147,7 +147,12 @@ def check_sct(machine: Machine, config: Config,
               partners: Optional[Iterable[Config]] = None) -> SCTResult:
     """Check Definition 3.1 for ``config`` over the given schedules,
     against either the provided partners or auto-generated secret
-    variations."""
+    variations.
+
+    ``machine`` may also be a :class:`repro.engine.ExecutionEngine`,
+    which counts the quantifier's work (every schedule × every partner,
+    two runs per pair) so it can surface in ``api.Report``.
+    """
     partner_list = list(partners) if partners is not None \
         else secret_variations(config)
     pairs = 0

@@ -20,16 +20,57 @@ from typing import Iterable, Tuple, Union
 from .lattice import Label, PUBLIC, SECRET, join_all
 
 
+#: Interned small-integer values, one table per two-point label.
+#: Machine arithmetic over gadget-sized programs produces the same few
+#: hundred labelled constants over and over; sharing one instance per
+#: (payload, label) keeps forked configurations' register files and
+#: memories pointing at common objects.  Only the PUBLIC/SECRET
+#: singletons intern (checked by identity — the hot path must not pay
+#: for hashing a label); each table is bounded by the key range itself.
+_INTERN_PUBLIC: dict = {}
+_INTERN_SECRET: dict = {}
+_INTERN_RANGE = range(-1024, 4097)
+
+
 @dataclass(frozen=True)
 class Value:
     """A labelled value ``v_ℓ``.
 
     ``val`` is the payload (an int, or a symbolic expression under the
-    Pitchfork executor); ``label`` is its security label.
+    Pitchfork executor); ``label`` is its security label.  Small integer
+    values are interned: construction may return a shared (still
+    immutable) instance.
     """
 
     val: object
     label: Label = PUBLIC
+
+    def __new__(cls, val: object = 0, label: Label = PUBLIC) -> "Value":
+        if cls is Value and type(val) is int and val in _INTERN_RANGE:
+            if label is PUBLIC:
+                table = _INTERN_PUBLIC
+            elif label is SECRET:
+                table = _INTERN_SECRET
+            else:
+                return super().__new__(cls)
+            got = table.get(val)
+            if got is not None:
+                return got
+            self = table[val] = super().__new__(cls)
+            return self
+        return super().__new__(cls)
+
+    # Values are immutable and possibly interned: copying returns the
+    # same instance, and (un)pickling goes through the constructor so a
+    # shared instance is never rebuilt in place.
+    def __copy__(self) -> "Value":
+        return self
+
+    def __deepcopy__(self, memo) -> "Value":
+        return self
+
+    def __reduce__(self):
+        return (type(self), (self.val, self.label))
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         suffix = "" if self.label.is_public() else f"_{self.label.name[:3]}"

@@ -1,0 +1,30 @@
+"""``repro.engine`` — the structural-sharing execution core.
+
+One engine under every driver: the Pitchfork explorer, the symbolic
+runner, the sequential runner, the SCT two-trace product and the
+metatheory checks all step configurations through
+:class:`ExecutionEngine`, which adds step/fork/reuse accounting and a
+trial-step cache over the (pure, deterministic) machine relation.
+
+The supporting structures make forking free:
+
+* :class:`Log` — persistent cons-list logs (schedule/trace/violations)
+  with O(1) append and fork, materialized lazily;
+* :class:`MachineState` — one exploration arm: configuration + logs +
+  budgets, forked in O(1);
+* :class:`ScheduleTree` — the DFS fork trie over an enumerated
+  schedule family; tree walks visit each shared prefix once instead of
+  re-running every schedule from step 0.
+
+See DESIGN.md ("The execution engine") for the design rationale.
+"""
+
+from .core import EngineStats, ExecutionEngine
+from .journal import EMPTY_LOG, Log
+from .state import MachineState
+from .tree import ScheduleTree, TreeNode
+
+__all__ = [
+    "EngineStats", "ExecutionEngine", "EMPTY_LOG", "Log", "MachineState",
+    "ScheduleTree", "TreeNode",
+]

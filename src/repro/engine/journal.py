@@ -1,0 +1,96 @@
+"""Persistent append-only logs (the engine's cons-lists).
+
+Exploration states carry three growing sequences — the directive
+schedule, the observation trace, and the violation list.  The seed
+implementation copied all three as Python lists at every DFS fork, an
+O(length) cost paid once per fork arm.  :class:`Log` replaces them with
+a parent-pointer ("cons") list:
+
+* ``append``/``extend`` are O(1): they allocate one node pointing back
+  at the previous log;
+* forking a state is O(1): both arms simply keep the same node and
+  diverge from there, sharing the whole common prefix;
+* ``materialize`` walks the parent chain once to rebuild the tuple, and
+  caches it on the node, so a log that is read repeatedly (e.g. the
+  schedule of a completed path) pays the walk only once.
+
+Logs are immutable and hash-free by design; they are plumbing for the
+execution engine, not part of the paper's semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional, Tuple
+
+__all__ = ["Log", "EMPTY_LOG"]
+
+
+class Log:
+    """An immutable append-only sequence with O(1) append and fork."""
+
+    __slots__ = ("_parent", "_item", "_length", "_cache")
+
+    def __init__(self, parent: Optional["Log"] = None, item: object = None):
+        self._parent = parent
+        self._item = item
+        self._length = (parent._length + 1) if parent is not None else 0
+        self._cache: Optional[Tuple] = None  # materialized prefix
+
+    # -- growth (all O(1)) --------------------------------------------------
+
+    def append(self, item: object) -> "Log":
+        """A new log equal to this one plus ``item``."""
+        return Log(self, item)
+
+    def extend(self, items: Iterable[object]) -> "Log":
+        """A new log equal to this one plus each of ``items`` in order."""
+        node = self
+        for item in items:
+            node = Log(node, item)
+        return node
+
+    # -- queries ------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._length
+
+    def __bool__(self) -> bool:
+        return self._length > 0
+
+    def materialize(self) -> Tuple:
+        """The log's contents as a tuple (cached on this node).
+
+        Cost is O(distance to the nearest already-materialized
+        ancestor); repeated calls are O(1).
+        """
+        if self._cache is not None:
+            return self._cache
+        # Walk back to a cached ancestor (or the root), then rebuild.
+        chain = []
+        node: Optional[Log] = self
+        prefix: Tuple = ()
+        while node is not None and node._length > 0:
+            if node._cache is not None:
+                prefix = node._cache
+                break
+            chain.append(node._item)
+            node = node._parent
+        out = prefix + tuple(reversed(chain))
+        self._cache = out
+        return out
+
+    def __iter__(self) -> Iterator:
+        return iter(self.materialize())
+
+    def last(self) -> object:
+        """The most recently appended item."""
+        if self._length == 0:
+            raise IndexError("empty log")
+        return self._item
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Log(len={self._length})"
+
+
+#: The shared empty log — the root every exploration grows from.
+EMPTY_LOG = Log()

@@ -1,0 +1,60 @@
+"""O(1)-fork execution states built on structural sharing.
+
+A :class:`MachineState` is what one DFS arm of an exploration carries:
+the machine configuration (already an immutable value — see
+:class:`~repro.core.config.Config`) plus the three append-only logs
+(schedule, trace, notes) as :class:`~repro.engine.journal.Log`
+cons-lists, the per-path budget counters, and any small driver-local
+scratch (delayed indices).
+
+The seed Explorer copied three Python lists and a set at every fork;
+:meth:`fork` here copies five references and one small set.  The logs
+materialize back into tuples only when a path completes, so a fork that
+is quickly pruned never pays for its prefix at all.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Optional, Set
+
+from ..core.config import Config
+from .journal import EMPTY_LOG, Log
+
+__all__ = ["MachineState"]
+
+
+class MachineState:
+    """One in-flight exploration state with O(1) fork.
+
+    Mutable *between* forks (a driver advances it in place), constant
+    time to fork: all history lives in shared persistent structures.
+    """
+
+    __slots__ = ("config", "schedule", "trace", "notes", "delayed",
+                 "fetches", "steps", "exhausted", "finished")
+
+    def __init__(self, config: Config,
+                 schedule: Log = EMPTY_LOG,
+                 trace: Log = EMPTY_LOG,
+                 notes: Log = EMPTY_LOG,
+                 delayed: Optional[Set[int]] = None,
+                 fetches: int = 0, steps: int = 0):
+        self.config = config
+        self.schedule = schedule      #: Log of Directive
+        self.trace = trace            #: Log of Observation
+        self.notes = notes            #: Log of driver-specific records
+        self.delayed = delayed if delayed is not None else set()
+        self.fetches = fetches
+        self.steps = steps
+        self.exhausted = False        #: a per-path budget was hit
+        self.finished = False         #: cleanly pruned by the driver
+
+    def fork(self) -> "MachineState":
+        """An independent state sharing all history with this one."""
+        return MachineState(self.config, self.schedule, self.trace,
+                            self.notes, set(self.delayed),
+                            self.fetches, self.steps)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"MachineState(pc={self.config.pc}, "
+                f"|schedule|={len(self.schedule)}, steps={self.steps})")

@@ -1,0 +1,112 @@
+"""The exploration fork tree — shared prefixes made explicit.
+
+Definition B.18's tool schedules are enumerated by a DFS whose forks
+give the schedule *set* a trie structure: two schedules are identical
+up to the fork that separated them.  The seed pipeline threw that
+structure away (``enumerate_schedules`` returned a flat list) and the
+symbolic back end re-executed every schedule from step 0.
+
+:class:`ScheduleTree` keeps the fork structure: one :class:`TreeNode`
+per distinct schedule prefix, children in first-enumeration order, and
+the enumeration's payload (one per complete schedule, e.g. the
+explorer's recorded path) attached to the node where its schedule ends.
+A tree walk then visits every shared prefix exactly once — the
+"resume from the deepest shared prefix" primitive the symbolic replay
+builds on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from ..core.directives import Directive, Schedule
+
+__all__ = ["TreeNode", "ScheduleTree"]
+
+
+@dataclass
+class TreeNode:
+    """One distinct schedule prefix.
+
+    ``children`` preserves first-enumeration order (insertion-ordered
+    dict).  ``leaf_indices`` lists the positions (in enumeration order)
+    of the schedules that end exactly here — normally one, but
+    duplicate schedules reached through different internal choices each
+    keep their own slot.  ``leaves`` counts schedule endpoints at or
+    below this node; a walk uses it to know how many naive replays one
+    shared step stands in for.
+    """
+
+    directive: Optional[Directive] = None     #: edge into this node (root: None)
+    children: Dict[Directive, "TreeNode"] = field(default_factory=dict)
+    leaf_indices: List[int] = field(default_factory=list)
+    leaves: int = 0
+
+    def walk(self) -> Iterator["TreeNode"]:
+        yield self
+        for child in self.children.values():
+            yield from child.walk()
+
+
+class ScheduleTree:
+    """A trie over an enumerated schedule family, with per-leaf payloads.
+
+    Built via :meth:`from_paths` from ``(schedule, payload)`` pairs in
+    enumeration order; ``payloads[i]`` belongs to ``schedules[i]``.
+    """
+
+    def __init__(self, root: TreeNode, schedules: Tuple[Schedule, ...],
+                 payloads: Tuple[object, ...], truncated: bool = False,
+                 engine_stats: Optional[object] = None):
+        self.root = root
+        self.schedules = schedules
+        self.payloads = payloads
+        self.truncated = truncated
+        #: :class:`~repro.engine.core.EngineStats` of the enumeration
+        #: that produced this tree, when known.
+        self.engine_stats = engine_stats
+
+    @classmethod
+    def from_paths(cls, paths: Iterable[Tuple[Schedule, object]],
+                   truncated: bool = False,
+                   engine_stats: Optional[object] = None) -> "ScheduleTree":
+        root = TreeNode()
+        schedules: List[Schedule] = []
+        payloads: List[object] = []
+        for index, (schedule, payload) in enumerate(paths):
+            schedules.append(tuple(schedule))
+            payloads.append(payload)
+            node = root
+            node.leaves += 1
+            for d in schedule:
+                child = node.children.get(d)
+                if child is None:
+                    child = TreeNode(d)
+                    node.children[d] = child
+                child.leaves += 1
+                node = child
+            node.leaf_indices.append(index)
+        return cls(root, tuple(schedules), tuple(payloads), truncated,
+                   engine_stats)
+
+    # -- measures ------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.schedules)
+
+    def edges(self) -> int:
+        """Distinct schedule steps — what a prefix-shared walk executes."""
+        return sum(1 for node in self.root.walk()) - 1
+
+    def naive_steps(self) -> int:
+        """Schedule steps a from-scratch replay of every schedule runs."""
+        return sum(len(s) for s in self.schedules)
+
+    def shared_steps(self) -> int:
+        """Steps a prefix-shared walk avoids relative to naive replay."""
+        return self.naive_steps() - self.edges()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"ScheduleTree({len(self.schedules)} schedules, "
+                f"{self.edges()} edges, naive {self.naive_steps()})")

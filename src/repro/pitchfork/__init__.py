@@ -10,17 +10,21 @@ from .detector import (AnalysisReport, PAPER_BOUND_FWD, PAPER_BOUND_NO_FWD,
 from .explorer import (ExplorationOptions, ExplorationResult, Explorer,
                        PathResult, Violation)
 from .reports import format_report, format_violation
-from .schedules import ScheduleStats, enumerate_schedules, schedule_stats
-from .symex import (App, Constraint, Sym, SymbolicEvaluator,
-                    SymbolicFinding, SymbolicRunner, analyze_symbolic,
-                    eval_expr, feasible_values, solve, symbols_of)
+from .schedules import (ScheduleStats, enumerate_schedule_tree,
+                        enumerate_schedules, schedule_stats)
+from .symex import (App, Constraint, ReplayStats, Sym, SymbolicEvaluator,
+                    SymbolicFinding, SymbolicResult, SymbolicRunner,
+                    analyze_symbolic, analyze_symbolic_result, eval_expr,
+                    feasible_values, solve, symbols_of)
 
 __all__ = [
     "AnalysisReport", "PAPER_BOUND_FWD", "PAPER_BOUND_NO_FWD", "analyze",
     "analyze_two_phase", "ExplorationOptions", "ExplorationResult",
     "Explorer", "PathResult", "Violation", "format_report",
-    "format_violation", "ScheduleStats", "enumerate_schedules",
-    "schedule_stats", "App", "Constraint", "Sym", "SymbolicEvaluator",
-    "SymbolicFinding", "SymbolicRunner", "analyze_symbolic", "eval_expr",
-    "feasible_values", "solve", "symbols_of",
+    "format_violation", "ScheduleStats", "enumerate_schedule_tree",
+    "enumerate_schedules", "schedule_stats", "App", "Constraint",
+    "ReplayStats", "Sym", "SymbolicEvaluator", "SymbolicFinding",
+    "SymbolicResult", "SymbolicRunner", "analyze_symbolic",
+    "analyze_symbolic_result", "eval_expr", "feasible_values", "solve",
+    "symbols_of",
 ]

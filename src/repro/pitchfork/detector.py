@@ -35,10 +35,17 @@ class AnalysisReport:
     secure: bool
     violations: Tuple[Violation, ...]
     paths_explored: int
+    #: Schedule steps actually executed (each shared DFS prefix counts
+    #: once).  Disjoint from ``states_reused``; their sum is what
+    #: fork-by-copy re-execution would have cost.  Every analysis
+    #: reports this pair with the same meaning.
     states_stepped: int
     truncated: bool
     phase: str                  #: "v1/v1.1", "v4", or "combined"
     bound: int
+    #: Steps served from shared prefixes / the engine's step cache
+    #: instead of being re-executed (0 for legacy producers).
+    states_reused: int = 0
 
     def __bool__(self) -> bool:
         return self.secure
@@ -54,6 +61,7 @@ def analyze(program: Program, config: Config,
             jmpi_targets: Sequence[int] = (),
             rsb_targets: Sequence[int] = (),
             max_paths: int = 20_000,
+            max_steps: int = 40_000,
             rsb_policy: str = "directive") -> AnalysisReport:
     """One Pitchfork run: explore DT(bound), flag secret observations."""
     machine = Machine(program, evaluator=evaluator, rsb_policy=rsb_policy)
@@ -61,13 +69,16 @@ def analyze(program: Program, config: Config,
                                  explore_aliasing=explore_aliasing,
                                  jmpi_targets=tuple(jmpi_targets),
                                  rsb_targets=tuple(rsb_targets),
-                                 max_paths=max_paths)
+                                 max_paths=max_paths,
+                                 max_steps=max_steps)
     result = Explorer(machine, options).explore(config,
                                                 stop_at_first=stop_at_first)
     phase = "v4" if fwd_hazards else "v1/v1.1"
+    truncated = result.truncated or result.exhausted_paths > 0
     return AnalysisReport(name, result.secure, tuple(result.violations),
-                          result.paths_explored, result.states_stepped,
-                          result.truncated, phase, bound)
+                          result.paths_explored, result.applied_steps,
+                          truncated, phase, bound,
+                          states_reused=result.states_reused)
 
 
 def analyze_two_phase(program: Program, config: Config,

@@ -31,6 +31,20 @@ The explorer runs the *concrete* machine with labelled values: by
 Corollary B.10, a secret-labelled observation under any explored schedule
 witnesses an SCT violation for sequentially-CT programs (and
 :mod:`repro.core.sct` offers the full two-trace Definition 3.1 check).
+
+Execution engine
+----------------
+
+The DFS runs on :class:`repro.engine.ExecutionEngine`.  Each live arm is
+a :class:`repro.engine.MachineState`: the (immutable) configuration plus
+persistent cons-list logs for the schedule, trace and pending
+violations, so a fork is O(1) and two sibling arms share their entire
+common history — nothing is re-executed or copied when the scheduler
+forks.  The engine also caches trial steps: Definition B.18's "is this
+directive enabled here?" probes and the subsequent commit of the chosen
+arm evaluate each machine rule once, not twice.  The DFS fork structure
+itself is preserved for downstream consumers (prefix-shared symbolic
+replay) by :func:`repro.pitchfork.schedules.enumerate_schedule_tree`.
 """
 
 from __future__ import annotations
@@ -49,6 +63,7 @@ from ..core.rob import resolve_operands
 from ..core.transient import (TBr, TCallMarker, TFence, TJmpi, TJump, TLoad,
                               TOp, TRetMarker, TStore, TValue)
 from ..core.values import BOTTOM
+from ..engine import EngineStats, ExecutionEngine, MachineState
 
 
 @dataclass(frozen=True)
@@ -110,8 +125,20 @@ class ExplorationResult:
     paths: List[PathResult] = field(default_factory=list)
     violations: List[Violation] = field(default_factory=list)
     paths_explored: int = 0
+    #: Naive step count: the sum over explored paths of their full
+    #: root-to-end length — what fork-by-copy re-execution would cost.
     states_stepped: int = 0
     truncated: bool = False    #: max_paths was hit
+    #: Paths cut short by a per-path budget (max_steps / max_fetches).
+    exhausted_paths: int = 0
+    #: Distinct schedule steps actually applied (DFS tree edges): the
+    #: shared-prefix steps every forked sibling inherits for free.
+    applied_steps: int = 0
+    #: ``states_stepped - applied_steps``: steps completed paths reused
+    #: from shared prefixes instead of re-executing.
+    states_reused: int = 0
+    #: The execution engine's counters for this exploration.
+    engine: Optional[EngineStats] = None
 
     @property
     def secure(self) -> bool:
@@ -135,33 +162,48 @@ class _DelayJmpi:
 _Action = Union[Directive, _DelayJmpi]
 
 
-@dataclass
-class _Path:
-    config: Config
-    schedule: List[Directive]
-    trace: List[Observation]
-    violations: List[Violation]
-    delayed_jmpis: Set[int]    #: mispredicted jmpis we chose to postpone
-    fetches: int = 0
-    steps: int = 0
-    exhausted: bool = False
-    finished: bool = False     #: cleanly pruned (probe window explored)
+@dataclass(frozen=True)
+class _PendingViolation:
+    """A violation recorded mid-path; its schedule/trace tuples are
+    materialized from the shared logs only when the path completes."""
+
+    observation: Observation
+    step_index: int
+    directive: Directive
+    buffer_index: Optional[int]
+    schedule_log: object       #: Log up to and including the directive
+    trace_log: object          #: Log up to and including the observation
+
+    def materialize(self) -> Violation:
+        return Violation(self.observation, self.step_index, self.directive,
+                         self.buffer_index, self.schedule_log.materialize(),
+                         self.trace_log.materialize())
 
 
 class Explorer:
-    """Depth-first exploration of the tool schedules DT(bound)."""
+    """Depth-first exploration of the tool schedules DT(bound).
+
+    Paths are :class:`repro.engine.MachineState` values; forking is
+    O(1) and all schedule/trace/violation history is shared between
+    sibling arms.  After :meth:`explore`, :attr:`engine` holds the
+    engine (with step/fork/reuse counters) of the last run.
+    """
 
     def __init__(self, machine: Machine, options: ExplorationOptions):
         self.machine = machine
         self.options = options
+        self.engine: ExecutionEngine = ExecutionEngine(machine)
+        self._applied = 0  #: schedule steps applied in the current run
 
     # -- driving ------------------------------------------------------------
 
     def explore(self, initial: Config,
                 stop_at_first: bool = False) -> ExplorationResult:
         """Explore the tool schedules from an initial configuration."""
+        self.engine = ExecutionEngine(self.machine)
+        self._applied = 0
         result = ExplorationResult()
-        stack: List[_Path] = [_Path(initial, [], [], [], set())]
+        stack: List[MachineState] = [MachineState(initial)]
         while stack:
             if result.paths_explored >= self.options.max_paths:
                 result.truncated = True
@@ -171,17 +213,34 @@ class Explorer:
             if forks is None:
                 result.paths_explored += 1
                 result.states_stepped += path.steps
-                result.paths.append(PathResult(
-                    tuple(path.schedule), tuple(path.trace), path.config,
-                    tuple(path.violations), complete=not path.exhausted))
-                result.violations.extend(path.violations)
-                if stop_at_first and path.violations:
-                    return result
+                path_result = self._materialize(path)
+                result.paths.append(path_result)
+                result.violations.extend(path_result.violations)
+                if not path_result.complete:
+                    result.exhausted_paths += 1
+                if stop_at_first and path_result.violations:
+                    break
             else:
                 stack.extend(forks)
+        return self._finalize(result)
+
+    def _finalize(self, result: ExplorationResult) -> ExplorationResult:
+        result.applied_steps = self._applied
+        result.states_reused = max(0, result.states_stepped - self._applied)
+        self.engine.count_reused(result.states_reused)
+        result.engine = self.engine.stats.snapshot()
         return result
 
-    def _run_path(self, path: _Path) -> Optional[List[_Path]]:
+    @staticmethod
+    def _materialize(path: MachineState) -> PathResult:
+        return PathResult(
+            path.schedule.materialize(), path.trace.materialize(),
+            path.config.snapshot(),
+            tuple(p.materialize() for p in path.notes),
+            complete=not path.exhausted)
+
+    def _run_path(self,
+                  path: MachineState) -> Optional[List[MachineState]]:
         """Advance until the path terminates (None) or forks (list)."""
         while True:
             if path.exhausted or path.finished:
@@ -198,61 +257,65 @@ class Explorer:
                     if not self._apply(path, action):
                         return None
                 continue
+            self.engine.count_fork(len(arms))
             forks = []
             for arm in arms:
-                clone = _Path(path.config, list(path.schedule),
-                              list(path.trace), list(path.violations),
-                              set(path.delayed_jmpis),
-                              path.fetches, path.steps)
+                clone = path.fork()
                 for action in arm:
                     if not self._apply(clone, action):
                         break
                 forks.append(clone)
             return forks
 
-    def _apply(self, path: _Path, action: _Action) -> bool:
+    def _apply(self, path: MachineState, action: _Action) -> bool:
         """Apply one action; False if the path ended (stuck)."""
         if isinstance(action, _DelayJmpi):
-            path.delayed_jmpis.add(action.index)
+            path.delayed.add(action.index)
             return True
         try:
-            config, leak = self.machine.step(path.config, action)
+            config, leak = self.engine.step(path.config, action)
         except StuckError:
             # Only trial-checked directives reach here, so this is a
             # safety net; end the path.
             path.exhausted = True
             return False
         path.steps += 1
+        self._applied += 1
         if isinstance(action, Fetch):
             path.fetches += 1
-        for k, obs in enumerate(leak):
-            if is_secret_dependent(obs):
-                buffer_index = action.index \
-                    if isinstance(action, Execute) else None
-                path.violations.append(Violation(
-                    obs, len(path.schedule), action, buffer_index,
-                    tuple(path.schedule) + (action,),
-                    tuple(path.trace) + leak[:k + 1]))
-        if any(isinstance(o, Rollback) for o in leak):
-            path.delayed_jmpis = {i for i in path.delayed_jmpis
-                                  if i in config.buf}
-            if isinstance(action, Execute) and \
-                    isinstance(path.config.buf.get(action.index), TBr):
-                # A delayed mispredicted branch just rolled back.  Its
-                # post-rollback continuation is architecturally identical
-                # to the correctly-predicted sibling path (Thm B.7), so
-                # this probe has done its job: end it.  This is the
-                # pruning that keeps DT(n) from re-exploring every
-                # program suffix once per misprediction.
-                path.finished = True
-        path.schedule.append(action)
-        path.trace.extend(leak)
+        schedule = path.schedule.append(action)
+        if leak:
+            trace = path.trace
+            for obs in leak:
+                trace = trace.append(obs)
+                if is_secret_dependent(obs):
+                    buffer_index = action.index \
+                        if isinstance(action, Execute) else None
+                    path.notes = path.notes.append(_PendingViolation(
+                        obs, len(path.schedule), action, buffer_index,
+                        schedule, trace))
+            path.trace = trace
+            if any(isinstance(o, Rollback) for o in leak):
+                path.delayed = {i for i in path.delayed
+                                if i in config.buf}
+                if isinstance(action, Execute) and \
+                        isinstance(path.config.buf.get(action.index), TBr):
+                    # A delayed mispredicted branch just rolled back.
+                    # Its post-rollback continuation is architecturally
+                    # identical to the correctly-predicted sibling path
+                    # (Thm B.7), so this probe has done its job: end
+                    # it.  This is the pruning that keeps DT(n) from
+                    # re-exploring every program suffix once per
+                    # misprediction.
+                    path.finished = True
+        path.schedule = schedule
         path.config = config
         return True
 
     # -- the scheduler: Definition B.18 ----------------------------------
 
-    def _next_actions(self, path: _Path) -> Optional[List[List[_Action]]]:
+    def _next_actions(self,
+                      path: MachineState) -> Optional[List[List[_Action]]]:
         """The next action arm(s) DT(bound) performs from this state.
 
         Each arm is a *sequence* of actions; a single arm is a forced
@@ -275,7 +338,8 @@ class Explorer:
 
         return None
 
-    def _eager_actions(self, path: _Path) -> Optional[List[List[_Action]]]:
+    def _eager_actions(self,
+                       path: MachineState) -> Optional[List[List[_Action]]]:
         """Definition B.18's "immediately after fetch" work, plus the
         choice points (per-load forwarding outcomes, aliasing
         prediction, mispredicted-jmpi timing)."""
@@ -318,7 +382,7 @@ class Explorer:
                         self._can(config, Execute(i)):
                     return [[Execute(i)]]
             elif isinstance(entry, TJmpi):
-                if i in path.delayed_jmpis:
+                if i in path.delayed:
                     continue
                 target = self._actual_jmpi_target(config, i, entry)
                 if target is None or not self._can(config, Execute(i)):
@@ -395,10 +459,10 @@ class Explorer:
         for action in arm:
             if not isinstance(action, Execute):
                 return True
-            try:
-                current, _leak = self.machine.step(current, action)
-            except StuckError:
+            stepped = self.engine.try_step(current, action)
+            if stepped is None:
                 return False
+            current = stepped[0]
         return True
 
     def _eventual_address(self, config: Config, i: int,
@@ -418,11 +482,7 @@ class Explorer:
             return None
 
     def _can(self, config: Config, d: Execute) -> bool:
-        try:
-            self.machine.step(config, d)
-        except StuckError:
-            return False
-        return True
+        return self.engine.can(config, d)
 
     # -- fetch choices -------------------------------------------------------
 

@@ -6,6 +6,14 @@ able to support speculation bounds of up to 20 instructions … 250 when we
 disabled checking for store-forwarding hazards") and for feeding the SCT
 checker (Definition 3.1 quantifies over schedules; Theorem B.20 says
 DT(n) suffices).
+
+Two shapes are offered: :func:`enumerate_schedules` flattens DT(bound)
+into a list, while :func:`enumerate_schedule_tree` preserves the DFS
+fork structure as a :class:`repro.engine.ScheduleTree` — each node is a
+shared schedule prefix, each leaf carries the explorer's recorded
+:class:`~repro.pitchfork.explorer.PathResult`.  Consumers that replay
+schedules (the symbolic back end) walk the tree and resume from the
+deepest shared prefix instead of re-running every schedule from step 0.
 """
 
 from __future__ import annotations
@@ -16,6 +24,7 @@ from typing import Iterator, List, Tuple
 from ..core.config import Config
 from ..core.directives import Schedule
 from ..core.machine import Machine
+from ..engine import ScheduleTree
 from .explorer import ExplorationOptions, Explorer
 
 
@@ -41,6 +50,32 @@ def enumerate_schedules(machine: Machine, config: Config,
                                  assume_unknown_branches=assume_unknown_branches)
     result = Explorer(machine, options).explore(config)
     return [p.schedule for p in result.paths if p.complete]
+
+
+def enumerate_schedule_tree(machine: Machine, config: Config,
+                            bound: int, fwd_hazards: bool = True,
+                            max_paths: int = 20_000,
+                            assume_unknown_branches: bool = False
+                            ) -> ScheduleTree:
+    """DT(bound) with its DFS fork structure preserved.
+
+    The returned tree's ``payloads`` are the explorer's complete
+    :class:`~repro.pitchfork.explorer.PathResult` records in enumeration
+    order (so ``tree.schedules`` equals :func:`enumerate_schedules` on
+    the same arguments), ``truncated`` reports whether any cap
+    (``max_paths`` or a per-path budget) cut coverage, and
+    ``engine_stats`` carries the enumeration's step accounting.
+    """
+    options = ExplorationOptions(bound=bound, fwd_hazards=fwd_hazards,
+                                 max_paths=max_paths,
+                                 assume_unknown_branches=assume_unknown_branches)
+    explorer = Explorer(machine, options)
+    result = explorer.explore(config)
+    complete = [p for p in result.paths if p.complete]
+    truncated = result.truncated or result.exhausted_paths > 0
+    return ScheduleTree.from_paths(
+        ((p.schedule, p) for p in complete),
+        truncated=truncated, engine_stats=result.engine)
 
 
 def schedule_stats(machine: Machine, config: Config, bound: int,

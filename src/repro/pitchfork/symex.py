@@ -14,13 +14,31 @@ that second half, self-contained:
   addresses are concretized against a model, mirroring angr's address
   concretization (§4.2: "angr concretizes addresses for memory
   operations instead of keeping them symbolic");
-* :class:`SymbolicRunner` replays one directive schedule, splitting into
+* :class:`SymbolicRunner` replays directive schedules, splitting into
   *worlds* (path constraints) at forks and pruning unsatisfiable ones;
 * :func:`analyze_symbolic` combines both halves: enumerate the tool
   schedules DT(bound) on a concrete representative, then symbolically
-  replay each schedule, flag secret-labelled observations in any
-  satisfiable world, and *solve* for an attacker input that triggers
-  them.
+  replay them, flag secret-labelled observations in any satisfiable
+  world, and *solve* for an attacker input that triggers them.
+
+Prefix-shared replay
+--------------------
+
+The schedule family DT(bound) is produced by a DFS whose fork points
+give it a trie shape; the seed implementation nonetheless replayed
+every schedule from step 0, re-executing each shared prefix once per
+schedule.  The pipeline now walks the
+:class:`repro.engine.ScheduleTree` from
+:func:`~repro.pitchfork.schedules.enumerate_schedule_tree` instead
+(:meth:`SymbolicRunner.run_tree`): worlds advance through every
+distinct prefix exactly once and are *shared* by all schedules below
+it, then snapshot/resume (worlds are immutable records over persistent
+logs) lets each child arm continue from the deepest shared prefix.
+For fully concrete inputs the replay collapses further: one machine
+step is a function of (configuration, directive) — Theorem B.1 — so
+the explorer's recorded traces *are* the replay, and the pipeline
+harvests them without re-stepping anything (counted as ``reused`` in
+:class:`ReplayStats`).
 
 Satisfiability is decided by bounded enumeration over the (finite,
 small) symbol domains — honest and exact for the gadget-sized programs
@@ -31,7 +49,8 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import (Dict, Iterable, List, NamedTuple, Optional, Sequence,
+                    Tuple, Union)
 
 from ..core.config import Config
 from ..core.directives import Schedule
@@ -42,7 +61,8 @@ from ..core.machine import Machine
 from ..core.observations import Observation, Trace, secret_observations
 from ..core.program import Program
 from ..core.values import Value, join_labels
-from .schedules import enumerate_schedules
+from ..engine import EMPTY_LOG, EngineStats, Log, ScheduleTree, TreeNode
+from .schedules import enumerate_schedule_tree
 
 
 # ---------------------------------------------------------------------------
@@ -205,6 +225,11 @@ class SymbolicEvaluator(Evaluator):
     by splitting or solving, then retries the (pure) step.
     """
 
+    #: Stateful (decisions accumulate), so machine steps under this
+    #: evaluator are not a function of (configuration, directive) and
+    #: must not be served from the execution engine's step cache.
+    pure = False
+
     def __init__(self,
                  decisions: Optional[Dict[SymExpr, bool]] = None,
                  concretizations: Optional[Dict[SymExpr, int]] = None):
@@ -247,8 +272,19 @@ class SymbolicEvaluator(Evaluator):
 
 
 # ---------------------------------------------------------------------------
-# Symbolic replay of one schedule
+# Symbolic replay of schedules
 # ---------------------------------------------------------------------------
+
+@dataclass
+class ReplayStats:
+    """Step accounting for one symbolic replay."""
+
+    steps: int = 0          #: machine step rules attempted
+    reused: int = 0         #: steps served by prefix sharing / harvesting
+    solver_calls: int = 0   #: bounded-enumeration satisfiability queries
+    worlds: int = 0         #: worlds spawned (splits and concretizations)
+    truncated: bool = False  #: the max_worlds cap dropped coverage
+
 
 @dataclass
 class World:
@@ -263,6 +299,24 @@ class World:
 
     def model(self) -> Optional[Dict[str, int]]:
         return solve(self.constraints)
+
+
+class _TreeWorld(NamedTuple):
+    """An immutable world record for tree replay: forking a subtree is
+    O(1) because constraints are tuples and the trace is a shared
+    persistent log."""
+
+    config: Config
+    evaluator: SymbolicEvaluator
+    constraints: Tuple[Constraint, ...]
+    trace: Log
+    consumed: int
+    stuck: bool
+
+    def to_world(self) -> World:
+        return World(self.config, self.evaluator, list(self.constraints),
+                     list(self.trace.materialize()), self.consumed,
+                     self.stuck)
 
 
 @dataclass(frozen=True)
@@ -280,11 +334,25 @@ class SymbolicFinding:
 
 
 class SymbolicRunner:
-    """Replays directive schedules with symbolic inputs."""
+    """Replays directive schedules with symbolic inputs.
 
-    def __init__(self, program: Program, max_worlds: int = 256):
+    ``on_overflow`` selects what happens when the ``max_worlds`` cap
+    bites: ``"raise"`` (the historical behaviour) aborts with
+    :class:`ReproError`; ``"truncate"`` drops the excess worlds and
+    records the fact in :attr:`stats` so callers can surface partial
+    coverage instead of crashing.
+    """
+
+    def __init__(self, program: Program, max_worlds: int = 256,
+                 on_overflow: str = "raise"):
+        if on_overflow not in ("raise", "truncate"):
+            raise ValueError(f"unknown on_overflow {on_overflow!r}")
         self.program = program
         self.max_worlds = max_worlds
+        self.on_overflow = on_overflow
+        self.stats = ReplayStats()
+
+    # -- linear replay of one schedule --------------------------------------
 
     def run(self, config: Config, schedule: Schedule) -> List[World]:
         """All satisfiable worlds after replaying ``schedule``.
@@ -302,6 +370,7 @@ class SymbolicRunner:
                 continue
             directive = schedule[world.consumed]
             machine = Machine(self.program, evaluator=world.evaluator)
+            self.stats.steps += 1
             try:
                 nxt, leak = machine.step(world.config, directive)
             except Fork as fork:
@@ -309,13 +378,17 @@ class SymbolicRunner:
                     branch = self._decide(world, fork.expr, truthy)
                     if branch is not None:
                         worlds.append(branch)
-                        if len(worlds) + len(done) > self.max_worlds:
-                            raise ReproError("too many symbolic worlds")
+                        if len(worlds) + len(done) > self.max_worlds and \
+                                not self._overflow():
+                            worlds.pop()
                 continue
             except NeedConcretization as need:
-                worlds.extend(self._concretize(world, need.expr))
-                if len(worlds) + len(done) > self.max_worlds:
-                    raise ReproError("too many symbolic worlds")
+                split = self._concretize(world, need.expr)
+                for branch in split:
+                    worlds.append(branch)
+                    if len(worlds) + len(done) > self.max_worlds and \
+                            not self._overflow():
+                        worlds.pop()
                 continue
             except StuckError:
                 world.stuck = True
@@ -327,15 +400,36 @@ class SymbolicRunner:
             worlds.append(world)
         return done
 
+    def _overflow(self) -> bool:
+        """Handle a max_worlds overflow; True keeps the new world."""
+        if self.on_overflow == "raise":
+            raise ReproError("too many symbolic worlds")
+        self.stats.truncated = True
+        return False
+
     def _decide(self, world: World, expr: SymExpr,
                 truthy: bool) -> Optional[World]:
-        constraints = world.constraints + [Constraint(expr, truthy)]
-        if solve(constraints) is None:
-            return None
-        ev = world.evaluator.clone()
-        ev.decisions[expr] = truthy
-        return World(world.config, ev, constraints, list(world.trace),
-                     world.consumed, world.stuck)
+        for ev, constraints in self._decisions(world.evaluator,
+                                               world.constraints, expr,
+                                               (truthy,)):
+            return World(world.config, ev, list(constraints),
+                         list(world.trace), world.consumed, world.stuck)
+        return None
+
+    def _decisions(self, evaluator: SymbolicEvaluator,
+                   constraints: Sequence[Constraint], expr: SymExpr,
+                   arms: Sequence[bool] = (True, False)):
+        """Shared branch-splitting arms: (evaluator', constraints') per
+        satisfiable decision, used by both replay strategies."""
+        for truthy in arms:
+            extended = tuple(constraints) + (Constraint(expr, truthy),)
+            self.stats.solver_calls += 1
+            if solve(list(extended)) is None:
+                continue
+            ev = evaluator.clone()
+            ev.decisions[expr] = truthy
+            self.stats.worlds += 1
+            yield ev, extended
 
     def _concretize(self, world: World, expr: SymExpr) -> List[World]:
         """angr-style address concretization.
@@ -345,7 +439,20 @@ class SymbolicRunner:
         out-of-bounds accesses.  We fork one world per extreme value
         (max and, when different, min) and pin the address there.
         """
-        values = feasible_values(expr, world.constraints)
+        out: List[World] = []
+        for value, ev, constraints in self._concretizations(
+                world.evaluator, world.constraints, world.config, expr):
+            out.append(World(world.config, ev, list(constraints),
+                             list(world.trace), world.consumed,
+                             world.stuck))
+        return out
+
+    def _concretizations(self, evaluator: SymbolicEvaluator,
+                         constraints: Sequence[Constraint], config: Config,
+                         expr: SymExpr):
+        """Shared concretization arms: (value, evaluator', constraints')."""
+        self.stats.solver_calls += 1
+        values = feasible_values(expr, list(constraints))
         picks: List[int] = []
         if values:
             picks = [min(values), max(values)]
@@ -354,20 +461,104 @@ class SymbolicRunner:
             # too — the tool knows the secrecy layout (§4.2.1: inputs
             # are annotated), so aiming reads at annotated ranges is the
             # natural concretization for leak-finding.
-            mem = world.config.mem
+            mem = config.mem
             secret_hits = [v for v in values
                            if mem.is_mapped(v) and not mem.read(v).is_public()]
             picks += secret_hits[:4]
         picks = sorted(set(picks))
-        out: List[World] = []
         for value in picks:
-            ev = world.evaluator.clone()
+            ev = evaluator.clone()
             ev.concretizations[expr] = value
             eq = App("eq", (expr, value))
-            out.append(World(world.config, ev,
-                             world.constraints + [Constraint(eq, True)],
-                             list(world.trace), world.consumed,
-                             world.stuck))
+            self.stats.worlds += 1
+            yield value, ev, tuple(constraints) + (Constraint(eq, True),)
+
+    # -- prefix-shared replay of a whole schedule family ---------------------
+
+    def run_tree(self, config: Config,
+                 tree: ScheduleTree) -> List[Tuple[int, List[World]]]:
+        """Replay every schedule in ``tree``, sharing prefixes.
+
+        Returns ``(schedule_index, worlds)`` per enumerated schedule,
+        in enumeration order — as long as the ``max_worlds`` cap never
+        bites, the worlds are exactly what :meth:`run` would return
+        for ``tree.schedules[index]``, but each distinct prefix is
+        executed once and shared by all schedules below it instead of
+        being re-run per schedule.  When the cap does bite, the walk
+        keeps the earliest-created worlds at that node (the linear
+        replay instead drops the newest per schedule), the loss is
+        shared by every schedule beneath the node, and
+        ``stats.truncated`` records it.
+        """
+        results: Dict[int, List[World]] = {}
+        root = [_TreeWorld(config, SymbolicEvaluator(), (), EMPTY_LOG,
+                           0, False)]
+        # Iterative DFS: (node, parent worlds); advancing through the
+        # node's edge happens at visit time so sibling subtrees share
+        # the parent's (immutable) world list.
+        stack: List[Tuple[TreeNode, List[_TreeWorld]]] = [(tree.root, root)]
+        while stack:
+            node, worlds = stack.pop()
+            if node.directive is not None:
+                worlds = self._advance_all(worlds, node.directive,
+                                           node.leaves)
+            for index in node.leaf_indices:
+                results[index] = [w.to_world() for w in worlds]
+            for child in reversed(list(node.children.values())):
+                stack.append((child, worlds))
+        return sorted(results.items())
+
+    def _advance_all(self, worlds: List[_TreeWorld], directive,
+                     leaves: int) -> List[_TreeWorld]:
+        out: List[_TreeWorld] = []
+        for world in worlds:
+            out.extend(self._advance(world, directive, leaves))
+            if len(out) > self.max_worlds:
+                self._overflow()
+                out = out[:self.max_worlds]
+        return out
+
+    def _advance(self, world: _TreeWorld, directive,
+                 leaves: int) -> List[_TreeWorld]:
+        """One directive for one world; may split, stick, or die.
+
+        ``leaves`` is the number of schedules sharing this step — every
+        execution here stands in for that many naive from-scratch
+        replays, which is what the ``reused`` counter records.
+        """
+        if world.stuck:
+            # A stuck world is carried to every schedule below at zero
+            # cost (the naive replay re-ran it to the stuck point each
+            # time).
+            self.stats.reused += leaves - 1 if leaves > 1 else 0
+            return [world]
+        pending = [world]
+        out: List[_TreeWorld] = []
+        while pending:
+            w = pending.pop()
+            machine = Machine(self.program, evaluator=w.evaluator)
+            self.stats.steps += 1
+            self.stats.reused += leaves - 1
+            try:
+                nxt, leak = machine.step(w.config, directive)
+            except Fork as fork:
+                for ev, constraints in self._decisions(
+                        w.evaluator, w.constraints, fork.expr):
+                    pending.append(w._replace(evaluator=ev,
+                                              constraints=constraints))
+                continue
+            except NeedConcretization as need:
+                for _value, ev, constraints in self._concretizations(
+                        w.evaluator, w.constraints, w.config, need.expr):
+                    pending.append(w._replace(evaluator=ev,
+                                              constraints=constraints))
+                continue
+            except StuckError:
+                out.append(w._replace(stuck=True))
+                continue
+            out.append(_TreeWorld(nxt, w.evaluator, w.constraints,
+                                  w.trace.extend(leak), w.consumed + 1,
+                                  False))
         return out
 
 
@@ -392,26 +583,77 @@ def representative_config(config: Config) -> Config:
     return config.with_(regs=regs, mem=mem)
 
 
-def analyze_symbolic(program: Program, config: Config,
-                     bound: int = 16, fwd_hazards: bool = False,
-                     max_schedules: int = 512,
-                     max_worlds: int = 256) -> List[SymbolicFinding]:
-    """Pitchfork with its symbolic back end.
+def _config_is_concrete(config: Config) -> bool:
+    """No symbolic payload anywhere: replay degenerates to harvesting."""
+    if any(not _is_concrete(v) for v in config.regs.values()):
+        return False
+    return all(isinstance(v.val, int) for v in config.mem.cells().values())
 
-    Enumerates tool schedules on a concrete representative, then replays
-    each schedule symbolically, returning every secret-labelled
-    observation together with a solved attacker-input model.
+
+@dataclass
+class SymbolicResult:
+    """Everything :func:`analyze_symbolic_result` produced."""
+
+    findings: List[SymbolicFinding]
+    schedules: int                 #: tool schedules enumerated
+    truncated: bool                #: any cap cut coverage
+    replay: ReplayStats
+    enumeration: Optional[EngineStats] = None
+
+    @property
+    def secure(self) -> bool:
+        return not self.findings
+
+    @property
+    def states_stepped(self) -> int:
+        """Machine steps the whole pipeline actually evaluated."""
+        enum = self.enumeration.steps if self.enumeration else 0
+        return enum + self.replay.steps
+
+    @property
+    def states_reused(self) -> int:
+        """Steps avoided through prefix sharing, harvesting and the
+        engine's trial-step cache."""
+        enum = self.enumeration.avoided if self.enumeration else 0
+        return enum + self.replay.reused
+
+
+def analyze_symbolic_result(program: Program, config: Config,
+                            bound: int = 16, fwd_hazards: bool = False,
+                            max_schedules: int = 512,
+                            max_worlds: int = 256) -> SymbolicResult:
+    """Pitchfork with its symbolic back end, with full accounting.
+
+    Enumerates tool schedules on a concrete representative — keeping
+    their DFS fork structure — then replays the schedule *tree*
+    symbolically: every shared prefix executes once.  Fully concrete
+    configurations skip the replay entirely and harvest the explorer's
+    recorded traces (sound by determinism, Theorem B.1).  Returns every
+    secret-labelled observation together with a solved attacker-input
+    model, plus truncation flags and step/reuse counters.
     """
     rep = representative_config(config)
     machine = Machine(program)
-    schedules = enumerate_schedules(machine, rep, bound=bound,
-                                    fwd_hazards=fwd_hazards,
-                                    max_paths=max_schedules,
-                                    assume_unknown_branches=True)
-    runner = SymbolicRunner(program, max_worlds=max_worlds)
+    tree = enumerate_schedule_tree(machine, rep, bound=bound,
+                                   fwd_hazards=fwd_hazards,
+                                   max_paths=max_schedules,
+                                   assume_unknown_branches=True)
     findings: List[SymbolicFinding] = []
-    for schedule in schedules:
-        for world in runner.run(config, schedule):
+    if _config_is_concrete(config):
+        stats = ReplayStats()
+        for path in tree.payloads:
+            # The recorded path is the replay: same configuration, same
+            # schedule, deterministic machine.
+            stats.reused += len(path.schedule)
+            for obs in secret_observations(path.trace):
+                findings.append(SymbolicFinding(obs, path.schedule, (), {}))
+        return SymbolicResult(findings, len(tree), tree.truncated, stats,
+                              tree.engine_stats)
+    runner = SymbolicRunner(program, max_worlds=max_worlds,
+                            on_overflow="truncate")
+    for index, worlds in runner.run_tree(config, tree):
+        schedule = tree.schedules[index]
+        for world in worlds:
             leaks = secret_observations(tuple(world.trace))
             if not leaks:
                 continue
@@ -421,4 +663,31 @@ def analyze_symbolic(program: Program, config: Config,
             for obs in leaks:
                 findings.append(SymbolicFinding(
                     obs, schedule, tuple(world.constraints), model))
-    return findings
+    return SymbolicResult(findings, len(tree),
+                          tree.truncated or runner.stats.truncated,
+                          runner.stats, tree.engine_stats)
+
+
+def analyze_symbolic(program: Program, config: Config,
+                     bound: int = 16, fwd_hazards: bool = False,
+                     max_schedules: int = 512,
+                     max_worlds: int = 256) -> List[SymbolicFinding]:
+    """Pitchfork with its symbolic back end (findings only).
+
+    See :func:`analyze_symbolic_result` for the full result with
+    truncation flags and step/reuse accounting.  Because this
+    back-compat shape cannot carry the ``truncated`` flag, capped
+    coverage is reported as a :class:`RuntimeWarning` — an empty
+    findings list from a truncated run must not read as "secure".
+    """
+    result = analyze_symbolic_result(
+        program, config, bound=bound, fwd_hazards=fwd_hazards,
+        max_schedules=max_schedules, max_worlds=max_worlds)
+    if result.truncated:
+        import warnings
+        warnings.warn(
+            "symbolic exploration truncated (max_schedules/max_worlds or "
+            "a per-path budget); findings cover only part of the "
+            "schedule space — use analyze_symbolic_result() for the "
+            "truncation flag", RuntimeWarning, stacklevel=2)
+    return result.findings

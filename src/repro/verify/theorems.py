@@ -14,6 +14,15 @@ metatheory benchmark drive these over hundreds of random programs:
   implies the sequential trace is also free of ℓ.
 * **Tool soundness** (Thm B.20): if a random schedule (bounded by n)
   leaks a secret, some tool schedule DT(n) leaks one too.
+
+Every check takes the machine as its first argument and only steps it
+through ``run``/``run_sequential``, so a counting
+:class:`repro.engine.ExecutionEngine` can stand in for the machine and
+the checks' total step work surfaces through ``api.Report`` (the
+``metatheory`` analysis does exactly this).  The determinism check
+deliberately unwraps an engine for its second replay: answering it
+from a step cache whose soundness presumes determinism would be
+circular.
 """
 
 from __future__ import annotations
@@ -48,9 +57,17 @@ class TheoremCheck:
 
 def check_determinism(machine: Machine, config: Config,
                       schedule: Schedule) -> TheoremCheck:
-    """Lemma B.1: replaying a schedule gives identical state and trace."""
+    """Lemma B.1: replaying a schedule gives identical state and trace.
+
+    The second replay runs on the raw machine: if ``machine`` is a
+    caching :class:`repro.engine.ExecutionEngine`, a cache hit would
+    hand run 2 run 1's very objects and the comparison would confirm
+    determinism by construction — the circularity this check exists to
+    rule out.
+    """
+    raw = getattr(machine, "machine", machine)
     r1 = run(machine, config, schedule, record_steps=False)
-    r2 = run(machine, config, schedule, record_steps=False)
+    r2 = run(raw, config, schedule, record_steps=False)
     ok = r1.final == r2.final and r1.trace == r2.trace
     return TheoremCheck("determinism (B.1)", ok,
                         "" if ok else "replay diverged")

@@ -123,9 +123,10 @@ class TestProject:
 
 
 class TestRegistry:
-    def test_all_five_registered(self):
+    def test_all_six_registered(self):
         assert set(available_analyses()) == {
-            "pitchfork", "two-phase", "sct", "cache-attack", "metatheory"}
+            "pitchfork", "two-phase", "sct", "cache-attack", "metatheory",
+            "symbolic"}
 
     def test_aliases_and_unknown(self):
         assert get_analysis("two_phase").name == "two-phase"
