@@ -29,14 +29,15 @@ from .cli import main
 from .manager import AnalysisManager, CacheInfo
 from .project import (AnalysisOptions, PAPER_BOUND_FWD, PAPER_BOUND_NO_FWD,
                       Project, TABLE2_BOUND_FWD, TABLE2_BOUND_NO_FWD)
-from .report import PhaseReport, Report, from_analysis_report
+from .report import (PhaseReport, Report, SCHEMA_VERSION, ShardReport,
+                     from_analysis_report)
 
 __all__ = [
     "Analysis", "AnalysisHub", "AnalysisManager", "AnalysisOptions",
     "CacheAttackAnalysis", "CacheInfo", "MetatheoryAnalysis",
     "PAPER_BOUND_FWD", "PAPER_BOUND_NO_FWD", "PhaseReport",
-    "PitchforkAnalysis", "Project", "Report", "SCTAnalysis",
-    "TABLE2_BOUND_FWD", "TABLE2_BOUND_NO_FWD", "TwoPhaseAnalysis",
-    "available_analyses", "from_analysis_report", "get_analysis", "main",
-    "register",
+    "PitchforkAnalysis", "Project", "Report", "SCHEMA_VERSION",
+    "SCTAnalysis", "ShardReport", "TABLE2_BOUND_FWD", "TABLE2_BOUND_NO_FWD",
+    "TwoPhaseAnalysis", "available_analyses", "from_analysis_report",
+    "get_analysis", "main", "register",
 ]

@@ -127,7 +127,10 @@ def _explore(project: Project, options: AnalysisOptions, *,
                    rsb_targets=options.rsb_targets,
                    max_paths=options.max_paths,
                    max_steps=options.max_steps,
-                   rsb_policy=options.rsb_policy)
+                   rsb_policy=options.rsb_policy,
+                   strategy=options.strategy,
+                   shards=options.shards,
+                   seed=options.seed)
 
 
 @register
@@ -142,8 +145,12 @@ class PitchforkAnalysis(Analysis):
         t0 = time.perf_counter()
         report = _explore(project, options, bound=options.bound,
                           fwd_hazards=options.fwd_hazards)
+        details = {"strategy": options.strategy, "shards": options.shards}
+        if options.strategy == "random":
+            details["seed"] = options.seed
         return from_analysis_report(report, project.name, self.name,
-                                    wall_time=time.perf_counter() - t0)
+                                    wall_time=time.perf_counter() - t0,
+                                    details=details)
 
 
 @register
@@ -210,7 +217,14 @@ class SymbolicAnalysis(Analysis):
             project.program, project.config(), bound=options.bound,
             fwd_hazards=options.fwd_hazards,
             max_schedules=options.max_schedules,
-            max_worlds=options.max_worlds)
+            max_worlds=options.max_worlds,
+            strategy=options.strategy, seed=options.seed)
+        details = {"worlds": result.replay.worlds,
+                   "solver_calls": result.replay.solver_calls}
+        if options.shards > 1:
+            # The symbolic replay is not sharded (only the explorer
+            # is); surface the ignored knob instead of dropping it.
+            details["shards_ignored"] = options.shards
         return Report(
             target=project.name, analysis=self.name,
             status="secure" if result.secure else "insecure",
@@ -221,8 +235,7 @@ class SymbolicAnalysis(Analysis):
             states_reused=result.states_reused,
             truncated=result.truncated,
             wall_time=time.perf_counter() - t0,
-            details={"worlds": result.replay.worlds,
-                     "solver_calls": result.replay.solver_calls},
+            details=details,
         )
 
 

@@ -40,6 +40,9 @@ def _option_overrides(args) -> Dict:
         "max_steps": args.max_steps,
         "max_schedules": args.max_schedules,
         "max_worlds": args.max_worlds,
+        "strategy": args.strategy,
+        "shards": args.shards,
+        "seed": args.seed,
     }
 
 
@@ -82,6 +85,16 @@ def _add_option_flags(parser: argparse.ArgumentParser) -> None:
                         help="symbolic back end: schedule cap")
     parser.add_argument("--max-worlds", type=int,
                         help="symbolic back end: live-world cap")
+    from ..engine import available_strategies
+    parser.add_argument("--strategy", choices=available_strategies(),
+                        help="frontier search order (default: dfs); the "
+                             "flagged violation set is order-invariant")
+    parser.add_argument("--shards", type=int,
+                        help="split DT(bound) into subtree jobs on a "
+                             "process pool of this size (default: 1)")
+    parser.add_argument("--seed", type=int,
+                        help="RNG seed for --strategy random (and the "
+                             "metatheory analysis)")
 
 
 def _preset_options(args) -> Optional[AnalysisOptions]:
@@ -166,7 +179,14 @@ def cmd_analyze(args) -> int:
     else:
         print(report.render())
     _warn_truncated([report])
-    return 0 if report.ok else 1
+    if not report.ok:
+        return 1
+    # --check: a gate for CI scripts — "secure" earned with capped
+    # coverage or by an empty quantifier (vacuous SCT pass) must not
+    # pass silently.
+    if args.check and (report.truncated or report.vacuous):
+        return 1
+    return 0
 
 
 def cmd_litmus(args) -> int:
@@ -180,14 +200,17 @@ def cmd_litmus(args) -> int:
     out: Dict[str, Dict] = {}
     mismatches = []
     truncated = []
+    flagged_any = vacuous_any = False
     t0 = time.time()
     for suite in names:
         projects = [Project.from_litmus(case) for case in load_suite(suite)]
         reports = manager.run(projects, **_option_overrides(args))
         truncated.extend(r for r in reports if r.truncated)
+        vacuous_any = vacuous_any or any(r.vacuous for r in reports)
         rows = {}
         for project, report in zip(projects, reports):
             flagged = not report.ok
+            flagged_any = flagged_any or flagged
             expected = project.expected == "flagged"
             rows[project.name] = {"flagged": flagged, "expected": expected,
                                   "wall_time": round(report.wall_time, 3)}
@@ -211,7 +234,11 @@ def cmd_litmus(args) -> int:
               f"{elapsed:.1f}s"
               + (f"; MISMATCHES: {mismatches}" if mismatches else ""))
     _warn_truncated(truncated)
-    return 1 if mismatches else 0
+    if mismatches:
+        return 1
+    if args.check and (flagged_any or truncated or vacuous_any):
+        return 1
+    return 0
 
 
 def cmd_table2(args) -> int:
@@ -263,6 +290,9 @@ def build_parser() -> argparse.ArgumentParser:
                            help="initial register (asm targets; repeatable)")
     p_analyze.add_argument("--pc", type=int, help="entry point (asm targets)")
     p_analyze.add_argument("--json", action="store_true")
+    p_analyze.add_argument("--check", action="store_true",
+                           help="CI gate: exit nonzero on any violation, "
+                                "truncated coverage, or a vacuous pass")
     _add_preset_flag(p_analyze)
     _add_option_flags(p_analyze)
     p_analyze.set_defaults(func=cmd_analyze)
@@ -274,6 +304,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_litmus.add_argument("--workers", type=int, default=None,
                           help="process-pool size (default: serial)")
     p_litmus.add_argument("--json", action="store_true")
+    p_litmus.add_argument("--check", action="store_true",
+                          help="CI gate: exit nonzero on any violation, "
+                               "truncated coverage, or a vacuous pass")
     _add_option_flags(p_litmus)
     p_litmus.set_defaults(func=cmd_litmus)
 

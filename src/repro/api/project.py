@@ -24,6 +24,7 @@ from ..core.config import Config
 from ..core.machine import Machine
 from ..core.memory import Memory
 from ..core.program import Program
+from ..engine import available_strategies
 
 #: Default Table 2 bounds (see ``repro.casestudies.common``): the ported
 #: kernels are smaller than compiled x86, so phase 1 runs at 28 instead
@@ -61,6 +62,11 @@ class AnalysisOptions:
     max_paths: int = 20_000
     max_steps: int = 40_000         #: per-path step budget
     stop_at_first: bool = True
+    #: Frontier search order: "dfs" (seed order), "bfs", "random",
+    #: "coverage" — set-invariant by Theorem B.20.
+    strategy: str = "dfs"
+    #: DT(bound) subtree shards run on a process pool (1 = in-process).
+    shards: int = 1
 
     # -- the symbolic back end ----------------------------------------------
     max_schedules: int = 512        #: tool schedules replayed symbolically
@@ -74,8 +80,12 @@ class AnalysisOptions:
     sct_bound: int = 8              #: schedule-enumeration bound
     sct_max_schedules: int = 2_000
 
-    # -- metatheory ----------------------------------------------------------
+    # -- shared randomness ----------------------------------------------------
+    #: RNG seed: drives the "random" search strategy and the metatheory
+    #: schedule generator; recorded in reports for reproducibility.
     seed: int = 0
+
+    # -- metatheory ----------------------------------------------------------
     experiments: int = 8            #: random schedules per metatheory run
 
     def __post_init__(self):
@@ -83,12 +93,16 @@ class AnalysisOptions:
             if getattr(self, name) <= 0:
                 raise ValueError(f"{name} must be positive")
         for name in ("max_paths", "max_steps", "max_schedules", "max_worlds",
-                     "sct_max_schedules", "experiments"):
+                     "sct_max_schedules", "experiments", "shards"):
             if getattr(self, name) <= 0:
                 raise ValueError(f"{name} must be positive")
         if self.rsb_policy not in _RSB_POLICIES:
             raise ValueError(f"rsb_policy must be one of {_RSB_POLICIES}, "
                              f"got {self.rsb_policy!r}")
+        if self.strategy not in available_strategies():
+            raise ValueError(
+                f"strategy must be one of {list(available_strategies())}, "
+                f"got {self.strategy!r}")
         # Normalise sequences so options stay hashable (cache keys).
         object.__setattr__(self, "jmpi_targets", tuple(self.jmpi_targets))
         object.__setattr__(self, "rsb_targets", tuple(self.rsb_targets))

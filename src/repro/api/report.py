@@ -15,7 +15,10 @@ classification strings.  A report carries:
 * wall time and the options that produced it.
 
 ``to_dict()``/``to_json()`` feed the CLI's ``--json`` mode and the
-result cache; ``render()`` is the human-readable view.
+result cache; ``from_dict()``/``from_json()`` invert them exactly
+(``Report.from_json(r.to_json()) == r``); ``render()`` is the
+human-readable view.  Serialised reports carry a ``schema_version`` so
+downstream consumers can detect shape changes.
 """
 
 from __future__ import annotations
@@ -26,6 +29,12 @@ from typing import Any, Dict, Mapping, Optional, Tuple
 
 #: Statuses that count as "no violation found".
 CLEAN_STATUSES = frozenset({"secure", "clean", "ok"})
+
+#: Version of the serialised report shape.  2 added ``schema_version``
+#: itself, the search-strategy fields and per-shard stats; 1 (implicit,
+#: no marker) is the pre-sharding shape, still accepted by
+#: :meth:`Report.from_dict`.
+SCHEMA_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -41,6 +50,8 @@ class PhaseReport:
     wall_time: float = 0.0
 
     def to_dict(self) -> Dict[str, Any]:
+        # Floats are serialised exactly (json round-trips them), so
+        # from_dict(to_dict(p)) == p.
         return {
             "name": self.name,
             "bound": self.bound,
@@ -48,8 +59,47 @@ class PhaseReport:
             "paths_explored": self.paths_explored,
             "states_stepped": self.states_stepped,
             "truncated": self.truncated,
-            "wall_time": round(self.wall_time, 6),
+            "wall_time": self.wall_time,
         }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "PhaseReport":
+        return cls(**{f: data[f] for f in
+                      ("name", "bound", "secure", "paths_explored",
+                       "states_stepped", "truncated", "wall_time")
+                      if f in data})
+
+
+@dataclass(frozen=True)
+class ShardReport:
+    """One shard of a sharded exploration (job = schedule prefix +
+    initial config; see :mod:`repro.pitchfork.sharding`)."""
+
+    index: int                 #: position in the deterministic merge order
+    prefix_len: int            #: schedule-prefix actions replayed
+    paths_explored: int = 0
+    violations: int = 0
+    states_stepped: int = 0
+    truncated: bool = False
+    wall_time: float = 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "index": self.index,
+            "prefix_len": self.prefix_len,
+            "paths_explored": self.paths_explored,
+            "violations": self.violations,
+            "states_stepped": self.states_stepped,
+            "truncated": self.truncated,
+            "wall_time": self.wall_time,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ShardReport":
+        return cls(**{f: data[f] for f in
+                      ("index", "prefix_len", "paths_explored", "violations",
+                       "states_stepped", "truncated", "wall_time")
+                      if f in data})
 
 
 def summarize_violation(violation) -> Dict[str, Any]:
@@ -116,6 +166,9 @@ class Report:
     vacuous: bool = False
     wall_time: float = 0.0
     phases: Tuple[PhaseReport, ...] = ()
+    #: Per-shard accounting when the exploration ran sharded (empty for
+    #: single-process runs).
+    shard_stats: Tuple[ShardReport, ...] = ()
     details: Mapping[str, Any] = field(default_factory=dict)
 
     def __bool__(self) -> bool:
@@ -136,6 +189,7 @@ class Report:
 
     def to_dict(self) -> Dict[str, Any]:
         return {
+            "schema_version": SCHEMA_VERSION,
             "target": self.target,
             "analysis": self.analysis,
             "status": self.status,
@@ -147,13 +201,46 @@ class Report:
             "states_reused": self.states_reused,
             "truncated": self.truncated,
             "vacuous": self.vacuous,
-            "wall_time": round(self.wall_time, 6),
+            "wall_time": self.wall_time,
             "phases": [p.to_dict() for p in self.phases],
+            "shard_stats": [s.to_dict() for s in self.shard_stats],
             "details": dict(self.details),
         }
 
     def to_json(self, indent: Optional[int] = None) -> str:
         return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Report":
+        """Invert :meth:`to_dict` (accepts schema versions 1 and 2)."""
+        version = data.get("schema_version", 1)
+        if version > SCHEMA_VERSION:
+            raise ValueError(f"report schema_version {version} is newer "
+                             f"than supported ({SCHEMA_VERSION})")
+        return cls(
+            target=data["target"],
+            analysis=data["analysis"],
+            status=data["status"],
+            secure=data.get("secure"),
+            violations=tuple(dict(v) for v in data.get("violations", ())),
+            counterexamples=tuple(dict(c) for c
+                                  in data.get("counterexamples", ())),
+            paths_explored=data.get("paths_explored", 0),
+            states_stepped=data.get("states_stepped", 0),
+            states_reused=data.get("states_reused", 0),
+            truncated=data.get("truncated", False),
+            vacuous=data.get("vacuous", False),
+            wall_time=data.get("wall_time", 0.0),
+            phases=tuple(PhaseReport.from_dict(p)
+                         for p in data.get("phases", ())),
+            shard_stats=tuple(ShardReport.from_dict(s)
+                              for s in data.get("shard_stats", ())),
+            details=dict(data.get("details", {})),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "Report":
+        return cls.from_dict(json.loads(text))
 
     # -- rendering -----------------------------------------------------------
 
@@ -161,9 +248,11 @@ class Report:
         """Human-readable multi-line summary."""
         reused = (f", {self.states_reused} reused"
                   if self.states_reused else "")
+        sharded = (f", {len(self.shard_stats)} shards"
+                   if self.shard_stats else "")
         head = (f"[{self.analysis}] {self.target}: {self.status.upper()} "
                 f"({self.paths_explored} paths, {self.states_stepped} steps"
-                f"{reused}, {self.wall_time:.2f}s"
+                f"{reused}{sharded}, {self.wall_time:.2f}s"
                 f"{', truncated' if self.truncated else ''}"
                 f"{', VACUOUS' if self.vacuous else ''})")
         lines = [head]
@@ -215,5 +304,10 @@ def from_analysis_report(report, target: str, analysis: str,
         truncated=report.truncated,
         wall_time=wall_time,
         phases=phases,
+        shard_stats=tuple(
+            ShardReport(s.index, s.prefix_len, s.paths_explored,
+                        s.violations, s.states_stepped, s.truncated,
+                        s.wall_time)
+            for s in getattr(report, "shards", ())),
         details=dict(details or {}),
     )

@@ -14,17 +14,27 @@ The supporting structures make forking free:
   budgets, forked in O(1);
 * :class:`ScheduleTree` — the DFS fork trie over an enumerated
   schedule family; tree walks visit each shared prefix once instead of
-  re-running every schedule from step 0.
+  re-running every schedule from step 0;
+* :class:`Frontier` — the pending-work set, with the visit order as a
+  pluggable :func:`make_frontier` strategy (``dfs``/``bfs``/``random``/
+  ``coverage``); every tree-walking driver pushes fork arms into one
+  instead of hardcoding a stack.
 
-See DESIGN.md ("The execution engine") for the design rationale.
+See DESIGN.md ("The execution engine", "The frontier and sharding")
+for the design rationale.
 """
 
 from .core import EngineStats, ExecutionEngine
+from .frontier import (BreadthFirstFrontier, CoverageFrontier,
+                       DepthFirstFrontier, Frontier, RandomFrontier,
+                       available_strategies, make_frontier)
 from .journal import EMPTY_LOG, Log
 from .state import MachineState
 from .tree import ScheduleTree, TreeNode
 
 __all__ = [
-    "EngineStats", "ExecutionEngine", "EMPTY_LOG", "Log", "MachineState",
-    "ScheduleTree", "TreeNode",
+    "BreadthFirstFrontier", "CoverageFrontier", "DepthFirstFrontier",
+    "EngineStats", "ExecutionEngine", "EMPTY_LOG", "Frontier", "Log",
+    "MachineState", "RandomFrontier", "ScheduleTree", "TreeNode",
+    "available_strategies", "make_frontier",
 ]

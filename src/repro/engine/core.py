@@ -60,6 +60,17 @@ class EngineStats:
         return EngineStats(self.steps, self.cache_hits, self.stuck_hits,
                            self.forks, self.reused)
 
+    def merge(self, other: Optional["EngineStats"]) -> "EngineStats":
+        """Counter-wise sum (sharded explorations merge shard engines)."""
+        if other is None:
+            return self
+        self.steps += other.steps
+        self.cache_hits += other.cache_hits
+        self.stuck_hits += other.stuck_hits
+        self.forks += other.forks
+        self.reused += other.reused
+        return self
+
     @property
     def avoided(self) -> int:
         """Total step evaluations the engine did *not* have to run."""

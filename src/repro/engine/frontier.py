@@ -1,0 +1,214 @@
+"""Pluggable search frontiers — exploration order as a strategy.
+
+Definition B.18's tool-schedule set DT(n) is a tree: the scheduler's
+choice points fork, everything else is forced.  *Which* leaf is reached
+next is irrelevant to soundness — Theorem B.20 quantifies over the whole
+family — so the visit order is a free parameter.  The seed explorer
+hardcoded a LIFO stack (depth-first); this module turns that stack into
+a :class:`Frontier` the driver pushes fork arms into and pops the next
+state from, with the ordering policy supplied by name:
+
+``dfs``
+    LIFO — the seed behaviour, byte-identical path enumeration order.
+``bfs``
+    FIFO — breadth-first over fork levels; surfaces shallow violations
+    before deep speculation chains.
+``random``
+    Uniform random pops from a seeded RNG — deterministic for a fixed
+    ``seed``, decorrelated from program structure (the classic fuzzing
+    baseline).
+``coverage``
+    Coverage-guided: states whose next fetch PC has been popped least
+    often come first (a min-heap on the visit count at push time, FIFO
+    among ties).  This is the MCTS-lite flavour of Legion/AFL-style
+    schedulers: it pours effort into unvisited program regions first
+    instead of exhausting one subtree's speculation interleavings.
+
+Every strategy explores the *same* set when run to completion — only
+the order (and therefore which paths survive a ``max_paths`` cap, and
+how fast ``stop_at_first`` fires) changes.  The frontier is generic
+over items: the Pitchfork explorer pushes
+:class:`~repro.engine.state.MachineState` values, the symbolic replay
+pushes ``(tree node, worlds)`` pairs.  Strategies that rank by program
+location receive a ``pc_of`` callable mapping an item to its current
+fetch PC.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from collections import deque
+from typing import (Any, Callable, Dict, Iterable, List, Optional, Tuple,
+                    Type)
+
+__all__ = ["Frontier", "DepthFirstFrontier", "BreadthFirstFrontier",
+           "RandomFrontier", "CoverageFrontier", "available_strategies",
+           "make_frontier"]
+
+
+class Frontier:
+    """The pending-work set of one exploration.
+
+    A driver ``push``es every fork arm and ``pop``s the next state to
+    advance; the subclass decides the order.  All implementations are
+    deterministic: two runs with the same pushes (and the same ``seed``)
+    pop in the same order.
+    """
+
+    strategy: str = ""
+
+    def __init__(self, seed: int = 0,
+                 pc_of: Optional[Callable[[Any], Optional[int]]] = None):
+        self.seed = seed
+        self.pc_of = pc_of
+
+    def push(self, item: Any) -> None:
+        raise NotImplementedError
+
+    def pop(self) -> Any:
+        """The next item to advance; IndexError when empty."""
+        raise NotImplementedError
+
+    def extend(self, items: Iterable[Any]) -> None:
+        for item in items:
+            self.push(item)
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    def __bool__(self) -> bool:
+        return len(self) > 0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} |{len(self)}|>"
+
+
+class DepthFirstFrontier(Frontier):
+    """LIFO — the seed explorer's stack, byte-identical visit order."""
+
+    strategy = "dfs"
+
+    def __init__(self, seed: int = 0, pc_of=None):
+        super().__init__(seed, pc_of)
+        self._items: List[Any] = []
+
+    def push(self, item: Any) -> None:
+        self._items.append(item)
+
+    def pop(self) -> Any:
+        return self._items.pop()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+
+class BreadthFirstFrontier(Frontier):
+    """FIFO — explore fork levels in generation order."""
+
+    strategy = "bfs"
+
+    def __init__(self, seed: int = 0, pc_of=None):
+        super().__init__(seed, pc_of)
+        self._items: deque = deque()
+
+    def push(self, item: Any) -> None:
+        self._items.append(item)
+
+    def pop(self) -> Any:
+        return self._items.popleft()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+
+class RandomFrontier(Frontier):
+    """Seeded uniform random pops (swap-with-last removal, O(1))."""
+
+    strategy = "random"
+
+    def __init__(self, seed: int = 0, pc_of=None):
+        super().__init__(seed, pc_of)
+        self._rng = random.Random(seed)
+        self._items: List[Any] = []
+
+    def push(self, item: Any) -> None:
+        self._items.append(item)
+
+    def pop(self) -> Any:
+        items = self._items
+        if not items:
+            raise IndexError("pop from empty frontier")
+        i = self._rng.randrange(len(items))
+        items[i], items[-1] = items[-1], items[i]
+        return items.pop()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+
+class CoverageFrontier(Frontier):
+    """Prioritize arms whose fetch PC has been visited least.
+
+    The score of an item is the number of times its PC (via ``pc_of``)
+    had already been *popped* when the item was pushed; a min-heap pops
+    the lowest score first, FIFO among ties.  Scores are not re-ranked
+    after insertion — the one-shot ranking is the cheap MCTS-lite
+    approximation, not a full bandit — but every pop feeds the visit
+    counts, so arms pushed later are steered away from saturated PCs.
+    Items without a PC (``pc_of`` absent or returning None) score 0.
+    """
+
+    strategy = "coverage"
+
+    def __init__(self, seed: int = 0, pc_of=None):
+        super().__init__(seed, pc_of)
+        self._heap: List[Tuple[int, int, Any]] = []
+        self._seq = 0
+        self._visits: Dict[int, int] = {}
+
+    def _pc(self, item: Any) -> Optional[int]:
+        return self.pc_of(item) if self.pc_of is not None else None
+
+    def push(self, item: Any) -> None:
+        pc = self._pc(item)
+        score = self._visits.get(pc, 0) if pc is not None else 0
+        heapq.heappush(self._heap, (score, self._seq, item))
+        self._seq += 1
+
+    def pop(self) -> Any:
+        if not self._heap:
+            raise IndexError("pop from empty frontier")
+        _score, _seq, item = heapq.heappop(self._heap)
+        pc = self._pc(item)
+        if pc is not None:
+            self._visits[pc] = self._visits.get(pc, 0) + 1
+        return item
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+
+_STRATEGIES: Dict[str, Type[Frontier]] = {
+    cls.strategy: cls
+    for cls in (DepthFirstFrontier, BreadthFirstFrontier, RandomFrontier,
+                CoverageFrontier)
+}
+
+
+def available_strategies() -> Tuple[str, ...]:
+    """Registered search-strategy names, sorted."""
+    return tuple(sorted(_STRATEGIES))
+
+
+def make_frontier(strategy: str = "dfs", seed: int = 0,
+                  pc_of: Optional[Callable[[Any], Optional[int]]] = None
+                  ) -> Frontier:
+    """Instantiate a frontier by strategy name."""
+    try:
+        cls = _STRATEGIES[strategy]
+    except KeyError:
+        raise ValueError(f"unknown search strategy {strategy!r}; "
+                         f"available: {list(available_strategies())}") \
+            from None
+    return cls(seed=seed, pc_of=pc_of)

@@ -8,10 +8,12 @@ flagging secret-labelled observations.
 from .detector import (AnalysisReport, PAPER_BOUND_FWD, PAPER_BOUND_NO_FWD,
                        analyze, analyze_two_phase)
 from .explorer import (ExplorationOptions, ExplorationResult, Explorer,
-                       PathResult, Violation)
-from .reports import format_report, format_violation
+                       PathResult, ShardStats, Violation)
+from .reports import (format_report, format_violation, violation_key,
+                      violation_set)
 from .schedules import (ScheduleStats, enumerate_schedule_tree,
                         enumerate_schedules, schedule_stats)
+from .sharding import ShardedExplorer
 from .symex import (App, Constraint, ReplayStats, Sym, SymbolicEvaluator,
                     SymbolicFinding, SymbolicResult, SymbolicRunner,
                     analyze_symbolic, analyze_symbolic_result, eval_expr,
@@ -20,11 +22,12 @@ from .symex import (App, Constraint, ReplayStats, Sym, SymbolicEvaluator,
 __all__ = [
     "AnalysisReport", "PAPER_BOUND_FWD", "PAPER_BOUND_NO_FWD", "analyze",
     "analyze_two_phase", "ExplorationOptions", "ExplorationResult",
-    "Explorer", "PathResult", "Violation", "format_report",
-    "format_violation", "ScheduleStats", "enumerate_schedule_tree",
+    "Explorer", "PathResult", "ShardStats", "ShardedExplorer", "Violation",
+    "format_report", "format_violation", "ScheduleStats",
+    "enumerate_schedule_tree",
     "enumerate_schedules", "schedule_stats", "App", "Constraint",
     "ReplayStats", "Sym", "SymbolicEvaluator", "SymbolicFinding",
     "SymbolicResult", "SymbolicRunner", "analyze_symbolic",
     "analyze_symbolic_result", "eval_expr", "feasible_values", "solve",
-    "symbols_of",
+    "symbols_of", "violation_key", "violation_set",
 ]

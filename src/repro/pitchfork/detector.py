@@ -20,7 +20,7 @@ from ..core.isa import Evaluator
 from ..core.machine import Machine
 from ..core.program import Program
 from .explorer import (ExplorationOptions, ExplorationResult, Explorer,
-                       Violation)
+                       ShardStats, Violation)
 
 #: The speculation bounds used in the paper's evaluation.
 PAPER_BOUND_NO_FWD = 250
@@ -46,6 +46,8 @@ class AnalysisReport:
     #: Steps served from shared prefixes / the engine's step cache
     #: instead of being re-executed (0 for legacy producers).
     states_reused: int = 0
+    #: Per-shard accounting for sharded explorations (empty otherwise).
+    shards: Tuple[ShardStats, ...] = ()
 
     def __bool__(self) -> bool:
         return self.secure
@@ -62,23 +64,45 @@ def analyze(program: Program, config: Config,
             rsb_targets: Sequence[int] = (),
             max_paths: int = 20_000,
             max_steps: int = 40_000,
-            rsb_policy: str = "directive") -> AnalysisReport:
-    """One Pitchfork run: explore DT(bound), flag secret observations."""
+            rsb_policy: str = "directive",
+            strategy: str = "dfs",
+            shards: int = 1,
+            seed: int = 0) -> AnalysisReport:
+    """One Pitchfork run: explore DT(bound), flag secret observations.
+
+    ``strategy`` selects the frontier's search order (see
+    :mod:`repro.engine.frontier`); ``shards > 1`` partitions DT(bound)
+    into subtree jobs executed on a process pool (see
+    :mod:`repro.pitchfork.sharding`) — both leave the flagged violation
+    set unchanged (Theorem B.20 quantifies over the schedule set, which
+    neither reordering nor partitioning alters).  Sharding needs to
+    rebuild the machine in worker processes, so a custom ``evaluator``
+    forces the single-process path.
+    """
     machine = Machine(program, evaluator=evaluator, rsb_policy=rsb_policy)
     options = ExplorationOptions(bound=bound, fwd_hazards=fwd_hazards,
                                  explore_aliasing=explore_aliasing,
                                  jmpi_targets=tuple(jmpi_targets),
                                  rsb_targets=tuple(rsb_targets),
                                  max_paths=max_paths,
-                                 max_steps=max_steps)
-    result = Explorer(machine, options).explore(config,
-                                                stop_at_first=stop_at_first)
+                                 max_steps=max_steps,
+                                 strategy=strategy,
+                                 seed=seed)
+    if shards > 1 and evaluator is None:
+        from .sharding import ShardedExplorer
+        result = ShardedExplorer(machine, options, shards=shards,
+                                 keep_paths=False).explore(
+                                     config, stop_at_first=stop_at_first)
+    else:
+        result = Explorer(machine, options).explore(
+            config, stop_at_first=stop_at_first)
     phase = "v4" if fwd_hazards else "v1/v1.1"
     truncated = result.truncated or result.exhausted_paths > 0
     return AnalysisReport(name, result.secure, tuple(result.violations),
                           result.paths_explored, result.applied_steps,
                           truncated, phase, bound,
-                          states_reused=result.states_reused)
+                          states_reused=result.states_reused,
+                          shards=result.shards)
 
 
 def analyze_two_phase(program: Program, config: Config,

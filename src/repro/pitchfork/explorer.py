@@ -63,7 +63,8 @@ from ..core.rob import resolve_operands
 from ..core.transient import (TBr, TCallMarker, TFence, TJmpi, TJump, TLoad,
                               TOp, TRetMarker, TStore, TValue)
 from ..core.values import BOTTOM
-from ..engine import EngineStats, ExecutionEngine, MachineState
+from ..engine import (EngineStats, ExecutionEngine, MachineState,
+                      make_frontier)
 
 
 @dataclass(frozen=True)
@@ -73,6 +74,15 @@ class ExplorationOptions:
     bound: int = 20            #: speculation bound = max reorder-buffer size
     fwd_hazards: bool = True   #: explore deferred store addresses (v4 mode)
     explore_aliasing: bool = False  #: §3.5 extension: execute i: fwd j
+    #: Search-order strategy for the frontier (see
+    #: :mod:`repro.engine.frontier`): "dfs" (the seed order), "bfs",
+    #: "random", "coverage".  Theorem B.20 makes the explored *set*
+    #: order-invariant; only enumeration order (and which paths survive
+    #: a cap) changes.
+    strategy: str = "dfs"
+    #: RNG seed for stochastic strategies ("random"); recorded so runs
+    #: reproduce path-for-path.
+    seed: int = 0
     #: extension: mistrained indirect-branch targets to explore (Spectre
     #: v2); the original tool does not explore these (§4, "Pitchfork only
     #: exercises a subset of our semantics").
@@ -118,6 +128,20 @@ class PathResult:
     complete: bool             #: False if a per-path budget was hit
 
 
+@dataclass(frozen=True)
+class ShardStats:
+    """One shard of a sharded exploration (see
+    :class:`~repro.pitchfork.sharding.ShardedExplorer`)."""
+
+    index: int                 #: position in deterministic merge order
+    prefix_len: int            #: schedule-prefix actions replayed
+    paths_explored: int
+    violations: int
+    states_stepped: int        #: schedule steps applied (incl. replay)
+    truncated: bool
+    wall_time: float
+
+
 @dataclass
 class ExplorationResult:
     """Everything the explorer found."""
@@ -139,6 +163,9 @@ class ExplorationResult:
     states_reused: int = 0
     #: The execution engine's counters for this exploration.
     engine: Optional[EngineStats] = None
+    #: Per-shard accounting when the exploration was sharded (empty for
+    #: single-process runs).
+    shards: Tuple[ShardStats, ...] = ()
 
     @property
     def secure(self) -> bool:
@@ -162,6 +189,11 @@ class _DelayJmpi:
 _Action = Union[Directive, _DelayJmpi]
 
 
+def _state_pc(state: "MachineState") -> int:
+    """Fetch-PC ranking key for the coverage-guided frontier."""
+    return state.config.pc
+
+
 @dataclass(frozen=True)
 class _PendingViolation:
     """A violation recorded mid-path; its schedule/trace tuples are
@@ -181,11 +213,14 @@ class _PendingViolation:
 
 
 class Explorer:
-    """Depth-first exploration of the tool schedules DT(bound).
+    """Frontier-driven exploration of the tool schedules DT(bound).
 
     Paths are :class:`repro.engine.MachineState` values; forking is
     O(1) and all schedule/trace/violation history is shared between
-    sibling arms.  After :meth:`explore`, :attr:`engine` holds the
+    sibling arms.  The visit order comes from
+    ``options.strategy`` (see :mod:`repro.engine.frontier`); the
+    default ``"dfs"`` reproduces the seed explorer's enumeration order
+    byte for byte.  After :meth:`explore`, :attr:`engine` holds the
     engine (with step/fork/reuse counters) of the last run.
     """
 
@@ -202,13 +237,23 @@ class Explorer:
         """Explore the tool schedules from an initial configuration."""
         self.engine = ExecutionEngine(self.machine)
         self._applied = 0
+        return self.explore_from([MachineState(initial)], stop_at_first)
+
+    def explore_from(self, states: List[MachineState],
+                     stop_at_first: bool = False) -> ExplorationResult:
+        """Explore onward from pre-seeded states (shard workers resume a
+        replayed subtree root here).  Unlike :meth:`explore` this does
+        not reset the engine, so prefix-replay accounting survives."""
         result = ExplorationResult()
-        stack: List[MachineState] = [MachineState(initial)]
-        while stack:
+        frontier = make_frontier(self.options.strategy,
+                                 seed=self.options.seed,
+                                 pc_of=_state_pc)
+        frontier.extend(states)
+        while frontier:
             if result.paths_explored >= self.options.max_paths:
                 result.truncated = True
                 break
-            path = stack.pop()
+            path = frontier.pop()
             forks = self._run_path(path)
             if forks is None:
                 result.paths_explored += 1
@@ -221,7 +266,7 @@ class Explorer:
                 if stop_at_first and path_result.violations:
                     break
             else:
-                stack.extend(forks)
+                frontier.extend(forks)
         return self._finalize(result)
 
     def _finalize(self, result: ExplorationResult) -> ExplorationResult:
@@ -242,6 +287,30 @@ class Explorer:
     def _run_path(self,
                   path: MachineState) -> Optional[List[MachineState]]:
         """Advance until the path terminates (None) or forks (list)."""
+        arms = self.advance_to_fork(path)
+        if arms is None:
+            return None
+        self.engine.count_fork(len(arms))
+        forks = []
+        for arm in arms:
+            clone = path.fork()
+            for action in arm:
+                if not self._apply(clone, action):
+                    break
+            forks.append(clone)
+        return forks
+
+    def advance_to_fork(self, path: MachineState,
+                        record: Optional[List[_Action]] = None
+                        ) -> Optional[List[List[_Action]]]:
+        """Apply forced moves until the next choice point.
+
+        Returns the fork's arms, or None when the path terminated
+        (finished, stuck, budget-exhausted, or nothing left to do).
+        ``record`` collects every applied action — the sharded splitter
+        uses it to build self-contained job prefixes, so this is the
+        single copy of the scheduler drive loop both modes share.
+        """
         while True:
             if path.exhausted or path.finished:
                 return None
@@ -252,20 +321,13 @@ class Explorer:
             arms = self._next_actions(path)
             if arms is None:
                 return None  # terminal: nothing to fetch, buffer empty
-            if len(arms) == 1:
-                for action in arms[0]:
-                    if not self._apply(path, action):
-                        return None
-                continue
-            self.engine.count_fork(len(arms))
-            forks = []
-            for arm in arms:
-                clone = path.fork()
-                for action in arm:
-                    if not self._apply(clone, action):
-                        break
-                forks.append(clone)
-            return forks
+            if len(arms) != 1:
+                return arms
+            for action in arms[0]:
+                if not self._apply(path, action):
+                    return None
+                if record is not None:
+                    record.append(action)
 
     def _apply(self, path: MachineState, action: _Action) -> bool:
         """Apply one action; False if the path ended (stuck)."""

@@ -7,12 +7,29 @@ a disassembly window around the offending instruction.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from ..asm.disasm import disassemble
 from ..core.program import Program
 from .detector import AnalysisReport
 from .explorer import Violation
+
+
+def violation_key(violation: Violation) -> Tuple:
+    """The canonical identity of a violation for set comparison.
+
+    Observation + directive + the full witnessing schedule pins the
+    exact leak on the exact path, independent of enumeration order —
+    the key the strategy/shard equivalence suite and the CI
+    findings-identity gate both compare on.
+    """
+    return (repr(violation.observation), repr(violation.directive),
+            tuple(map(repr, violation.schedule)))
+
+
+def violation_set(violations) -> List[Tuple]:
+    """Sorted canonical keys of a violation collection."""
+    return sorted(violation_key(v) for v in violations)
 
 
 def format_violation(violation: Violation,

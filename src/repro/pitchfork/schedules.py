@@ -42,12 +42,17 @@ class ScheduleStats:
 def enumerate_schedules(machine: Machine, config: Config,
                         bound: int, fwd_hazards: bool = True,
                         max_paths: int = 20_000,
-                        assume_unknown_branches: bool = False
+                        assume_unknown_branches: bool = False,
+                        strategy: str = "dfs", seed: int = 0
                         ) -> List[Schedule]:
-    """All complete tool schedules for ``config`` at this bound."""
+    """All complete tool schedules for ``config`` at this bound.
+
+    ``strategy``/``seed`` select the frontier's enumeration order (the
+    schedule *set* is order-invariant)."""
     options = ExplorationOptions(bound=bound, fwd_hazards=fwd_hazards,
                                  max_paths=max_paths,
-                                 assume_unknown_branches=assume_unknown_branches)
+                                 assume_unknown_branches=assume_unknown_branches,
+                                 strategy=strategy, seed=seed)
     result = Explorer(machine, options).explore(config)
     return [p.schedule for p in result.paths if p.complete]
 
@@ -55,7 +60,8 @@ def enumerate_schedules(machine: Machine, config: Config,
 def enumerate_schedule_tree(machine: Machine, config: Config,
                             bound: int, fwd_hazards: bool = True,
                             max_paths: int = 20_000,
-                            assume_unknown_branches: bool = False
+                            assume_unknown_branches: bool = False,
+                            strategy: str = "dfs", seed: int = 0
                             ) -> ScheduleTree:
     """DT(bound) with its DFS fork structure preserved.
 
@@ -68,7 +74,8 @@ def enumerate_schedule_tree(machine: Machine, config: Config,
     """
     options = ExplorationOptions(bound=bound, fwd_hazards=fwd_hazards,
                                  max_paths=max_paths,
-                                 assume_unknown_branches=assume_unknown_branches)
+                                 assume_unknown_branches=assume_unknown_branches,
+                                 strategy=strategy, seed=seed)
     explorer = Explorer(machine, options)
     result = explorer.explore(config)
     complete = [p for p in result.paths if p.complete]

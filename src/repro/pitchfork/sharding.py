@@ -1,0 +1,370 @@
+"""In-program multiprocess exploration: shard DT(n) into subtree jobs.
+
+The tool-schedule tree is embarrassingly partitionable: after a fork,
+sibling subtrees share no state (each arm carries its whole history in
+persistent logs), so any frontier cut is a valid work partition.
+:class:`ShardedExplorer` exploits that:
+
+1. **split** — run the scheduler in-process through the first few fork
+   levels, keeping the pending subtree roots *in DFS visitation order*.
+   Each root is described self-containedly by its root schedule prefix
+   (the exact action sequence from the initial configuration, including
+   the explorer's delay pseudo-actions).  Paths that terminate before
+   the cut are completed in the parent.  Splitting deepens level by
+   level until there are at least ``shards × OVERPARTITION`` jobs (or
+   the tree runs out of forks) — overpartitioning is what load-balances
+   lopsided subtrees across the pool;
+2. **execute** — ship ``(program, initial config, options, prefix)``
+   jobs to a ``ProcessPoolExecutor``.  A worker replays the prefix
+   through a fresh :class:`~repro.pitchfork.explorer.Explorer` (cheap:
+   at most a few × bound steps, and sound by determinism, Theorem B.1 —
+   the replayed root is *the* subtree root, violations recorded inside
+   the prefix included) and explores the subtree with the configured
+   search strategy;
+3. **merge** — deterministically, in slot order: parent-completed
+   leaves and shard results concatenate into one
+   :class:`~repro.pitchfork.explorer.ExplorationResult` with stable
+   path ordering, summed :class:`~repro.engine.EngineStats`, per-shard
+   :class:`~repro.pitchfork.explorer.ShardStats`, and OR-ed truncation
+   flags.  Under ``stop_at_first`` the merge stops at the first slot
+   reporting a violation and cancels the outstanding shards.
+
+Soundness is shard-invariant: Theorem B.20's guarantee quantifies over
+the schedule *set* DT(n), and the partition neither adds nor removes
+schedules — every root-to-leaf action sequence appears in exactly one
+shard (prefix ∘ subtree path).  With the default DFS strategy the
+merged path list is the seed explorer's enumeration order exactly;
+counters differ only in that each shard re-applies its prefix once
+(reported via ``ShardStats.prefix_len``).
+
+Workers rebuild the machine from ``(program, rsb_policy)``, so sharding
+requires the default concrete evaluator — callers with a custom
+evaluator fall back to the single-process explorer
+(:func:`repro.pitchfork.detector.analyze` gates this).
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import Executor, ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import List, Optional, Tuple, Union
+
+from ..core.config import Config
+from ..core.machine import Machine
+from ..engine import MachineState
+from .explorer import (ExplorationOptions, ExplorationResult, Explorer,
+                       PathResult, ShardStats, _Action)
+
+__all__ = ["ShardedExplorer", "OVERPARTITION", "MAX_SPLIT_LEVELS"]
+
+#: Jobs per worker the splitter aims for.  DT(n) subtrees are lopsided
+#: (a mispredicted-branch arm is pruned at rollback, the architectural
+#: arm carries the whole program suffix), so handing each worker one
+#: subtree would serialise on the biggest; several jobs per worker let
+#: the pool rebalance (on the donna case study at bound 28 this cuts
+#: the largest job from 24% of the tree to 12%).
+OVERPARTITION = 8
+
+#: Fork levels the splitter will descend looking for enough jobs.
+MAX_SPLIT_LEVELS = 8
+
+# NOTE on pool lifetime: a module-level executor cached across explore()
+# calls was tried and reverted.  A live ProcessPoolExecutor poisons
+# every process forked afterwards — concurrent.futures registers an
+# atexit hook that joins the executor's manager thread, and a forked
+# child (e.g. an AnalysisManager worker under the default Linux start
+# method) inherits that registration for a thread which does not run in
+# the child, so the child hangs at exit and the manager's own pool
+# shutdown deadlocks behind it.  Per-call pools shut down before any
+# later fork can observe them; callers that want amortised workers
+# (benchmarks, sweeps driving many explorations from one place) pass an
+# explicit ``pool=`` whose lifetime they control.
+
+
+@dataclass(frozen=True)
+class _Leaf:
+    """A path that completed in the parent during splitting."""
+
+    path: PathResult
+    steps: int
+
+
+@dataclass
+class _Pending:
+    """A live subtree root: the state plus its root action prefix."""
+
+    state: MachineState
+    actions: Tuple[_Action, ...]
+
+
+_Slot = Union[_Leaf, _Pending]
+
+
+def _run_shard(program, config: Config, options: ExplorationOptions,
+               rsb_policy: str, actions: Tuple[_Action, ...],
+               stop_at_first: bool, keep_paths: bool
+               ) -> Tuple[ExplorationResult, Optional[Tuple], int, float]:
+    """Worker entry point: replay the prefix, explore the subtree.
+
+    Module-level (not a closure) so it pickles under every
+    multiprocessing start method.  Returns (result, path metadata,
+    prefix steps actually replayed, wall seconds).  ``keep_paths=False``
+    strips the per-path records before the result crosses the process
+    boundary — a clean-at-bound-28 donna exploration ships ~20 MiB of
+    paths otherwise, and detector callers only consume violations +
+    counters — replacing them with compact per-path (steps, violations,
+    complete) triples so the merge's global-budget trim stays exact.
+    """
+    t0 = time.perf_counter()
+    machine = Machine(program, rsb_policy=rsb_policy)
+    explorer = Explorer(machine, options)
+    state = MachineState(config)
+    for action in actions:
+        if not explorer._apply(state, action):  # pragma: no cover - guard
+            raise RuntimeError(
+                f"shard prefix failed to replay at {action!r}: the "
+                f"machine is not deterministic for this evaluator")
+    result = explorer.explore_from([state], stop_at_first=stop_at_first)
+    meta = None
+    if not keep_paths:
+        meta = tuple((len(p.schedule), len(p.violations), p.complete)
+                     for p in result.paths)
+        result.paths = []
+    return result, meta, len(actions), time.perf_counter() - t0
+
+
+def _trim_to_quota(result: ExplorationResult, quota: int,
+                   meta: Optional[Tuple] = None) -> ExplorationResult:
+    """Cut a shard result down to the remaining global path budget.
+
+    The cut is exact either way: from the per-path records when they
+    were kept, or from the worker's compact (steps, violations,
+    complete) metadata when ``keep_paths=False`` stripped them
+    (violations are concatenated in path-completion order, so a prefix
+    of the metadata identifies the prefix of the violation list).  The
+    kept paths, violations and step counts are precisely what the
+    single-process explorer would have produced before hitting the
+    cap; the result is flagged truncated so capped coverage is never
+    reported as complete.
+    """
+    if len(result.paths) == result.paths_explored:
+        kept = result.paths[:quota]
+        result.paths = kept
+        result.violations = [v for p in kept for v in p.violations]
+        result.paths_explored = quota
+        result.states_stepped = sum(len(p.schedule) for p in kept)
+        result.exhausted_paths = sum(1 for p in kept if not p.complete)
+    elif meta is not None:
+        kept_meta = meta[:quota]
+        result.violations = result.violations[
+            :sum(v for _s, v, _c in kept_meta)]
+        result.paths_explored = quota
+        result.states_stepped = sum(s for s, _v, _c in kept_meta)
+        result.exhausted_paths = sum(1 for _s, _v, c in kept_meta if not c)
+    result.truncated = True
+    return result
+
+
+class ShardedExplorer:
+    """Split DT(bound) at its first fork levels and explore the
+    subtrees on a process pool.
+
+        result = ShardedExplorer(machine, options, shards=4).explore(cfg)
+
+    ``pool`` may supply a long-lived executor (benchmarks and sweeps
+    reuse one across targets to amortise worker start-up); otherwise a
+    pool of ``shards`` workers is created and torn down per call — see
+    the fork-safety note above for why the default is not cached.
+    ``keep_paths=False`` drops the per-path records from shard results
+    (violations and counters survive) — what the detector wants, and
+    much cheaper to ship back from the workers.
+    """
+
+    def __init__(self, machine: Machine, options: ExplorationOptions,
+                 shards: int = 2, pool: Optional[Executor] = None,
+                 keep_paths: bool = True):
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        from ..core.isa import ConcreteEvaluator
+        if type(machine.evaluator) is not ConcreteEvaluator:
+            # Workers rebuild the machine from (program, rsb_policy)
+            # with the default evaluator; silently exploring subtrees
+            # under a different evaluator than the split would be
+            # unsound.  Callers with custom evaluators use Explorer
+            # (detector.analyze falls back automatically).
+            raise ValueError(
+                f"sharded exploration requires the default concrete "
+                f"evaluator, got {type(machine.evaluator).__name__}; "
+                f"use Explorer for custom evaluators")
+        self.machine = machine
+        self.options = options
+        self.shards = shards
+        self.pool = pool
+        self.keep_paths = keep_paths
+
+    # -- the three phases ----------------------------------------------------
+
+    def explore(self, initial: Config,
+                stop_at_first: bool = False) -> ExplorationResult:
+        explorer = Explorer(self.machine, self.options)
+        slots = self._split(explorer, MachineState(initial))
+        jobs = [slot for slot in slots if isinstance(slot, _Pending)]
+        if len(jobs) <= 1 or self.shards == 1:
+            # Nothing worth forking a pool for: finish the (at most one)
+            # pending subtree in-process and merge locally.
+            return self._merge(explorer, slots, [], stop_at_first,
+                               run_local=True)
+        if self.pool is not None:
+            return self._merge(
+                explorer, slots,
+                self._submit(self.pool, initial, slots, stop_at_first),
+                stop_at_first)
+        with ProcessPoolExecutor(max_workers=self.shards) as pool:
+            return self._merge(
+                explorer, slots,
+                self._submit(pool, initial, slots, stop_at_first),
+                stop_at_first)
+
+    def _split(self, explorer: Explorer, root: MachineState) -> List[_Slot]:
+        """Expand the scheduler level-synchronously until there are
+        enough pending subtree roots, preserving DFS slot order."""
+        fanout = max(self.shards * OVERPARTITION, self.shards)
+        slots: List[_Slot] = [_Pending(root, ())]
+        for _level in range(MAX_SPLIT_LEVELS):
+            live = sum(isinstance(s, _Pending) for s in slots)
+            if live >= fanout or live == 0:
+                break
+            new_slots: List[_Slot] = []
+            progressed = False
+            for slot in slots:
+                if isinstance(slot, _Leaf):
+                    new_slots.append(slot)
+                    continue
+                record: List[_Action] = []
+                arms = explorer.advance_to_fork(slot.state, record)
+                actions = slot.actions + tuple(record)
+                if arms is None:
+                    new_slots.append(_Leaf(explorer._materialize(slot.state),
+                                           slot.state.steps))
+                    continue
+                progressed = True
+                explorer.engine.count_fork(len(arms))
+                children: List[_Pending] = []
+                for arm in arms:
+                    clone = slot.state.fork()
+                    acts = actions
+                    for action in arm:
+                        if not explorer._apply(clone, action):
+                            break
+                        acts = acts + (action,)
+                    children.append(_Pending(clone, acts))
+                # The DFS explorer pushes arms in order and pops the
+                # last first, so DFS visits them reversed — keep the
+                # merged path order identical to the seed's.
+                new_slots.extend(reversed(children))
+            slots = new_slots
+            if not progressed:
+                break
+        return slots
+
+    def _submit(self, pool: Executor, initial: Config, slots: List[_Slot],
+                stop_at_first: bool) -> List:
+        futures = []
+        for slot in slots:
+            if not isinstance(slot, _Pending):
+                continue
+            futures.append(pool.submit(
+                _run_shard, self.machine.program, initial, self.options,
+                self.machine.rsb_policy, slot.actions, stop_at_first,
+                self.keep_paths))
+        return futures
+
+    # -- deterministic merge -------------------------------------------------
+
+    def _merge(self, explorer: Explorer, slots: List[_Slot], futures: List,
+               stop_at_first: bool, run_local: bool = False
+               ) -> ExplorationResult:
+        merged = ExplorationResult()
+        shard_stats: List[ShardStats] = []
+        job_index = 0
+        stopped = False
+        for slot in slots:
+            if stopped:
+                break
+            # Enforce the *global* path budget at merge time: shards run
+            # with their own max_paths, so without this the merged run
+            # could explore up to jobs × max_paths paths.  Every pending
+            # slot holds at least one path, so quota exhaustion with
+            # slots left is exactly the single-process "cap hit with a
+            # non-empty frontier" condition.
+            remaining = self.options.max_paths - merged.paths_explored
+            if remaining <= 0:
+                merged.truncated = True
+                stopped = True
+                break
+            if isinstance(slot, _Leaf):
+                merged.paths_explored += 1
+                merged.states_stepped += slot.steps
+                merged.paths.append(slot.path)
+                merged.violations.extend(slot.path.violations)
+                if not slot.path.complete:
+                    merged.exhausted_paths += 1
+                if stop_at_first and slot.path.violations:
+                    stopped = True
+                continue
+            if run_local:
+                # Explorer._finalize reports *cumulative* counters per
+                # explorer, so sequential local jobs are accounted via
+                # deltas of the shared parent explorer instead.
+                applied_before = explorer._applied
+                t0 = time.perf_counter()
+                result = explorer.explore_from([slot.state],
+                                               stop_at_first=stop_at_first)
+                wall = time.perf_counter() - t0
+                meta = None
+                prefix_len = len(slot.actions)
+                shard_applied = explorer._applied - applied_before
+            else:
+                result, meta, prefix_len, wall = futures[job_index].result()
+                shard_applied = result.applied_steps
+                merged.applied_steps += result.applied_steps
+                merged.states_reused += result.states_reused
+                explorer.engine.stats.merge(result.engine)
+            job_index += 1
+            if result.paths_explored > remaining:
+                result = _trim_to_quota(result, remaining, meta)
+            merged.paths.extend(result.paths)
+            merged.violations.extend(result.violations)
+            merged.paths_explored += result.paths_explored
+            merged.states_stepped += result.states_stepped
+            merged.exhausted_paths += result.exhausted_paths
+            merged.truncated = merged.truncated or result.truncated
+            shard_stats.append(ShardStats(
+                index=len(shard_stats), prefix_len=prefix_len,
+                paths_explored=result.paths_explored,
+                violations=len(result.violations),
+                states_stepped=shard_applied,
+                truncated=result.truncated, wall_time=wall))
+            if stop_at_first and result.violations:
+                stopped = True
+        if stopped:
+            # Early-cancel outstanding shards; already-running ones
+            # finish but their results are discarded, keeping the
+            # merged output deterministic.
+            for future in futures[job_index:]:
+                future.cancel()
+        # The split work itself (forced moves up to the cut, counted in
+        # the parent explorer) joins the totals; in local mode this
+        # term is the whole single-process count.
+        merged.applied_steps += explorer._applied
+        if run_local:
+            merged.states_reused = max(
+                0, merged.states_stepped - merged.applied_steps)
+        merged.engine = explorer.engine.stats.snapshot()
+        merged.shards = tuple(shard_stats)
+        return merged
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"ShardedExplorer(shards={self.shards}, "
+                f"strategy={self.options.strategy!r})")

@@ -61,7 +61,8 @@ from ..core.machine import Machine
 from ..core.observations import Observation, Trace, secret_observations
 from ..core.program import Program
 from ..core.values import Value, join_labels
-from ..engine import EMPTY_LOG, EngineStats, Log, ScheduleTree, TreeNode
+from ..engine import (EMPTY_LOG, EngineStats, Log, ScheduleTree, TreeNode,
+                      make_frontier)
 from .schedules import enumerate_schedule_tree
 
 
@@ -344,12 +345,19 @@ class SymbolicRunner:
     """
 
     def __init__(self, program: Program, max_worlds: int = 256,
-                 on_overflow: str = "raise"):
+                 on_overflow: str = "raise", strategy: str = "dfs",
+                 seed: int = 0):
         if on_overflow not in ("raise", "truncate"):
             raise ValueError(f"unknown on_overflow {on_overflow!r}")
         self.program = program
         self.max_worlds = max_worlds
         self.on_overflow = on_overflow
+        #: Tree-walk order for :meth:`run_tree` (the shared frontier
+        #: core); results are keyed by enumeration index, so any
+        #: strategy yields the same mapping unless the max_worlds cap
+        #: bites (which worlds are dropped is visit-order dependent).
+        self.strategy = strategy
+        self.seed = seed
         self.stats = ReplayStats()
 
     # -- linear replay of one schedule --------------------------------------
@@ -493,19 +501,23 @@ class SymbolicRunner:
         results: Dict[int, List[World]] = {}
         root = [_TreeWorld(config, SymbolicEvaluator(), (), EMPTY_LOG,
                            0, False)]
-        # Iterative DFS: (node, parent worlds); advancing through the
-        # node's edge happens at visit time so sibling subtrees share
-        # the parent's (immutable) world list.
-        stack: List[Tuple[TreeNode, List[_TreeWorld]]] = [(tree.root, root)]
-        while stack:
-            node, worlds = stack.pop()
+        # The shared search core: (node, parent worlds) items on the
+        # configured frontier; advancing through the node's edge
+        # happens at visit time so sibling subtrees share the parent's
+        # (immutable) world list.  Results are keyed by enumeration
+        # index, so every strategy returns the same mapping as long as
+        # the max_worlds cap never bites.
+        frontier = make_frontier(self.strategy, seed=self.seed)
+        frontier.push((tree.root, root))
+        while frontier:
+            node, worlds = frontier.pop()
             if node.directive is not None:
                 worlds = self._advance_all(worlds, node.directive,
                                            node.leaves)
             for index in node.leaf_indices:
                 results[index] = [w.to_world() for w in worlds]
-            for child in reversed(list(node.children.values())):
-                stack.append((child, worlds))
+            frontier.extend((child, worlds) for child
+                            in reversed(list(node.children.values())))
         return sorted(results.items())
 
     def _advance_all(self, worlds: List[_TreeWorld], directive,
@@ -621,7 +633,9 @@ class SymbolicResult:
 def analyze_symbolic_result(program: Program, config: Config,
                             bound: int = 16, fwd_hazards: bool = False,
                             max_schedules: int = 512,
-                            max_worlds: int = 256) -> SymbolicResult:
+                            max_worlds: int = 256,
+                            strategy: str = "dfs",
+                            seed: int = 0) -> SymbolicResult:
     """Pitchfork with its symbolic back end, with full accounting.
 
     Enumerates tool schedules on a concrete representative — keeping
@@ -637,7 +651,8 @@ def analyze_symbolic_result(program: Program, config: Config,
     tree = enumerate_schedule_tree(machine, rep, bound=bound,
                                    fwd_hazards=fwd_hazards,
                                    max_paths=max_schedules,
-                                   assume_unknown_branches=True)
+                                   assume_unknown_branches=True,
+                                   strategy=strategy, seed=seed)
     findings: List[SymbolicFinding] = []
     if _config_is_concrete(config):
         stats = ReplayStats()
@@ -650,7 +665,8 @@ def analyze_symbolic_result(program: Program, config: Config,
         return SymbolicResult(findings, len(tree), tree.truncated, stats,
                               tree.engine_stats)
     runner = SymbolicRunner(program, max_worlds=max_worlds,
-                            on_overflow="truncate")
+                            on_overflow="truncate",
+                            strategy=strategy, seed=seed)
     for index, worlds in runner.run_tree(config, tree):
         schedule = tree.schedules[index]
         for world in worlds:

@@ -239,3 +239,108 @@ class TestCLI:
         data = json.loads(capsys.readouterr().out)
         assert data["mismatches"] == []
         assert len(data["suites"]["spec_v1"]) == 9
+
+    def test_strategy_and_shards_flags(self, capsys):
+        from repro.api.cli import main
+        code = main(["analyze", "kocher_05", "--strategy", "coverage",
+                     "--shards", "2", "--seed", "3", "--json"])
+        assert code == 1  # flagged by design
+        data = json.loads(capsys.readouterr().out)
+        assert data["details"]["strategy"] == "coverage"
+        assert data["details"]["shards"] == 2
+        assert data["shard_stats"], "sharded run reports per-shard stats"
+
+    def test_symbolic_surfaces_ignored_shards(self, capsys):
+        from repro.api.cli import main
+        main(["analyze", "kocher_01", "-a", "symbolic", "--bound", "12",
+              "--shards", "4", "--json"])
+        data = json.loads(capsys.readouterr().out)
+        assert data["details"]["shards_ignored"] == 4
+
+    def test_unknown_strategy_is_clean_cli_error(self, capsys):
+        from repro.api.cli import main
+        with pytest.raises(SystemExit):
+            main(["analyze", "kocher_01", "--strategy", "dijkstra"])
+
+
+class TestCheckFlag:
+    """`--check`: CI gate — nonzero on any violation or truncation."""
+
+    def test_secure_case_passes(self, capsys):
+        from repro.api.cli import main
+        assert main(["analyze", "v1_fig8_fence", "--check"]) == 0
+
+    def test_flagged_case_fails(self, capsys):
+        from repro.api.cli import main
+        assert main(["analyze", "kocher_01", "--check"]) == 1
+
+    def test_truncated_secure_case_fails_only_with_check(self, capsys):
+        from repro.api.cli import main
+        args = ["analyze", "v1_fig8_fence", "--max-paths", "1"]
+        assert main(args) == 0            # "secure", coverage capped
+        assert main(args + ["--check"]) == 1
+
+    def test_litmus_check_fails_on_flagged_suite(self, capsys):
+        from repro.api.cli import main
+        # spec_v1 contains flagged-by-design gadgets: the ground-truth
+        # sweep passes, the --check gate does not.
+        assert main(["litmus", "spec_v1"]) == 0
+        assert main(["litmus", "spec_v1", "--check"]) == 1
+
+    def test_vacuous_sct_pass_fails_check(self, tmp_path, capsys):
+        from repro.api.cli import main
+        # A no-secrets program makes the SCT quantifier empty: the
+        # verdict is "secure" by emptiness (vacuous), which must not
+        # earn a green CI gate.
+        src = tmp_path / "nosecrets.s"
+        src.write_text("%ra = op mov, 1\nhalt\n")
+        args = ["analyze", str(src), "-a", "sct"]
+        assert main(args) == 0
+        assert main(args + ["--check"]) == 1
+
+
+class TestReportSchema:
+    """schema_version + exact JSON round-trip (satellite)."""
+
+    def _sharded_report(self):
+        return Project.from_litmus("kocher_05").run(
+            "pitchfork", shards=2, stop_at_first=False)
+
+    def test_schema_version_serialised(self):
+        report = fig1_project().analyses.pitchfork(bound=12)
+        data = json.loads(report.to_json())
+        assert data["schema_version"] == 2
+
+    def test_round_trip_plain(self):
+        report = fig1_project().analyses.pitchfork(bound=12,
+                                                   fwd_hazards=False)
+        assert Report.from_json(report.to_json()) == report
+
+    def test_round_trip_covers_shard_stats(self):
+        report = self._sharded_report()
+        assert report.shard_stats, "kocher_05 at bound 40 must shard"
+        restored = Report.from_json(report.to_json())
+        assert restored == report
+        assert restored.shard_stats == report.shard_stats
+
+    def test_round_trip_two_phase_and_sct(self):
+        project = fig1_project()
+        for analysis in ("two-phase", "sct"):
+            report = project.run(analysis)
+            assert Report.from_json(report.to_json()) == report
+
+    def test_schema_v1_payload_still_loads(self):
+        report = fig1_project().analyses.pitchfork(bound=12)
+        data = report.to_dict()
+        del data["schema_version"]      # a pre-sharding producer
+        del data["shard_stats"]
+        restored = Report.from_dict(data)
+        assert restored.status == report.status
+        assert restored.shard_stats == ()
+
+    def test_newer_schema_rejected(self):
+        report = fig1_project().analyses.pitchfork(bound=12)
+        data = report.to_dict()
+        data["schema_version"] = 99
+        with pytest.raises(ValueError, match="schema_version"):
+            Report.from_dict(data)

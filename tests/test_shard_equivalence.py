@@ -1,0 +1,235 @@
+"""Strategy × shard equivalence: the PR's strict bar.
+
+Every search strategy and every shard count must report the identical
+violation set as the seed DFS explorer — on the full litmus registry
+(every registered case at its ground-truth knobs) and on randomized
+programs.  Sharding additionally preserves the DFS path *order* byte
+for byte (the merge concatenates subtree results in DFS slot order),
+and ``stop_at_first`` short-circuits identically.
+
+One process pool is shared across the whole module so the sharded runs
+don't pay worker start-up per case.
+"""
+
+import random
+from concurrent.futures import ProcessPoolExecutor
+
+import pytest
+
+from repro.core.machine import Machine
+from repro.engine import available_strategies
+from repro.litmus import all_cases
+from repro.pitchfork import (ExplorationOptions, Explorer, ShardedExplorer,
+                             violation_set)
+from repro.verify.generators import random_config, random_program
+
+STRATEGIES = available_strategies()
+
+
+@pytest.fixture(scope="module")
+def pool():
+    with ProcessPoolExecutor(max_workers=4) as executor:
+        yield executor
+
+
+def _case_options(case, **kw):
+    kw.setdefault("strategy", "dfs")
+    kw.setdefault("bound", case.min_bound)
+    kw.setdefault("fwd_hazards", case.needs_fwd_hazards)
+    kw.setdefault("explore_aliasing", case.needs_aliasing)
+    kw.setdefault("jmpi_targets", case.jmpi_targets)
+    kw.setdefault("rsb_targets", case.rsb_targets)
+    return ExplorationOptions(**kw)
+
+
+def _violation_set(result):
+    return violation_set(result.violations)
+
+
+def _run(case, options, shards=1, pool=None, stop_at_first=False):
+    machine = Machine(case.program, rsb_policy=case.rsb_policy)
+    if shards == 1:
+        explorer = Explorer(machine, options)
+    else:
+        explorer = ShardedExplorer(machine, options, shards=shards,
+                                   pool=pool)
+    return explorer.explore(case.make_config(), stop_at_first=stop_at_first)
+
+
+@pytest.fixture(scope="module")
+def dfs_reference():
+    """Seed-DFS violation sets for every registered litmus case."""
+    out = {}
+    for case in all_cases():
+        out[case.name] = _violation_set(_run(case, _case_options(case)))
+    return out
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+@pytest.mark.parametrize("shards", (1, 4))
+def test_litmus_registry_equivalence(strategy, shards, pool, dfs_reference):
+    mismatches = []
+    for case in all_cases():
+        options = _case_options(case, strategy=strategy, seed=5)
+        result = _run(case, options, shards=shards, pool=pool)
+        if _violation_set(result) != dfs_reference[case.name]:
+            mismatches.append(case.name)
+    assert not mismatches, (
+        f"strategy={strategy} shards={shards} diverged from seed DFS "
+        f"on: {mismatches}")
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+@pytest.mark.parametrize("shards", (1, 4))
+def test_random_programs_equivalence(strategy, shards, pool):
+    for seed in range(6):
+        rng = random.Random(seed)
+        program = random_program(rng, length=rng.randrange(8, 14))
+        config = random_config(rng)
+        base = ExplorationOptions(bound=8)
+        reference = _violation_set(
+            _run_program(program, config, base))
+        options = ExplorationOptions(bound=8, strategy=strategy, seed=seed)
+        result = _run_program(program, config, options, shards=shards,
+                              pool=pool)
+        assert _violation_set(result) == reference, f"program seed {seed}"
+
+
+def _run_program(program, config, options, shards=1, pool=None):
+    machine = Machine(program)
+    if shards == 1:
+        explorer = Explorer(machine, options)
+    else:
+        explorer = ShardedExplorer(machine, options, shards=shards,
+                                   pool=pool)
+    return explorer.explore(config, stop_at_first=False)
+
+
+class TestShardedDFSByteIdentical:
+    """shards=4 with the default DFS strategy is not merely
+    set-equivalent: the merged path list reproduces the single-process
+    enumeration order exactly, with and without stop_at_first."""
+
+    CASES = ("kocher_05", "kocher_13", "v1_fig1")
+
+    @pytest.mark.parametrize("name", CASES)
+    @pytest.mark.parametrize("stop", (False, True))
+    def test_paths_identical(self, name, stop, pool):
+        case = [c for c in all_cases() if c.name == name][0]
+        options = _case_options(case)
+        serial = _run(case, options, stop_at_first=stop)
+        sharded = _run(case, options, shards=4, pool=pool,
+                       stop_at_first=stop)
+        assert [p.schedule for p in serial.paths] == \
+            [p.schedule for p in sharded.paths]
+        assert _violation_set(serial) == _violation_set(sharded)
+        assert serial.paths_explored == sharded.paths_explored
+
+
+class TestSeedDeterminism:
+    def test_same_seed_reproduces_path_order_sharded(self, pool):
+        case = [c for c in all_cases() if c.name == "kocher_05"][0]
+        options = _case_options(case, strategy="random", seed=42)
+        a = _run(case, options, shards=4, pool=pool)
+        b = _run(case, options, shards=4, pool=pool)
+        assert [p.schedule for p in a.paths] == [p.schedule for p in b.paths]
+        assert _violation_set(a) == _violation_set(b)
+
+    def test_api_seed_threading(self):
+        """--seed reaches the explorer through AnalysisOptions."""
+        from repro.api import Project
+        a = Project.from_litmus("kocher_05").run(
+            "pitchfork", strategy="random", seed=9)
+        b = Project.from_litmus("kocher_05").run(
+            "pitchfork", strategy="random", seed=9)
+        assert a.details["seed"] == 9
+        assert a.violations == b.violations
+
+
+class TestShardStatsSurface:
+    def test_report_carries_per_shard_stats(self, pool):
+        case = [c for c in all_cases() if c.name == "kocher_05"][0]
+        options = _case_options(case)
+        result = _run(case, options, shards=4, pool=pool)
+        assert result.shards, "sharded run should report per-shard stats"
+        assert sum(s.paths_explored for s in result.shards) <= \
+            result.paths_explored
+        assert all(s.index == i for i, s in enumerate(result.shards))
+
+    def test_custom_evaluator_falls_back_to_serial(self):
+        from repro.pitchfork import analyze
+        from repro.core.isa import ConcreteEvaluator
+        case = [c for c in all_cases() if c.name == "kocher_05"][0]
+        report = analyze(case.program, case.make_config(),
+                         bound=case.min_bound, shards=4,
+                         evaluator=ConcreteEvaluator(),
+                         stop_at_first=False)
+        assert report.shards == ()   # serial path: no shard stats
+
+    def test_sharded_run_then_forked_manager_batch(self):
+        """A sharded exploration must leave no live executor behind: a
+        lingering pool poisons processes forked afterwards (their
+        inherited concurrent.futures atexit hook joins a phantom
+        manager thread and hangs the child at exit, deadlocking the
+        manager pool's shutdown).  This sequence hangs, not fails, on
+        a regression — the CI job timeout is the net."""
+        from repro.api import AnalysisManager, Project
+        Project.from_litmus("kocher_05").run("pitchfork", shards=2)
+        projects = [Project.from_litmus(n)
+                    for n in ("kocher_01", "kocher_05", "v1_fig1")]
+        reports = AnalysisManager("pitchfork", workers=2).run(
+            projects, shards=2)
+        assert [not r.ok for r in reports] == [True, True, True]
+
+    def test_sharded_explorer_rejects_custom_evaluator(self):
+        """Workers rebuild the machine with the default evaluator, so a
+        custom one must be rejected loudly, not silently swapped."""
+        from repro.pitchfork.symex import SymbolicEvaluator
+        case = [c for c in all_cases() if c.name == "kocher_01"][0]
+        machine = Machine(case.program, evaluator=SymbolicEvaluator())
+        with pytest.raises(ValueError, match="concrete evaluator"):
+            ShardedExplorer(machine, ExplorationOptions(bound=8), shards=2)
+
+
+class TestGlobalPathBudget:
+    """max_paths is a *global* cap: a sharded run must not report more
+    paths (or a different truncation verdict) than the serial explorer
+    when the cap binds — the merge trims to the remaining quota."""
+
+    @pytest.mark.parametrize("cap", (1, 5, 50))
+    def test_binding_cap_matches_serial_exactly(self, cap, pool):
+        case = [c for c in all_cases() if c.name == "kocher_05"][0]
+        options = _case_options(case, bound=30, max_paths=cap)
+        serial = _run(case, options)
+        sharded = _run(case, options, shards=4, pool=pool)
+        assert sharded.paths_explored == serial.paths_explored
+        assert sharded.truncated == serial.truncated
+        assert [p.schedule for p in serial.paths] == \
+            [p.schedule for p in sharded.paths]
+        assert _violation_set(serial) == _violation_set(sharded)
+
+    def test_nonbinding_cap_not_marked_truncated(self, pool):
+        case = [c for c in all_cases() if c.name == "kocher_05"][0]
+        options = _case_options(case, max_paths=10_000)
+        sharded = _run(case, options, shards=4, pool=pool)
+        assert not sharded.truncated
+
+    @pytest.mark.parametrize("cap", (1, 5, 50))
+    def test_binding_cap_exact_without_path_records(self, cap, pool):
+        """The detector path (keep_paths=False) trims via the workers'
+        per-path metadata — counters and violations must still match
+        the serial run exactly."""
+        case = [c for c in all_cases() if c.name == "kocher_05"][0]
+        options = _case_options(case, bound=30, max_paths=cap)
+        machine = Machine(case.program, rsb_policy=case.rsb_policy)
+        serial = Explorer(machine, options).explore(
+            case.make_config(), stop_at_first=False)
+        sharded = ShardedExplorer(machine, options, shards=4, pool=pool,
+                                  keep_paths=False).explore(
+                                      case.make_config(),
+                                      stop_at_first=False)
+        assert sharded.paths_explored == serial.paths_explored
+        assert sharded.truncated == serial.truncated
+        assert sharded.states_stepped == serial.states_stepped
+        assert sharded.exhausted_paths == serial.exhausted_paths
+        assert _violation_set(sharded) == _violation_set(serial)
