@@ -8,7 +8,7 @@ The front door is :mod:`repro.api` (angr-style)::
     report = Project.from_litmus("kocher_01").analyses.pitchfork()
     reports = AnalysisManager("two-phase", workers=4).run(projects)
 
-or, from a shell, ``python -m repro {list,analyze,litmus,table2}``.
+or, from a shell, ``python -m repro {list,analyze,repair,litmus,table2}``.
 
 Subpackages
 -----------
@@ -35,7 +35,12 @@ Subpackages
     taint/symbolic exploration (Section 4).
 ``repro.ctcomp``
     A mini constant-time language and compiler standing in for the
-    FaCT-vs-C comparison of the evaluation.
+    FaCT-vs-C comparison of the evaluation, plus the blanket mitigation
+    passes (Fig 8 fences, Fig 13 retpolines, fence-before-load).
+``repro.mitigate``
+    Counterexample-guided mitigation synthesis: localize Pitchfork's
+    violations to program points, place minimal per-site fences / SLH
+    masks, re-verify, shrink, and emit a repair certificate.
 ``repro.litmus``
     Spectre litmus suites: Kocher v1 cases, the paper's speculative-only
     v1/v1.1 suites, v4, v2/ret2spec/retpoline and the aliasing attack.

@@ -14,7 +14,8 @@ execution.
 * :class:`AnalysisOptions` — every knob, validated, with ``paper()`` and
   ``table2()`` presets;
 * :mod:`~repro.api.analyses` — the pluggable analysis registry
-  (pitchfork, two-phase, sct, cache-attack, metatheory);
+  (pitchfork, two-phase, symbolic, sct, cache-attack, metatheory,
+  repair);
 * :class:`~repro.api.report.Report` — the unified, serialisable result;
 * :class:`AnalysisManager` — worker-pool batch execution with a result
   cache;
@@ -22,9 +23,9 @@ execution.
 """
 
 from .analyses import (Analysis, AnalysisHub, CacheAttackAnalysis,
-                       MetatheoryAnalysis, PitchforkAnalysis, SCTAnalysis,
-                       TwoPhaseAnalysis, available_analyses, get_analysis,
-                       register)
+                       MetatheoryAnalysis, PitchforkAnalysis, RepairAnalysis,
+                       SCTAnalysis, TwoPhaseAnalysis, available_analyses,
+                       get_analysis, register)
 from .cli import main
 from .manager import AnalysisManager, CacheInfo
 from .project import (AnalysisOptions, PAPER_BOUND_FWD, PAPER_BOUND_NO_FWD,
@@ -36,7 +37,8 @@ __all__ = [
     "Analysis", "AnalysisHub", "AnalysisManager", "AnalysisOptions",
     "CacheAttackAnalysis", "CacheInfo", "MetatheoryAnalysis",
     "PAPER_BOUND_FWD", "PAPER_BOUND_NO_FWD", "PhaseReport",
-    "PitchforkAnalysis", "Project", "Report", "SCHEMA_VERSION",
+    "PitchforkAnalysis", "Project", "RepairAnalysis", "Report",
+    "SCHEMA_VERSION",
     "SCTAnalysis", "ShardReport", "TABLE2_BOUND_FWD", "TABLE2_BOUND_NO_FWD",
     "TwoPhaseAnalysis", "available_analyses", "from_analysis_report",
     "get_analysis", "main", "register",

@@ -11,7 +11,11 @@ Each analysis wraps one existing engine behind the uniform contract
 * :class:`CacheAttackAnalysis` — folds a violating trace into the cache
   model (§3.1's "the cache is a function of the observations");
 * :class:`MetatheoryAnalysis` — replays the Appendix B theorem checks
-  on this target under random well-formed schedules.
+  on this target under random well-formed schedules;
+* :class:`RepairAnalysis` — counterexample-guided mitigation synthesis
+  (:mod:`repro.mitigate`): localize the violations, place minimal
+  fences / SLH masks, re-verify, and report the repair certificate in
+  the report's ``mitigation`` section.
 
 Analyses register themselves by name; discover them via
 ``Project.analyses`` (attribute style, angr's ``project.analyses.CFG()``
@@ -41,6 +45,8 @@ _ALIASES = {
     "table2": "two-phase",
     "cache": "cache-attack",
     "cache_attack": "cache-attack",
+    "mitigate": "repair",
+    "mitigation": "repair",
 }
 
 
@@ -322,6 +328,71 @@ class CacheAttackAnalysis(Analysis):
             "cache_misses": cache.misses,
         })
         return base.with_(details=details)
+
+
+@register
+class RepairAnalysis(Analysis):
+    """Counterexample-guided mitigation synthesis (:mod:`repro.mitigate`).
+
+    Runs the repair→re-verify loop with this project's full exploration
+    knob set (bound, hazards, aliasing, strategy, sharding): localize
+    each violation to its program points, place a targeted fence or SLH
+    mask, re-run the verifier, and — once clean — delta-debug the
+    placement down to a locally minimal one.  The report's ``status``
+    is the repair outcome (``already-secure`` / ``repaired`` /
+    ``sequential-residual`` / ``gave-up``); the ``mitigation`` section
+    carries the machine-checkable certificate (re-assembleable repaired
+    source + per-site steps + cost against the blanket baseline).
+    ``secure`` is True only when the repaired program verifies fully
+    clean — a ``sequential-residual`` outcome means the *speculative*
+    leaks are gone but the program was never sequentially constant-time
+    (no fence placement can fix that), so it still gates ``--check``.
+    """
+
+    name = "repair"
+    description = ("counterexample-guided mitigation synthesis: localize "
+                   "violations, place minimal fences/SLH masks, re-verify, "
+                   "shrink (repro.mitigate)")
+
+    def _run(self, project: Project, options: AnalysisOptions) -> Report:
+        from ..mitigate import repair
+        t0 = time.perf_counter()
+        result = repair(
+            project.program, project.config(), name=project.name,
+            policy=options.policy, max_rounds=options.max_repair_rounds,
+            shrink=options.shrink, rsb_policy=options.rsb_policy,
+            bound=options.bound, fwd_hazards=options.fwd_hazards,
+            explore_aliasing=options.explore_aliasing,
+            jmpi_targets=options.jmpi_targets,
+            rsb_targets=options.rsb_targets,
+            max_paths=options.max_paths, max_steps=options.max_steps,
+            strategy=options.strategy, shards=options.shards,
+            seed=options.seed)
+        final = result.final_report
+        secure = result.status in ("already-secure", "repaired")
+        details = {"policy": options.policy,
+                   "verifications": result.verifications,
+                   "rounds": result.rounds,
+                   "strategy": options.strategy,
+                   "shards": options.shards}
+        wall = time.perf_counter() - t0
+        # NB: AnalysisReport.__bool__ is "secure" — guard on None, not
+        # truthiness, or insecure final reports zero these fields out.
+        if final is None:
+            return Report(target=project.name, analysis=self.name,
+                          status=result.status, secure=secure,
+                          wall_time=wall, mitigation=result.certificate,
+                          details=details)
+        # Lift the final verification run as usual, then overlay the
+        # repair outcome and the loop-wide step accounting (every
+        # re-verification, not just the last one).
+        return from_analysis_report(
+            final, project.name, self.name, wall_time=wall,
+            details=details,
+        ).with_(status=result.status, secure=secure,
+                states_stepped=result.states_stepped,
+                states_reused=result.states_reused,
+                mitigation=result.certificate)
 
 
 @register

@@ -5,12 +5,21 @@ Subcommands::
     python -m repro list                         # analyses, suites, cases
     python -m repro analyze kocher_01            # one target, one analysis
     python -m repro analyze victim.s --reg ra=9  # raw asm source
+    python -m repro repair kocher_01             # synthesize a mitigation
     python -m repro litmus kocher --workers 4    # sweep suites
     python -m repro table2 --json                # reproduce Table 2
 
 Every subcommand takes ``--json`` for machine-readable output; analysis
 knobs (``--bound``, ``--fwd-hazards``, …) map 1:1 onto
 :class:`~repro.api.project.AnalysisOptions`.
+
+Exit codes (CI contract)::
+
+    0   clean: no violation, and with --check full, non-vacuous coverage
+    1   a violation was found (or a ground-truth mismatch in `litmus`)
+    2   --check only: "secure" earned with truncated coverage or a
+        vacuous quantifier — coverage, not security, failed
+    3   usage errors (unknown target/analysis/option values)
 """
 
 from __future__ import annotations
@@ -43,6 +52,11 @@ def _option_overrides(args) -> Dict:
         "strategy": args.strategy,
         "shards": args.shards,
         "seed": args.seed,
+        # repair-only knobs (absent on other subcommands, ignored when
+        # None by AnalysisOptions.with_).
+        "policy": getattr(args, "policy", None),
+        "max_repair_rounds": getattr(args, "max_rounds", None),
+        "shrink": getattr(args, "shrink", None),
     }
 
 
@@ -183,10 +197,26 @@ def cmd_analyze(args) -> int:
         return 1
     # --check: a gate for CI scripts — "secure" earned with capped
     # coverage or by an empty quantifier (vacuous SCT pass) must not
-    # pass silently.
+    # pass silently.  Exit 2 distinguishes a *coverage* failure from a
+    # found violation (exit 1), so pipelines can escalate differently.
     if args.check and (report.truncated or report.vacuous):
-        return 1
+        return 2
     return 0
+
+
+def cmd_repair(args) -> int:
+    """``repro repair``: the analyze pipeline with the repair analysis.
+
+    ``-a`` names the *verifying* detector the synthesis loop re-runs
+    (currently only ``pitchfork``, the default).
+    """
+    from .analyses import get_analysis
+    verifier = get_analysis(args.analysis or "pitchfork").name
+    if verifier != "pitchfork":
+        raise SystemExit(f"repair verifies with the pitchfork detector; "
+                         f"-a {verifier} is not supported yet")
+    args.analysis = "repair"
+    return cmd_analyze(args)
 
 
 def cmd_litmus(args) -> int:
@@ -236,8 +266,11 @@ def cmd_litmus(args) -> int:
     _warn_truncated(truncated)
     if mismatches:
         return 1
-    if args.check and (flagged_any or truncated or vacuous_any):
-        return 1
+    if args.check:
+        if flagged_any:
+            return 1
+        if truncated or vacuous_any:
+            return 2
     return 0
 
 
@@ -268,8 +301,21 @@ def cmd_table2(args) -> int:
     return 0
 
 
+class _Parser(argparse.ArgumentParser):
+    """argparse with usage errors on exit code 3.
+
+    Stock argparse exits 2 on bad flags, which would collide with the
+    --check gate's exit 2 (truncated/vacuous coverage).
+    """
+
+    def error(self, message):
+        self.print_usage(sys.stderr)
+        print(f"{self.prog}: error: {message}", file=sys.stderr)
+        raise SystemExit(3)
+
+
 def build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
+    parser = _Parser(
         prog="repro",
         description="Constant-time foundations for the new Spectre era — "
                     "reproduction front end")
@@ -296,6 +342,33 @@ def build_parser() -> argparse.ArgumentParser:
     _add_preset_flag(p_analyze)
     _add_option_flags(p_analyze)
     p_analyze.set_defaults(func=cmd_analyze)
+
+    p_repair = sub.add_parser(
+        "repair", help="synthesize a minimal mitigation (fences/SLH) and "
+                       "re-verify")
+    p_repair.add_argument("target",
+                          help="litmus case, case-study variant, or .s file")
+    p_repair.add_argument("-a", "--analysis", default="pitchfork",
+                          help="verifying detector for the repair loop "
+                               "(default and only option: pitchfork)")
+    p_repair.add_argument("--policy", choices=("fence", "slh", "auto"),
+                          help="per-site mitigation policy (default: auto — "
+                               "SLH masking for v1 loads, fences otherwise)")
+    p_repair.add_argument("--max-rounds", type=int,
+                          help="propose→re-verify rounds before giving up")
+    p_repair.add_argument("--no-shrink", dest="shrink",
+                          action="store_false", default=None,
+                          help="skip the delta-debugging shrink phase")
+    p_repair.add_argument("--reg", action="append", metavar="NAME=VAL",
+                          help="initial register (asm targets; repeatable)")
+    p_repair.add_argument("--pc", type=int, help="entry point (asm targets)")
+    p_repair.add_argument("--json", action="store_true")
+    p_repair.add_argument("--check", action="store_true",
+                          help="CI gate: exit 1 if the repaired program "
+                               "still violates, 2 on truncated coverage")
+    _add_preset_flag(p_repair)
+    _add_option_flags(p_repair)
+    p_repair.set_defaults(func=cmd_repair)
 
     p_litmus = sub.add_parser(
         "litmus", help="sweep litmus suites against ground truth")
@@ -326,12 +399,21 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         return args.func(args)
+    except SystemExit as exc:
+        # raise SystemExit("message") sites (unknown targets/suites,
+        # bad --reg): without this, Python maps a string payload to
+        # exit 1 — indistinguishable from "violation found".
+        if exc.code is None or isinstance(exc.code, int):
+            raise
+        print(f"error: {exc.code}", file=sys.stderr)
+        return 3
     except (KeyError, ValueError) as exc:
         # Bad knob values, unknown analyses/suites: a clean CLI error,
-        # not a traceback.
+        # not a traceback.  Exit 3 keeps usage errors distinct from the
+        # --check gate's exit 2 (truncated/vacuous coverage).
         message = exc.args[0] if exc.args else exc
         print(f"error: {message}", file=sys.stderr)
-        return 2
+        return 3
 
 
 if __name__ == "__main__":  # pragma: no cover

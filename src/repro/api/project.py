@@ -80,6 +80,15 @@ class AnalysisOptions:
     sct_bound: int = 8              #: schedule-enumeration bound
     sct_max_schedules: int = 2_000
 
+    # -- mitigation synthesis (repro.mitigate) -------------------------------
+    #: Per-site mitigation policy: "fence" (speculation barriers only),
+    #: "slh" (prefer index masking, fences as fallback), or "auto".
+    policy: str = "auto"
+    #: Propose→re-verify rounds before the synthesizer gives up.
+    max_repair_rounds: int = 16
+    #: Run the delta-debugging shrink phase after security is reached.
+    shrink: bool = True
+
     # -- shared randomness ----------------------------------------------------
     #: RNG seed: drives the "random" search strategy and the metatheory
     #: schedule generator; recorded in reports for reproducibility.
@@ -93,9 +102,13 @@ class AnalysisOptions:
             if getattr(self, name) <= 0:
                 raise ValueError(f"{name} must be positive")
         for name in ("max_paths", "max_steps", "max_schedules", "max_worlds",
-                     "sct_max_schedules", "experiments", "shards"):
+                     "sct_max_schedules", "experiments", "shards",
+                     "max_repair_rounds"):
             if getattr(self, name) <= 0:
                 raise ValueError(f"{name} must be positive")
+        if self.policy not in ("fence", "slh", "auto"):
+            raise ValueError(f"policy must be one of "
+                             f"('fence', 'slh', 'auto'), got {self.policy!r}")
         if self.rsb_policy not in _RSB_POLICIES:
             raise ValueError(f"rsb_policy must be one of {_RSB_POLICIES}, "
                              f"got {self.rsb_policy!r}")

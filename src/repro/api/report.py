@@ -28,13 +28,15 @@ from dataclasses import dataclass, field, replace
 from typing import Any, Dict, Mapping, Optional, Tuple
 
 #: Statuses that count as "no violation found".
-CLEAN_STATUSES = frozenset({"secure", "clean", "ok"})
+CLEAN_STATUSES = frozenset({"secure", "clean", "ok", "already-secure",
+                            "repaired"})
 
-#: Version of the serialised report shape.  2 added ``schema_version``
-#: itself, the search-strategy fields and per-shard stats; 1 (implicit,
-#: no marker) is the pre-sharding shape, still accepted by
-#: :meth:`Report.from_dict`.
-SCHEMA_VERSION = 2
+#: Version of the serialised report shape.  3 added the ``mitigation``
+#: section (the repair certificate emitted by :mod:`repro.mitigate`);
+#: 2 added ``schema_version`` itself, the search-strategy fields and
+#: per-shard stats; 1 (implicit, no marker) is the pre-sharding shape.
+#: All older versions are still accepted by :meth:`Report.from_dict`.
+SCHEMA_VERSION = 3
 
 
 @dataclass(frozen=True)
@@ -169,6 +171,12 @@ class Report:
     #: Per-shard accounting when the exploration ran sharded (empty for
     #: single-process runs).
     shard_stats: Tuple[ShardReport, ...] = ()
+    #: The machine-checkable repair certificate when the analysis was a
+    #: mitigation synthesis (see
+    #: :attr:`repro.mitigate.RepairResult.certificate`): the repaired
+    #: program as re-assembleable source, the per-site steps, fence/SLH
+    #: counts against the blanket baseline, and the overhead numbers.
+    mitigation: Optional[Mapping[str, Any]] = None
     details: Mapping[str, Any] = field(default_factory=dict)
 
     def __bool__(self) -> bool:
@@ -204,6 +212,8 @@ class Report:
             "wall_time": self.wall_time,
             "phases": [p.to_dict() for p in self.phases],
             "shard_stats": [s.to_dict() for s in self.shard_stats],
+            "mitigation": (dict(self.mitigation)
+                           if self.mitigation is not None else None),
             "details": dict(self.details),
         }
 
@@ -235,6 +245,8 @@ class Report:
                          for p in data.get("phases", ())),
             shard_stats=tuple(ShardReport.from_dict(s)
                               for s in data.get("shard_stats", ())),
+            mitigation=(dict(data["mitigation"])
+                        if data.get("mitigation") is not None else None),
             details=dict(data.get("details", {})),
         )
 
@@ -274,6 +286,21 @@ class Report:
         for cex in self.counterexamples[:max_violations]:
             lines.append(f"  counterexample: {cex['reason']} "
                          f"(diverges at {cex['first_divergence']})")
+        if self.mitigation is not None:
+            m = self.mitigation
+            lines.append(
+                f"  mitigation: {len(m.get('steps', ()))} site(s) — "
+                f"{m.get('fences_added', 0)} fence(s) + "
+                f"{m.get('slh_sites', 0)} SLH mask(s) "
+                f"(blanket baseline: {m.get('blanket_fences', 0)} fences; "
+                f"shrink removed {m.get('shrink_removed', 0)}; "
+                f"+{m.get('overhead_steps', 0)} sequential steps)")
+            for step in m.get("steps", ()):
+                lines.append(f"    [{step.get('policy')}] point "
+                             f"{step.get('site_pp')} ({step.get('cause')})")
+            if m.get("sequential_leaks"):
+                lines.append(f"    sequential residue (not repairable by "
+                             f"fencing): {m['sequential_leaks']}")
         for key, value in self.details.items():
             lines.append(f"  {key}: {value}")
         return "\n".join(lines)

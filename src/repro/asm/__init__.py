@@ -7,10 +7,11 @@
 
 from .assembler import assemble, assemble_parsed
 from .builder import ProgramBuilder
-from .disasm import disassemble, format_instruction
+from .disasm import disassemble, format_instruction, to_source
 from .parser import ParsedInstr, ParsedProgram, parse
 
 __all__ = [
     "assemble", "assemble_parsed", "ProgramBuilder", "disassemble",
     "format_instruction", "ParsedInstr", "ParsedProgram", "parse",
+    "to_source",
 ]

@@ -34,7 +34,13 @@ def assemble_parsed(parsed: ParsedProgram, base: int = 1) -> Program:
     instrs: Dict[int, Instruction] = {}
     for idx, p in enumerate(parsed.instrs):
         n = points[idx]
-        nxt = n + 1
+        # Sequential instructions fall through to the next line unless an
+        # explicit `-> target` successor was written (mitigation passes
+        # splice fences and relocated instructions, whose successors are
+        # not the following point).
+        nxt = (_resolve(p.targets[0], labels, p.line)
+               if p.kind in ("op", "load", "store") and p.targets
+               else n + 1)
         if p.kind == "op":
             instrs[n] = Op(p.dest, p.opcode, p.args, nxt)
         elif p.kind == "load":
@@ -54,13 +60,26 @@ def assemble_parsed(parsed: ParsedProgram, base: int = 1) -> Program:
         elif p.kind == "ret":
             instrs[n] = Ret()
         elif p.kind == "fence":
-            instrs[n] = Fence(n if p.targets == ("@self",) else nxt)
+            if p.targets == ("@self",):
+                instrs[n] = Fence(n)
+            elif p.targets:
+                instrs[n] = Fence(_resolve(p.targets[0], labels, p.line))
+            else:
+                instrs[n] = Fence(nxt)
         elif p.kind == "halt":
             pass  # reserve the point, map no instruction
         else:  # pragma: no cover - parser guarantees kinds
             raise AssemblerError(f"unknown kind {p.kind!r}")
 
-    entry = labels.get(parsed.entry, base) if parsed.entry else base
+    entry = base
+    if parsed.entry:
+        if parsed.entry in labels:
+            entry = labels[parsed.entry]
+        else:
+            try:
+                entry = int(parsed.entry, 0)
+            except ValueError:
+                entry = base
     if not instrs:
         raise AssemblerError("program assembles to no instructions")
     return Program(instrs, entry=entry, labels=labels)

@@ -1,14 +1,23 @@
 """Disassembler: programs back to readable assembly text.
 
-Round-trips with the assembler (modulo label names for unlabeled
-points); used by Pitchfork's violation reports to show the code around a
-flagged instruction.
+Two printers:
+
+* :func:`disassemble` — the human-readable window view used by
+  Pitchfork's violation reports (point numbers, ``-->`` markers);
+* :func:`to_source` — exact source text: ``assemble(to_source(p),
+  base=min(p.points())) == p`` for every program the assembler, the
+  blanket :mod:`repro.ctcomp.passes` and the per-site
+  :mod:`repro.mitigate` passes can produce.  Non-sequential successors
+  (fence trampolines, relocated instructions) print with the explicit
+  ``-> target`` suffix; unmapped-but-referenced points print as
+  ``halt`` lines so the layout reproduces.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional
 
+from ..core.errors import AssemblerError
 from ..core.isa import (Br, Call, Fence, Instruction, Jmpi, Load, Op, Ret,
                         Store)
 from ..core.program import Program
@@ -57,6 +66,88 @@ def format_instruction(program: Program, n: int) -> str:
     if isinstance(instr, Fence):
         return "fence self" if instr.next == n else "fence"
     return repr(instr)
+
+
+def _referenced_points(program: Program) -> List[int]:
+    """Every point the program mentions: mapped, targeted, or labelled."""
+    out = set()
+    for n, instr in program.items():
+        out.add(n)
+        if isinstance(instr, (Op, Load, Store, Fence)):
+            out.add(instr.next)
+        elif isinstance(instr, Br):
+            out.update((instr.n_true, instr.n_false))
+        elif isinstance(instr, Call):
+            out.update((instr.target, instr.ret))
+    out.update(program.labels().values())
+    out.add(program.entry)
+    return sorted(out)
+
+
+def _source_target(program: Program, n: int) -> str:
+    """A target as source text: its label when one exists, else the
+    literal program point (the assembler resolves ints as-is)."""
+    name = program.name_of(n)
+    return name if name is not None else str(n)
+
+
+def _source_line(program: Program, n: int, instr: Instruction) -> str:
+    succ = ""
+    if isinstance(instr, (Op, Load, Store)) and instr.next != n + 1:
+        succ = f" -> {_source_target(program, instr.next)}"
+    if isinstance(instr, Op):
+        return f"%{instr.dest.name} = op {instr.opcode}, " \
+               f"{_args(instr.args)}{succ}"
+    if isinstance(instr, Load):
+        return f"%{instr.dest.name} = load [{_args(instr.args)}]{succ}"
+    if isinstance(instr, Store):
+        return f"store {_operand(instr.src)}, [{_args(instr.args)}]{succ}"
+    if isinstance(instr, Br):
+        return (f"br {instr.opcode}, {_args(instr.args)} -> "
+                f"{_source_target(program, instr.n_true)}, "
+                f"{_source_target(program, instr.n_false)}")
+    if isinstance(instr, Jmpi):
+        return f"jmpi [{_args(instr.args)}]"
+    if isinstance(instr, Call):
+        target = _source_target(program, instr.target)
+        if instr.ret == n + 1:
+            return f"call {target}"
+        return f"call {target}, {_source_target(program, instr.ret)}"
+    if isinstance(instr, Ret):
+        return "ret"
+    if isinstance(instr, Fence):
+        if instr.next == n:
+            return "fence self"
+        if instr.next == n + 1:
+            return "fence"
+        return f"fence -> {_source_target(program, instr.next)}"
+    raise AssemblerError(f"cannot print {instr!r}")
+
+
+def to_source(program: Program) -> str:
+    """The program as re-assembleable source text.
+
+    The inverse of :func:`repro.asm.assemble` up to structural program
+    equality: one line per program point from the lowest mapped point
+    to the highest referenced one, ``halt`` for reserved (unmapped)
+    points, explicit ``-> target`` successors wherever control flow is
+    non-sequential, and a ``.entry`` directive when the entry is not
+    the first point.
+    """
+    points = _referenced_points(program)
+    base = points[0]
+    names: Dict[int, List[str]] = {}
+    for name, point in program.labels().items():
+        names.setdefault(point, []).append(name)
+    lines: List[str] = []
+    if program.entry != base:
+        lines.append(f".entry {_source_target(program, program.entry)}")
+    for n in range(base, points[-1] + 1):
+        prefix = "".join(f"{name}: " for name in names.get(n, ()))
+        instr = program.get(n)
+        body = "halt" if instr is None else _source_line(program, n, instr)
+        lines.append(f"{prefix}{body}")
+    return "\n".join(lines) + "\n"
 
 
 def disassemble(program: Program,

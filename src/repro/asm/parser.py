@@ -12,13 +12,14 @@ The surface syntax mirrors Table 1 closely; one instruction per line::
 Grammar (informal)::
 
     line      ::= [label ':']* [instr] [';' comment]
-    instr     ::= reg '=' 'op' opcode ',' args
-                | reg '=' 'load' '[' args ']'
-                | 'store' operand ',' '[' args ']'
+    instr     ::= reg '=' 'op' opcode ',' args [succ]
+                | reg '=' 'load' '[' args ']' [succ]
+                | 'store' operand ',' '[' args ']' [succ]
                 | 'br' opcode ',' args '->' target ',' target
                 | 'jmpi' '[' args ']'
                 | 'call' target [',' target]
-                | 'ret' | 'fence' | 'halt'
+                | 'ret' | 'fence' [succ | 'self'] | 'halt'
+    succ      ::= '->' target
     operand   ::= reg | int | 'secret(' int ')'
     reg       ::= '%' ident
     target    ::= ident | int
@@ -26,6 +27,13 @@ Grammar (informal)::
 ``halt`` is a pseudo-instruction: it reserves a program point with no
 instruction, so fetching it is stuck — the program has terminated.
 Targets may be labels or literal program points.
+
+Sequential instructions (op/load/store/fence) fall through to the next
+line by default; an explicit ``-> target`` successor overrides that.
+The mitigation passes need this: a fence spliced in front of a program
+point keeps the original instruction at a relocated point, so repaired
+programs print with non-sequential successors and still re-assemble to
+the exact same :class:`~repro.core.program.Program`.
 """
 
 from __future__ import annotations
@@ -123,6 +131,17 @@ def _parse_bracketed(text: str, line: int) -> Tuple[str, str]:
     raise AssemblerError(f"line {line}: unbalanced brackets in {text!r}")
 
 
+def _parse_succ(trailing: str, line: int) -> Tuple[Target, ...]:
+    """Parse an optional ``-> target`` explicit-successor suffix."""
+    trailing = trailing.strip()
+    if not trailing:
+        return ()
+    if not trailing.startswith("->"):
+        raise AssemblerError(
+            f"line {line}: expected '-> target', got {trailing!r}")
+    return (_parse_target(trailing[2:], line),)
+
+
 def _parse_instr(text: str, line: int) -> ParsedInstr:
     text = text.strip()
     src_text = text
@@ -134,18 +153,20 @@ def _parse_instr(text: str, line: int) -> ParsedInstr:
         kind = m.group(2)
         rest = m.group(3).strip()
         if kind == "op":
-            parts = rest.split(",", 1)
+            head, arrow, tail = rest.partition("->")
+            succ = _parse_succ(arrow + tail, line) if arrow else ()
+            parts = head.split(",", 1)
             opcode = parts[0].strip()
             if opcode not in OPCODES:
                 raise AssemblerError(f"line {line}: unknown opcode {opcode!r}")
             args = _split_args(parts[1] if len(parts) > 1 else "", line)
             return ParsedInstr("op", dest=dest, opcode=opcode,
-                               args=tuple(args), line=line, source=src_text)
+                               args=tuple(args), targets=succ,
+                               line=line, source=src_text)
         inside, trailing = _parse_bracketed(rest, line)
-        if trailing:
-            raise AssemblerError(f"line {line}: junk after load: {trailing!r}")
         return ParsedInstr("load", dest=dest,
                            args=tuple(_split_args(inside, line)),
+                           targets=_parse_succ(trailing, line),
                            line=line, source=src_text)
 
     if text.startswith("store"):
@@ -153,10 +174,9 @@ def _parse_instr(text: str, line: int) -> ParsedInstr:
         src_tok, _, addr_part = rest.partition(",")
         src = _parse_operand(src_tok, line)
         inside, trailing = _parse_bracketed(addr_part, line)
-        if trailing:
-            raise AssemblerError(f"line {line}: junk after store: {trailing!r}")
         return ParsedInstr("store", src=src,
                            args=tuple(_split_args(inside, line)),
+                           targets=_parse_succ(trailing, line),
                            line=line, source=src_text)
 
     if text.startswith("br"):
@@ -207,6 +227,10 @@ def _parse_instr(text: str, line: int) -> ParsedInstr:
         # proceed past it (the retpoline landing pad of Fig 13).
         return ParsedInstr("fence", targets=("@self",), line=line,
                            source=src_text)
+    if text.startswith("fence"):
+        return ParsedInstr("fence",
+                           targets=_parse_succ(text[len("fence"):], line),
+                           line=line, source=src_text)
     if text == "halt":
         return ParsedInstr("halt", line=line, source=src_text)
 

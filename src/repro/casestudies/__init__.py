@@ -15,7 +15,7 @@ from typing import List
 
 from .common import (CaseStudy, CaseVariant, TABLE2_BOUND_FWD,
                      TABLE2_BOUND_NO_FWD, evaluate_variant, render_table2,
-                     table2)
+                     repair_variant, table2)
 from . import donna, mee_cbc, secretbox, ssl3_record
 
 
@@ -31,5 +31,6 @@ def all_case_studies() -> List[CaseStudy]:
 
 __all__ = [
     "CaseStudy", "CaseVariant", "TABLE2_BOUND_FWD", "TABLE2_BOUND_NO_FWD",
-    "evaluate_variant", "render_table2", "table2", "all_case_studies",
+    "evaluate_variant", "render_table2", "repair_variant", "table2",
+    "all_case_studies",
 ]

@@ -107,6 +107,24 @@ def table2(case_studies, workers: Optional[int] = None,
     return out
 
 
+def repair_variant(variant: CaseVariant,
+                   bound: int = TABLE2_BOUND_FWD,
+                   policy: str = "auto",
+                   max_paths: int = 20_000,
+                   shards: int = 1):
+    """Run mitigation synthesis on a Table 2 cell.
+
+    Turns every case study into a repair scenario: the returned
+    :class:`~repro.api.Report` carries the ``mitigation`` certificate —
+    fences/SLH masks placed vs the blanket baseline, and the
+    sequential-step overhead of the hardened kernel.
+    """
+    from ..api import AnalysisOptions, Project
+    options = AnalysisOptions.table2(bound=bound, policy=policy,
+                                     max_paths=max_paths, shards=shards)
+    return Project.from_variant(variant, options=options).run("repair")
+
+
 def render_table2(results: Dict[str, Dict[str, str]]) -> str:
     """Format like the paper: ✓ = violation, f = forwarding-only, blank
     = clean."""

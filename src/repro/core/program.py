@@ -17,9 +17,16 @@ from .isa import Br, Call, Fence, Instruction, Jmpi, Load, Op, Ret, Store
 
 
 class Program:
-    """An immutable map from program points to instructions."""
+    """An immutable map from program points to instructions.
 
-    __slots__ = ("_instrs", "_labels", "entry")
+    Programs compare *structurally*: two programs are equal when they
+    map the same points to equal instructions and share the entry
+    point.  Labels are presentation metadata (round-trip printing keeps
+    them, but a relabelled program is the same program) and do not take
+    part in equality or hashing.
+    """
+
+    __slots__ = ("_instrs", "_labels", "entry", "_hash")
 
     def __init__(self, instrs: Dict[int, Instruction],
                  entry: Optional[int] = None,
@@ -29,6 +36,7 @@ class Program:
         self._instrs = dict(instrs)
         self._labels = dict(labels or {})
         self.entry = entry if entry is not None else min(self._instrs)
+        self._hash = None
 
     def __getitem__(self, n: int) -> Instruction:
         try:
@@ -103,6 +111,18 @@ class Program:
             if isinstance(instr, Call) and instr.target not in self:
                 raise IllFormedProgramError(
                     f"call at {n} targets missing point {instr.target}")
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Program):
+            return NotImplemented
+        return self.entry == other.entry and self._instrs == other._instrs
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash((self.entry,
+                               tuple((n, repr(i))
+                                     for n, i in sorted(self._instrs.items()))))
+        return self._hash
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Program({len(self._instrs)} instrs, entry={self.entry})"

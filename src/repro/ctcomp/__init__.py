@@ -10,7 +10,8 @@ from .ast import (ArrayDecl, Assign, BinOp, CallStmt, Const, Expr, FenceStmt,
                   Var, VarDecl, While)
 from .compiler import compile_module, type_report
 from .lower import CompiledModule, Lowerer, STACK_TOP
-from .passes import count_fences, insert_fences, retpolinize
+from .passes import (count_fences, fence_loads, harden, insert_fences,
+                     retpolinize, splice_before)
 from .typing import TypeEnv, TypeReport, check_module, expr_label
 
 __all__ = [
@@ -18,6 +19,7 @@ __all__ = [
     "FenceStmt", "Func", "If", "Index", "Module", "Select", "Stmt",
     "StoreStmt", "UnOp", "Var", "VarDecl", "While", "compile_module",
     "type_report", "CompiledModule", "Lowerer", "STACK_TOP",
-    "count_fences", "insert_fences", "retpolinize", "TypeEnv",
-    "TypeReport", "check_module", "expr_label",
+    "count_fences", "fence_loads", "harden", "insert_fences",
+    "retpolinize", "splice_before", "TypeEnv", "TypeReport",
+    "check_module", "expr_label",
 ]

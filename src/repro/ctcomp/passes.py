@@ -4,9 +4,14 @@
   conditional branch arm (the blunt Spectre v1 mitigation of Fig 8);
 * :func:`retpolinize` — replace every indirect jump with the retpoline
   construction of Fig 13 (call; self-looping fence; compute target;
-  overwrite the return address; ret).
+  overwrite the return address; ret);
+* :func:`fence_loads` — splice a speculation barrier in front of every
+  load (the lfence-everywhere Spectre v4 mitigation: a load cannot
+  execute while an unretired store's address is pending);
+* :func:`harden` — all three in sequence: the blanket baseline the
+  per-site synthesis of :mod:`repro.mitigate` must beat on fence count.
 
-Both passes operate on assembled :class:`Program` values, so they apply
+All passes operate on assembled :class:`Program` values, so they apply
 to hand-written code as well as compiler output.
 """
 
@@ -82,6 +87,54 @@ def retpolinize(program: Program) -> Program:
         instrs[store_pt] = Store(RETPOLINE_REG, operands("rsp"), ret_pt)
         instrs[ret_pt] = Ret()
     return Program(instrs, entry=program.entry, labels=program.labels())
+
+
+def splice_before(instrs: Dict[int, Instruction], n: int,
+                  guard: Instruction, next_free: int) -> int:
+    """Splice ``guard`` in front of program point ``n``, in place.
+
+    The original instruction moves to the fresh point ``next_free`` and
+    ``guard`` (whose successor must be ``next_free``) takes its place at
+    ``n``.  Every inbound edge — static successors, call return
+    addresses, *and* dynamically computed targets (mistrained jmpi
+    fetches, RSB predictions, return addresses read from memory) — now
+    passes through the guard, which is why the per-site mitigation
+    passes use this rather than rewriting predecessor edges.  Returns
+    the next free point.
+    """
+    instrs[next_free] = instrs[n]
+    instrs[n] = guard
+    return next_free + 1
+
+
+def fence_loads(program: Program) -> Program:
+    """A fence spliced in front of every load (blanket v4 mitigation).
+
+    A load behind a fence cannot execute until the fence retires, which
+    requires every older store to have resolved its address and
+    retired — no store can be speculatively bypassed, and no younger
+    transient leak survives an unresolved branch either.
+    """
+    instrs: Dict[int, Instruction] = dict(program.items())
+    next_free = _first_unreferenced_point(instrs)
+    for n, instr in list(instrs.items()):
+        if isinstance(instr, Load):
+            next_free = splice_before(instrs, n, Fence(next_free), next_free)
+    return Program(instrs, entry=program.entry, labels=program.labels())
+
+
+def harden(program: Program) -> Program:
+    """The blanket combination: retpolines, fences after every branch
+    arm, and fences before every load.
+
+    For sequentially constant-time programs this closes every
+    speculation-introduced leak the semantics models (the blanket
+    property test in ``tests/test_mitigate.py`` checks it across the
+    litmus registry); it is also maximally expensive, which is what the
+    counterexample-guided synthesis in :mod:`repro.mitigate` improves
+    on.
+    """
+    return fence_loads(insert_fences(retpolinize(program)))
 
 
 def count_fences(program: Program) -> int:

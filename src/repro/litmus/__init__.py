@@ -6,8 +6,8 @@ speculative-only v1 suite, Figs 1/8), ``spec_v11`` (Fig 6 family),
 Figs 11-13), and ``aliasing`` (Fig 2).
 """
 
-from .registry import (LitmusCase, all_cases, all_suites, find_case,
-                       load_suite)
+from .registry import (LitmusCase, all_cases, all_suites,
+                       expected_repair_status, find_case, load_suite)
 
-__all__ = ["LitmusCase", "all_cases", "all_suites", "find_case",
-           "load_suite"]
+__all__ = ["LitmusCase", "all_cases", "all_suites",
+           "expected_repair_status", "find_case", "load_suite"]

@@ -90,3 +90,22 @@ def find_case(name: str) -> LitmusCase:
         if case.name == name:
             return case
     raise KeyError(name)
+
+
+def expected_repair_status(case: LitmusCase) -> str:
+    """Ground-truth outcome of ``repro repair`` on a litmus case.
+
+    * ``"already-secure"`` — nothing to do;
+    * ``"repaired"`` — the speculative leak is closed by per-site
+      mitigation and the result re-verifies clean;
+    * ``"sequential-residual"`` — the case violates *classical*
+      constant time (it leaks under the sequential schedule), which no
+      speculation barrier can mend: repair removes the
+      speculation-introduced leaks and reports the architectural
+      residue.
+    """
+    if case.leaks_sequentially:
+        return "sequential-residual"
+    if case.leaks_speculatively:
+        return "repaired"
+    return "already-secure"

@@ -1,0 +1,256 @@
+"""Counterexample localization: from violations to program points.
+
+The Pitchfork explorer hands back :class:`~repro.pitchfork.Violation`
+values — a flagged observation plus the witnessing directive schedule.
+Directives talk about *reorder-buffer indices*, not program points, so
+before anything can be repaired the witness has to be replayed: the
+machine relation is deterministic in ``(configuration, directive)``
+(Theorem B.1), so stepping the schedule from the same initial
+configuration reproduces the leaking execution exactly, and watching
+the fetch stage recovers the map from buffer indices to the program
+points they were fetched from.
+
+The result is a structured :class:`ViolationSite` naming
+
+* the **leak point** — the instruction whose execution produced the
+  secret-labelled observation (the transient load, the store address
+  resolution, the branch on tainted data);
+* the **speculation sources** still in flight when it leaked — the
+  mispredicted branch that opened the window (Spectre v1/v1.1), the
+  mistrained indirect jump or return (v2 / ret2spec), the
+  not-yet-resolved older stores a load may have bypassed (v4);
+* a **cause** classification, including ``"sequential"`` when no
+  speculation source was in flight — an architectural leak no fence
+  placement can remove (the program was not sequentially constant-time
+  to begin with; Corollary B.10's hypothesis fails).
+
+:mod:`repro.mitigate.synth` consumes sites to decide *where* to place
+a fence or an SLH mask, and the re-verification loop — not the
+attribution — carries the soundness argument, so localization is free
+to be heuristic about blame and exact only about the leak point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..core.config import Config
+from ..core.directives import Execute, Fetch, Retire, Schedule
+from ..core.errors import ReproError
+from ..core.isa import (Br, Call, Fence, Instruction, Jmpi, Load, Op, Ret,
+                        Store)
+from ..core.machine import Machine
+from ..core.rob import resolve_operands
+from ..core.transient import TBr, TJmpi, TStore, TValue
+from ..pitchfork.explorer import Violation
+
+
+@dataclass(frozen=True)
+class ViolationSite:
+    """One violation attributed to responsible program points."""
+
+    #: Program point of the instruction whose execution leaked.
+    leak_pp: int
+    #: Kind of the physical instruction at ``leak_pp``
+    #: ("load"/"store"/"branch"/"jump"/"return"/"op"/"call"/"fence").
+    kind: str
+    #: "v1", "v1.1", "v4", "v2", "ret2spec", "aliasing", "sequential",
+    #: or "unknown".
+    cause: str
+    observation: str           #: repr of the flagged observation
+    step_index: int            #: position in the witnessing schedule
+    #: Youngest in-flight mispredicted conditional branch older than the
+    #: leaking instruction — the window the SLH mask re-checks.
+    branch_pp: Optional[int] = None
+    #: Was the speculated (leaking) arm the branch's true target?
+    branch_taken: Optional[bool] = None
+    #: Older stores with unresolved addresses at leak time (v4 bypass
+    #: candidates).
+    store_pps: Tuple[int, ...] = ()
+    #: In-flight mispredicted indirect jump / return, if any.
+    jmpi_pp: Optional[int] = None
+    #: The access load that *introduced* the secret into the transient
+    #: data flow (the youngest older in-flight load resolved to a
+    #: secret-labelled value) — in a classic v1 gadget the transmitting
+    #: load is flagged but masking must hit this one, or the tainted
+    #: label survives the mask's label join.
+    taint_pp: Optional[int] = None
+
+    def describe(self) -> str:
+        parts = [f"{self.cause} leak at {self.leak_pp} ({self.kind})"]
+        if self.branch_pp is not None:
+            parts.append(f"window opened by branch at {self.branch_pp}")
+        if self.jmpi_pp is not None:
+            parts.append(f"mistrained jump at {self.jmpi_pp}")
+        if self.store_pps:
+            parts.append(f"bypassed store(s) at {list(self.store_pps)}")
+        return "; ".join(parts)
+
+
+def _instruction_kind(instr: Optional[Instruction]) -> str:
+    if isinstance(instr, Load):
+        return "load"
+    if isinstance(instr, Store):
+        return "store"
+    if isinstance(instr, Br):
+        return "branch"
+    if isinstance(instr, Jmpi):
+        return "jump"
+    if isinstance(instr, Ret):
+        return "return"
+    if isinstance(instr, Call):
+        return "call"
+    if isinstance(instr, Op):
+        return "op"
+    if isinstance(instr, Fence):
+        return "fence"
+    return "halt"
+
+
+def replay_attribution(machine: Machine, config: Config,
+                       schedule: Schedule
+                       ) -> Tuple[List[Config], Dict[int, int]]:
+    """Replay a witnessing schedule, recovering index → program point.
+
+    Returns the configuration after every step (``configs[0]`` is the
+    initial one) and the map from reorder-buffer indices to the program
+    points their instructions were fetched from (call/ret groups map
+    every member to the group's point).  Determinism (Theorem B.1)
+    makes the replay exact.
+    """
+    index_pp: Dict[int, int] = {}
+    current = config
+    configs = [current]
+    for directive in schedule:
+        if isinstance(directive, Fetch):
+            pc = current.pc
+            before = current.buf.max_index()
+            current, _leak = machine.step(current, directive)
+            for i in range(before + 1, current.buf.max_index() + 1):
+                index_pp[i] = pc
+        else:
+            current, _leak = machine.step(current, directive)
+        configs.append(current)
+    return configs, index_pp
+
+
+def _branch_mispredicted(machine: Machine, config: Config, j: int,
+                         entry: TBr) -> Optional[bool]:
+    """Did the in-flight branch guess wrong?  None when its operands are
+    still unresolved (treated as "possibly mispredicted" by callers —
+    under DT(n) an eagerly-resolvable correct branch would already have
+    executed, so a lingering branch is almost always the window)."""
+    try:
+        vals = resolve_operands(config.buf, j, config.regs, entry.args)
+    except KeyError:
+        return None
+    if vals is None:
+        return None
+    try:
+        cond = machine.evaluator.evaluate(entry.opcode, vals)
+        taken = machine.evaluator.truth(cond)
+    except ReproError:
+        return None
+    actual = entry.targets[0] if taken else entry.targets[1]
+    return actual != entry.guess
+
+
+def _jmpi_mispredicted(machine: Machine, config: Config, j: int,
+                       entry: TJmpi) -> Optional[bool]:
+    try:
+        vals = resolve_operands(config.buf, j, config.regs, entry.args)
+    except KeyError:
+        return None
+    if vals is None:
+        return None
+    try:
+        addr = machine.evaluator.address(vals)
+        return machine.evaluator.concretize(addr) != entry.guess
+    except ReproError:
+        return None
+
+
+def localize(machine: Machine, config: Config,
+             violation: Violation) -> ViolationSite:
+    """Attribute one violation to its responsible program points.
+
+    Replays the witnessing schedule (whose final directive is the
+    flagging one) and inspects the configuration just before that step.
+    """
+    schedule = violation.schedule
+    configs, index_pp = replay_attribution(machine, config, schedule)
+    pre = configs[-2] if len(configs) >= 2 else configs[-1]
+    directive = violation.directive
+
+    if isinstance(directive, Execute):
+        flagged = directive.index
+        leak_pp = index_pp.get(flagged, pre.pc)
+    elif isinstance(directive, Retire) and pre.buf:
+        flagged = pre.buf.min_index()
+        leak_pp = index_pp.get(flagged, pre.pc)
+    else:
+        flagged = pre.buf.max_index() + 1
+        leak_pp = pre.pc
+
+    branch_pp: Optional[int] = None
+    branch_taken: Optional[bool] = None
+    jmpi_pp: Optional[int] = None
+    taint_pp: Optional[int] = None
+    store_pps: List[int] = []
+    for j, entry in pre.buf.items():
+        if j >= flagged:
+            break
+        if isinstance(entry, TValue) and entry.is_load_result() and \
+                not entry.value.is_public():
+            # Resolved loads carry the program point of the physical
+            # load (the hazard rules roll back to it).
+            taint_pp = entry.pp if entry.pp is not None else index_pp.get(j)
+        if isinstance(entry, TBr):
+            wrong = _branch_mispredicted(machine, pre, j, entry)
+            if wrong is None or wrong:
+                branch_pp = index_pp.get(j, branch_pp)
+                branch_taken = entry.guess == entry.targets[0]
+        elif isinstance(entry, TJmpi):
+            wrong = _jmpi_mispredicted(machine, pre, j, entry)
+            if wrong is None or wrong:
+                jmpi_pp = index_pp.get(j, jmpi_pp)
+        elif isinstance(entry, TStore) and not entry.addr_resolved():
+            pp = index_pp.get(j)
+            if pp is not None:
+                store_pps.append(pp)
+
+    kind = _instruction_kind(machine.program.get(leak_pp))
+    if isinstance(directive, Execute) and isinstance(directive.part, int):
+        cause = "aliasing"
+    elif branch_pp is not None:
+        cause = "v1.1" if kind == "store" else "v1"
+    elif jmpi_pp is not None:
+        jmpi_instr = machine.program.get(jmpi_pp)
+        cause = "ret2spec" if isinstance(jmpi_instr, Ret) else "v2"
+    elif store_pps:
+        cause = "v4"
+    else:
+        cause = "sequential"
+
+    return ViolationSite(
+        leak_pp=leak_pp, kind=kind, cause=cause,
+        observation=repr(violation.observation),
+        step_index=violation.step_index,
+        branch_pp=branch_pp, branch_taken=branch_taken,
+        store_pps=tuple(store_pps), jmpi_pp=jmpi_pp, taint_pp=taint_pp)
+
+
+def localize_all(machine: Machine, config: Config,
+                 violations: Iterable[Violation]) -> List[ViolationSite]:
+    """Localize a batch of violations, deduplicated by leak point.
+
+    The first witness per program point wins (sites are repaired per
+    point, so extra witnesses of the same point add no information).
+    """
+    seen: Dict[int, ViolationSite] = {}
+    for violation in violations:
+        site = localize(machine, config, violation)
+        if site.leak_pp not in seen:
+            seen[site.leak_pp] = site
+    return list(seen.values())

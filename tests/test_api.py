@@ -123,14 +123,15 @@ class TestProject:
 
 
 class TestRegistry:
-    def test_all_six_registered(self):
+    def test_all_seven_registered(self):
         assert set(available_analyses()) == {
             "pitchfork", "two-phase", "sct", "cache-attack", "metatheory",
-            "symbolic"}
+            "symbolic", "repair"}
 
     def test_aliases_and_unknown(self):
         assert get_analysis("two_phase").name == "two-phase"
         assert get_analysis("cache").name == "cache-attack"
+        assert get_analysis("mitigate").name == "repair"
         with pytest.raises(KeyError):
             get_analysis("nope")
 
@@ -228,10 +229,9 @@ class TestCLI:
         data = json.loads(capsys.readouterr().out)
         assert code == 0 and data["status"] == "secure"
 
-    def test_analyze_unknown_target_exits(self):
+    def test_analyze_unknown_target_exits_3(self):
         from repro.api.cli import main
-        with pytest.raises(SystemExit):
-            main(["analyze", "definitely_not_a_case"])
+        assert main(["analyze", "definitely_not_a_case"]) == 3
 
     def test_litmus_sweep_one_suite(self, capsys):
         from repro.api.cli import main
@@ -259,12 +259,14 @@ class TestCLI:
 
     def test_unknown_strategy_is_clean_cli_error(self, capsys):
         from repro.api.cli import main
-        with pytest.raises(SystemExit):
+        with pytest.raises(SystemExit) as exc:
             main(["analyze", "kocher_01", "--strategy", "dijkstra"])
+        assert exc.value.code == 3   # argparse usage errors share exit 3
 
 
 class TestCheckFlag:
-    """`--check`: CI gate — nonzero on any violation or truncation."""
+    """`--check`: CI gate — exit 1 on a violation, exit 2 when "secure"
+    was earned with truncated coverage or a vacuous quantifier."""
 
     def test_secure_case_passes(self, capsys):
         from repro.api.cli import main
@@ -274,11 +276,11 @@ class TestCheckFlag:
         from repro.api.cli import main
         assert main(["analyze", "kocher_01", "--check"]) == 1
 
-    def test_truncated_secure_case_fails_only_with_check(self, capsys):
+    def test_truncated_secure_case_exits_2_only_with_check(self, capsys):
         from repro.api.cli import main
         args = ["analyze", "v1_fig8_fence", "--max-paths", "1"]
         assert main(args) == 0            # "secure", coverage capped
-        assert main(args + ["--check"]) == 1
+        assert main(args + ["--check"]) == 2
 
     def test_litmus_check_fails_on_flagged_suite(self, capsys):
         from repro.api.cli import main
@@ -287,16 +289,21 @@ class TestCheckFlag:
         assert main(["litmus", "spec_v1"]) == 0
         assert main(["litmus", "spec_v1", "--check"]) == 1
 
-    def test_vacuous_sct_pass_fails_check(self, tmp_path, capsys):
+    def test_vacuous_sct_pass_exits_2_with_check(self, tmp_path, capsys):
         from repro.api.cli import main
         # A no-secrets program makes the SCT quantifier empty: the
         # verdict is "secure" by emptiness (vacuous), which must not
-        # earn a green CI gate.
+        # earn a green CI gate — but it is a coverage failure (2), not
+        # a violation (1).
         src = tmp_path / "nosecrets.s"
         src.write_text("%ra = op mov, 1\nhalt\n")
         args = ["analyze", str(src), "-a", "sct"]
         assert main(args) == 0
-        assert main(args + ["--check"]) == 1
+        assert main(args + ["--check"]) == 2
+
+    def test_usage_error_exits_3(self, capsys):
+        from repro.api.cli import main
+        assert main(["analyze", "kocher_01", "-a", "nope"]) == 3
 
 
 class TestReportSchema:
@@ -309,7 +316,7 @@ class TestReportSchema:
     def test_schema_version_serialised(self):
         report = fig1_project().analyses.pitchfork(bound=12)
         data = json.loads(report.to_json())
-        assert data["schema_version"] == 2
+        assert data["schema_version"] == 3
 
     def test_round_trip_plain(self):
         report = fig1_project().analyses.pitchfork(bound=12,
