@@ -78,6 +78,16 @@ def available_analyses() -> Dict[str, str]:
     return {name: cls.description for name, cls in sorted(_REGISTRY.items())}
 
 
+def available_aliases() -> Dict[str, str]:
+    """Accepted analysis aliases → the registered name they resolve to.
+
+    These are real CLI/API spellings (``repro analyze -a mitigate`` runs
+    the ``repair`` analysis), so ``repro list`` prints them alongside
+    the registry.
+    """
+    return dict(sorted(_ALIASES.items()))
+
+
 class Analysis:
     """Base contract: ``run(project, **overrides) -> Report``."""
 
@@ -136,7 +146,8 @@ def _explore(project: Project, options: AnalysisOptions, *,
                    rsb_policy=options.rsb_policy,
                    strategy=options.strategy,
                    shards=options.shards,
-                   seed=options.seed)
+                   seed=options.seed,
+                   prune=options.prune)
 
 
 @register
@@ -151,7 +162,8 @@ class PitchforkAnalysis(Analysis):
         t0 = time.perf_counter()
         report = _explore(project, options, bound=options.bound,
                           fwd_hazards=options.fwd_hazards)
-        details = {"strategy": options.strategy, "shards": options.shards}
+        details = {"strategy": options.strategy, "shards": options.shards,
+                   "prune": options.prune}
         if options.strategy == "random":
             details["seed"] = options.seed
         return from_analysis_report(report, project.name, self.name,
@@ -224,9 +236,11 @@ class SymbolicAnalysis(Analysis):
             fwd_hazards=options.fwd_hazards,
             max_schedules=options.max_schedules,
             max_worlds=options.max_worlds,
-            strategy=options.strategy, seed=options.seed)
+            strategy=options.strategy, seed=options.seed,
+            prune=options.prune)
         details = {"worlds": result.replay.worlds,
-                   "solver_calls": result.replay.solver_calls}
+                   "solver_calls": result.replay.solver_calls,
+                   "prune": options.prune}
         if options.shards > 1:
             # The symbolic replay is not sharded (only the explorer
             # is); surface the ignored knob instead of dropping it.
@@ -266,7 +280,8 @@ class SCTAnalysis(Analysis):
         schedules = enumerate_schedules(
             machine, config, bound=options.sct_bound,
             fwd_hazards=options.fwd_hazards,
-            max_paths=options.sct_max_schedules)
+            max_paths=options.sct_max_schedules,
+            prune=options.prune)
         # Run the two-trace product on the engine so the quantifier's
         # work (every schedule × every partner, twice per pair) shows
         # up in the report's step counters.
@@ -367,14 +382,15 @@ class RepairAnalysis(Analysis):
             rsb_targets=options.rsb_targets,
             max_paths=options.max_paths, max_steps=options.max_steps,
             strategy=options.strategy, shards=options.shards,
-            seed=options.seed)
+            seed=options.seed, prune=options.prune)
         final = result.final_report
         secure = result.status in ("already-secure", "repaired")
         details = {"policy": options.policy,
                    "verifications": result.verifications,
                    "rounds": result.rounds,
                    "strategy": options.strategy,
-                   "shards": options.shards}
+                   "shards": options.shards,
+                   "prune": options.prune}
         wall = time.perf_counter() - t0
         # NB: AnalysisReport.__bool__ is "secure" — guard on None, not
         # truthiness, or insecure final reports zero these fields out.

@@ -31,7 +31,7 @@ import sys
 import time
 from typing import Dict, List, Optional
 
-from .analyses import available_analyses
+from .analyses import available_aliases, available_analyses
 from .manager import AnalysisManager
 from .project import AnalysisOptions, Project
 
@@ -52,6 +52,7 @@ def _option_overrides(args) -> Dict:
         "strategy": args.strategy,
         "shards": args.shards,
         "seed": args.seed,
+        "prune": args.prune,
         # repair-only knobs (absent on other subcommands, ignored when
         # None by AnalysisOptions.with_).
         "policy": getattr(args, "policy", None),
@@ -109,6 +110,11 @@ def _add_option_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int,
                         help="RNG seed for --strategy random (and the "
                              "metatheory analysis)")
+    from ..engine.por import PRUNE_LEVELS
+    parser.add_argument("--prune", choices=PRUNE_LEVELS,
+                        help="partial-order reduction over the schedule "
+                             "tree (default: sleepset); all levels flag "
+                             "the same violation observations")
 
 
 def _preset_options(args) -> Optional[AnalysisOptions]:
@@ -169,12 +175,19 @@ def cmd_list(args) -> int:
                for cs in all_case_studies()}
     if args.json:
         print(json.dumps({"analyses": available_analyses(),
+                          "aliases": available_aliases(),
                           "litmus_suites": suites,
                           "case_studies": studies}, indent=2))
         return 0
     print("analyses:")
     for name, description in available_analyses().items():
         print(f"  {name:<14} {description}")
+    aliases: Dict[str, List[str]] = {}
+    for alias, target in available_aliases().items():
+        aliases.setdefault(target, []).append(alias)
+    print("\naliases:")
+    for target, names in sorted(aliases.items()):
+        print(f"  {', '.join(names)} -> {target}")
     print("\nlitmus suites:")
     for name, cases in suites.items():
         print(f"  {name:<10} {len(cases):3} cases: "

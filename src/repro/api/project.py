@@ -25,6 +25,7 @@ from ..core.machine import Machine
 from ..core.memory import Memory
 from ..core.program import Program
 from ..engine import available_strategies
+from ..engine.por import PRUNE_LEVELS
 
 #: Default Table 2 bounds (see ``repro.casestudies.common``): the ported
 #: kernels are smaller than compiled x86, so phase 1 runs at 28 instead
@@ -67,6 +68,11 @@ class AnalysisOptions:
     strategy: str = "dfs"
     #: DT(bound) subtree shards run on a process pool (1 = in-process).
     shards: int = 1
+    #: Partial-order reduction over the schedule tree: "none" (raw
+    #: Definition B.18), "sleepset" (the default reduction), or "full"
+    #: (window capping + degenerate-arm collapse) — all flag the same
+    #: violation observations.  See :mod:`repro.engine.por`.
+    prune: str = "sleepset"
 
     # -- the symbolic back end ----------------------------------------------
     max_schedules: int = 512        #: tool schedules replayed symbolically
@@ -116,6 +122,10 @@ class AnalysisOptions:
             raise ValueError(
                 f"strategy must be one of {list(available_strategies())}, "
                 f"got {self.strategy!r}")
+        if self.prune not in PRUNE_LEVELS:
+            raise ValueError(
+                f"prune must be one of {list(PRUNE_LEVELS)}, "
+                f"got {self.prune!r}")
         # Normalise sequences so options stay hashable (cache keys).
         object.__setattr__(self, "jmpi_targets", tuple(self.jmpi_targets))
         object.__setattr__(self, "rsb_targets", tuple(self.rsb_targets))

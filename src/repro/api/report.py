@@ -31,12 +31,15 @@ from typing import Any, Dict, Mapping, Optional, Tuple
 CLEAN_STATUSES = frozenset({"secure", "clean", "ok", "already-secure",
                             "repaired"})
 
-#: Version of the serialised report shape.  3 added the ``mitigation``
-#: section (the repair certificate emitted by :mod:`repro.mitigate`);
-#: 2 added ``schema_version`` itself, the search-strategy fields and
-#: per-shard stats; 1 (implicit, no marker) is the pre-sharding shape.
-#: All older versions are still accepted by :meth:`Report.from_dict`.
-SCHEMA_VERSION = 3
+#: Version of the serialised report shape.  4 added the ``pruning``
+#: section (partial-order-reduction stats from :mod:`repro.engine.por`:
+#: level, classes_explored, schedules_skipped); 3 added the
+#: ``mitigation`` section (the repair certificate emitted by
+#: :mod:`repro.mitigate`); 2 added ``schema_version`` itself, the
+#: search-strategy fields and per-shard stats; 1 (implicit, no marker)
+#: is the pre-sharding shape.  All older versions are still accepted by
+#: :meth:`Report.from_dict`.
+SCHEMA_VERSION = 4
 
 
 @dataclass(frozen=True)
@@ -177,6 +180,12 @@ class Report:
     #: program as re-assembleable source, the per-site steps, fence/SLH
     #: counts against the blanket baseline, and the overhead numbers.
     mitigation: Optional[Mapping[str, Any]] = None
+    #: Partial-order-reduction stats when the exploration ran with a
+    #: pruning level (see :mod:`repro.engine.por`): ``level``,
+    #: ``classes_explored`` (completed Mazurkiewicz-class
+    #: representatives) and ``schedules_skipped`` (pruned subtree
+    #: roots).  None for analyses without a schedule exploration.
+    pruning: Optional[Mapping[str, Any]] = None
     details: Mapping[str, Any] = field(default_factory=dict)
 
     def __bool__(self) -> bool:
@@ -214,6 +223,8 @@ class Report:
             "shard_stats": [s.to_dict() for s in self.shard_stats],
             "mitigation": (dict(self.mitigation)
                            if self.mitigation is not None else None),
+            "pruning": (dict(self.pruning)
+                        if self.pruning is not None else None),
             "details": dict(self.details),
         }
 
@@ -222,7 +233,7 @@ class Report:
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "Report":
-        """Invert :meth:`to_dict` (accepts schema versions 1 and 2)."""
+        """Invert :meth:`to_dict` (accepts all older schema versions)."""
         version = data.get("schema_version", 1)
         if version > SCHEMA_VERSION:
             raise ValueError(f"report schema_version {version} is newer "
@@ -247,6 +258,8 @@ class Report:
                               for s in data.get("shard_stats", ())),
             mitigation=(dict(data["mitigation"])
                         if data.get("mitigation") is not None else None),
+            pruning=(dict(data["pruning"])
+                     if data.get("pruning") is not None else None),
             details=dict(data.get("details", {})),
         )
 
@@ -262,9 +275,14 @@ class Report:
                   if self.states_reused else "")
         sharded = (f", {len(self.shard_stats)} shards"
                    if self.shard_stats else "")
+        pruned = ""
+        if self.pruning is not None and \
+                self.pruning.get("schedules_skipped"):
+            pruned = (f", {self.pruning['schedules_skipped']} pruned "
+                      f"[{self.pruning.get('level', '?')}]")
         head = (f"[{self.analysis}] {self.target}: {self.status.upper()} "
                 f"({self.paths_explored} paths, {self.states_stepped} steps"
-                f"{reused}{sharded}, {self.wall_time:.2f}s"
+                f"{reused}{sharded}{pruned}, {self.wall_time:.2f}s"
                 f"{', truncated' if self.truncated else ''}"
                 f"{', VACUOUS' if self.vacuous else ''})")
         lines = [head]
@@ -336,5 +354,7 @@ def from_analysis_report(report, target: str, analysis: str,
                         s.violations, s.states_stepped, s.truncated,
                         s.wall_time)
             for s in getattr(report, "shards", ())),
+        pruning=(getattr(report, "pruning", None).to_dict()
+                 if getattr(report, "pruning", None) is not None else None),
         details=dict(details or {}),
     )

@@ -18,10 +18,14 @@ The supporting structures make forking free:
 * :class:`Frontier` — the pending-work set, with the visit order as a
   pluggable :func:`make_frontier` strategy (``dfs``/``bfs``/``random``/
   ``coverage``); every tree-walking driver pushes fork arms into one
-  instead of hardcoding a stack.
+  instead of hardcoding a stack;
+* :mod:`repro.engine.por` — independence-based partial-order
+  reduction: the commutation relation over directive pairs, sleep-set
+  entries for covered rollback outcomes, and the ``none``/``sleepset``/
+  ``full`` pruning levels drivers thread through ``prune=``.
 
-See DESIGN.md ("The execution engine", "The frontier and sharding")
-for the design rationale.
+See DESIGN.md ("The execution engine", "The frontier and sharding",
+"Partial-order reduction") for the design rationale.
 """
 
 from .core import EngineStats, ExecutionEngine
@@ -29,12 +33,15 @@ from .frontier import (BreadthFirstFrontier, CoverageFrontier,
                        DepthFirstFrontier, Frontier, RandomFrontier,
                        available_strategies, make_frontier)
 from .journal import EMPTY_LOG, Log
+from .por import (PRUNE_LEVELS, Footprint, PruningStats, footprint,
+                  hazard_load, independent, validate_prune)
 from .state import MachineState
 from .tree import ScheduleTree, TreeNode
 
 __all__ = [
     "BreadthFirstFrontier", "CoverageFrontier", "DepthFirstFrontier",
-    "EngineStats", "ExecutionEngine", "EMPTY_LOG", "Frontier", "Log",
-    "MachineState", "RandomFrontier", "ScheduleTree", "TreeNode",
-    "available_strategies", "make_frontier",
+    "EngineStats", "ExecutionEngine", "EMPTY_LOG", "Footprint", "Frontier",
+    "Log", "MachineState", "PRUNE_LEVELS", "PruningStats", "RandomFrontier",
+    "ScheduleTree", "TreeNode", "available_strategies", "footprint",
+    "hazard_load", "independent", "make_frontier", "validate_prune",
 ]

@@ -31,19 +31,29 @@ class MachineState:
     """
 
     __slots__ = ("config", "schedule", "trace", "notes", "delayed",
-                 "fetches", "steps", "exhausted", "finished")
+                 "deferred", "sleep", "fetches", "steps", "exhausted",
+                 "finished")
 
     def __init__(self, config: Config,
                  schedule: Log = EMPTY_LOG,
                  trace: Log = EMPTY_LOG,
                  notes: Log = EMPTY_LOG,
                  delayed: Optional[Set[int]] = None,
-                 fetches: int = 0, steps: int = 0):
+                 fetches: int = 0, steps: int = 0,
+                 deferred: Optional[Set[int]] = None,
+                 sleep: Optional[Set[tuple]] = None):
         self.config = config
         self.schedule = schedule      #: Log of Directive
         self.trace = trace            #: Log of Observation
         self.notes = notes            #: Log of driver-specific records
         self.delayed = delayed if delayed is not None else set()
+        #: store indices whose address resolution the raw-B.18 driver
+        #: chose to defer (prune="none"'s explicit choice point)
+        self.deferred = deferred if deferred is not None else set()
+        #: sleep-set entries: outcomes covered by a sibling fork arm
+        #: (see repro.engine.por) — a rollback landing on one ends the
+        #: path
+        self.sleep = sleep if sleep is not None else set()
         self.fetches = fetches
         self.steps = steps
         self.exhausted = False        #: a per-path budget was hit
@@ -53,7 +63,8 @@ class MachineState:
         """An independent state sharing all history with this one."""
         return MachineState(self.config, self.schedule, self.trace,
                             self.notes, set(self.delayed),
-                            self.fetches, self.steps)
+                            self.fetches, self.steps,
+                            set(self.deferred), set(self.sleep))
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (f"MachineState(pc={self.config.pc}, "

@@ -9,8 +9,8 @@ from .detector import (AnalysisReport, PAPER_BOUND_FWD, PAPER_BOUND_NO_FWD,
                        analyze, analyze_two_phase)
 from .explorer import (ExplorationOptions, ExplorationResult, Explorer,
                        PathResult, ShardStats, Violation)
-from .reports import (format_report, format_violation, violation_key,
-                      violation_set)
+from .reports import (format_report, format_violation, observation_set,
+                      violation_key, violation_set)
 from .schedules import (ScheduleStats, enumerate_schedule_tree,
                         enumerate_schedules, schedule_stats)
 from .sharding import ShardedExplorer
@@ -28,6 +28,7 @@ __all__ = [
     "enumerate_schedules", "schedule_stats", "App", "Constraint",
     "ReplayStats", "Sym", "SymbolicEvaluator", "SymbolicFinding",
     "SymbolicResult", "SymbolicRunner", "analyze_symbolic",
-    "analyze_symbolic_result", "eval_expr", "feasible_values", "solve",
-    "symbols_of", "violation_key", "violation_set",
+    "analyze_symbolic_result", "eval_expr", "feasible_values",
+    "observation_set", "solve", "symbols_of", "violation_key",
+    "violation_set",
 ]

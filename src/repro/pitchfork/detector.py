@@ -19,6 +19,7 @@ from ..core.config import Config
 from ..core.isa import Evaluator
 from ..core.machine import Machine
 from ..core.program import Program
+from ..engine import PruningStats
 from .explorer import (ExplorationOptions, ExplorationResult, Explorer,
                        ShardStats, Violation)
 
@@ -48,6 +49,10 @@ class AnalysisReport:
     states_reused: int = 0
     #: Per-shard accounting for sharded explorations (empty otherwise).
     shards: Tuple[ShardStats, ...] = ()
+    #: Partial-order-reduction accounting (None for legacy producers):
+    #: the pruning level, Mazurkiewicz-class representatives explored,
+    #: and pruned subtree roots.  See :mod:`repro.engine.por`.
+    pruning: Optional[PruningStats] = None
 
     def __bool__(self) -> bool:
         return self.secure
@@ -67,7 +72,8 @@ def analyze(program: Program, config: Config,
             rsb_policy: str = "directive",
             strategy: str = "dfs",
             shards: int = 1,
-            seed: int = 0) -> AnalysisReport:
+            seed: int = 0,
+            prune: str = "sleepset") -> AnalysisReport:
     """One Pitchfork run: explore DT(bound), flag secret observations.
 
     ``strategy`` selects the frontier's search order (see
@@ -77,7 +83,10 @@ def analyze(program: Program, config: Config,
     set unchanged (Theorem B.20 quantifies over the schedule set, which
     neither reordering nor partitioning alters).  Sharding needs to
     rebuild the machine in worker processes, so a custom ``evaluator``
-    forces the single-process path.
+    forces the single-process path.  ``prune`` selects the
+    partial-order-reduction level (:mod:`repro.engine.por`):
+    ``none``/``sleepset``/``full``, all flagging the same violation
+    observations.
     """
     machine = Machine(program, evaluator=evaluator, rsb_policy=rsb_policy)
     options = ExplorationOptions(bound=bound, fwd_hazards=fwd_hazards,
@@ -87,7 +96,8 @@ def analyze(program: Program, config: Config,
                                  max_paths=max_paths,
                                  max_steps=max_steps,
                                  strategy=strategy,
-                                 seed=seed)
+                                 seed=seed,
+                                 prune=prune)
     if shards > 1 and evaluator is None:
         from .sharding import ShardedExplorer
         result = ShardedExplorer(machine, options, shards=shards,
@@ -102,7 +112,8 @@ def analyze(program: Program, config: Config,
                           result.paths_explored, result.applied_steps,
                           truncated, phase, bound,
                           states_reused=result.states_reused,
-                          shards=result.shards)
+                          shards=result.shards,
+                          pruning=result.pruning)
 
 
 def analyze_two_phase(program: Program, config: Config,

@@ -45,6 +45,31 @@ directive enabled here?" probes and the subsequent commit of the chosen
 arm evaluate each machine rule once, not twice.  The DFS fork structure
 itself is preserved for downstream consumers (prefix-shared symbolic
 replay) by :func:`repro.pitchfork.schedules.enumerate_schedule_tree`.
+
+Partial-order reduction
+-----------------------
+
+``options.prune`` selects how much of the schedule space's redundancy
+is cut (see :mod:`repro.engine.por` and DESIGN.md):
+
+* ``"none"`` — the letter of Definition B.18: every store-address
+  deferral is an explicit fork and rolled-back paths continue to
+  completion.  Maximal, redundant, the differential baseline;
+* ``"sleepset"`` (default) — deferral forks only where the store's
+  address may alias an in-flight load (the independence argument) plus
+  branch-misprediction rollback joins.  Byte-identical to the seed
+  explorer's enumeration;
+* ``"full"`` — additionally caps every *covered* speculation window at
+  its rollback (store-forwarding hazards, aliasing-prediction
+  validations, mispredicted jmpi/ret redirects whose correct arm was
+  forked) and collapses degenerate fork arms that step to identical
+  configurations.
+
+All levels flag the same violation observations (the Mazurkiewicz-class
+argument; pinned by ``tests/test_por_equivalence.py``), and pruning
+composes with sharding — shard prefixes record the pruning
+pseudo-actions, so a worker resumes with the exact sleep state of the
+split.
 """
 
 from __future__ import annotations
@@ -64,7 +89,8 @@ from ..core.transient import (TBr, TCallMarker, TFence, TJmpi, TJump, TLoad,
                               TOp, TRetMarker, TStore, TValue)
 from ..core.values import BOTTOM
 from ..engine import (EngineStats, ExecutionEngine, MachineState,
-                      make_frontier)
+                      PruningStats, make_frontier)
+from ..engine.por import drop_dead_entries, hazard_load, validate_prune
 
 
 @dataclass(frozen=True)
@@ -99,6 +125,14 @@ class ExplorationOptions:
     max_paths: int = 20_000    #: cap on explored paths
     max_fetches: int = 2_000   #: per-path fetched-instruction budget
     max_steps: int = 40_000    #: per-path step budget
+    #: Partial-order reduction level: "none" (raw Definition B.18),
+    #: "sleepset" (the default — the seed enumeration), or "full"
+    #: (window capping on covered rollbacks + degenerate-arm collapse).
+    #: See :mod:`repro.engine.por`.
+    prune: str = "sleepset"
+
+    def __post_init__(self):
+        validate_prune(self.prune)
 
 
 @dataclass(frozen=True)
@@ -166,6 +200,10 @@ class ExplorationResult:
     #: Per-shard accounting when the exploration was sharded (empty for
     #: single-process runs).
     shards: Tuple[ShardStats, ...] = ()
+    #: Partial-order-reduction accounting (see :mod:`repro.engine.por`):
+    #: the pruning level, completed representatives, and pruned subtree
+    #: roots.
+    pruning: Optional[PruningStats] = None
 
     @property
     def secure(self) -> bool:
@@ -186,7 +224,30 @@ class _DelayJmpi:
     index: int
 
 
-_Action = Union[Directive, _DelayJmpi]
+@dataclass(frozen=True)
+class _Defer:
+    """Pseudo-action (``prune="none"``): take the "defer" arm of §4.1's
+    store-address choice point — leave this store's address pending
+    until the oldest-entry sweep forces it."""
+
+    index: int
+
+
+@dataclass(frozen=True)
+class _Sleep:
+    """Pseudo-action (``prune="full"``): record a covered outcome in
+    the path's sleep set (see :mod:`repro.engine.por`).
+
+    ``entry`` is ``("fwd", store, load)`` or ``("redirect", index)``; a
+    ``("redirect", None)`` resolves to the buffer's max index when
+    applied (the just-fetched control transfer).  Carried inside fork
+    arms so shard prefixes replay the exact sleep state of the split.
+    """
+
+    entry: tuple
+
+
+_Action = Union[Directive, _DelayJmpi, _Defer, _Sleep]
 
 
 def _state_pc(state: "MachineState") -> int:
@@ -229,6 +290,7 @@ class Explorer:
         self.options = options
         self.engine: ExecutionEngine = ExecutionEngine(machine)
         self._applied = 0  #: schedule steps applied in the current run
+        self._skipped = 0  #: pruned subtree roots (joins + collapsed arms)
 
     # -- driving ------------------------------------------------------------
 
@@ -237,6 +299,7 @@ class Explorer:
         """Explore the tool schedules from an initial configuration."""
         self.engine = ExecutionEngine(self.machine)
         self._applied = 0
+        self._skipped = 0
         return self.explore_from([MachineState(initial)], stop_at_first)
 
     def explore_from(self, states: List[MachineState],
@@ -274,6 +337,9 @@ class Explorer:
         result.states_reused = max(0, result.states_stepped - self._applied)
         self.engine.count_reused(result.states_reused)
         result.engine = self.engine.stats.snapshot()
+        result.pruning = PruningStats(self.options.prune,
+                                      classes_explored=result.paths_explored,
+                                      schedules_skipped=self._skipped)
         return result
 
     @staticmethod
@@ -291,14 +357,56 @@ class Explorer:
         if arms is None:
             return None
         self.engine.count_fork(len(arms))
-        forks = []
+        return [clone for clone, _actions in self.expand(path, arms)]
+
+    def expand(self, path: MachineState, arms: List[List[_Action]]
+               ) -> List[Tuple[MachineState, Tuple[_Action, ...]]]:
+        """Apply each fork arm to a fork of ``path``.
+
+        Returns (clone, actions applied) pairs in arm order — the
+        sharded splitter needs the actions to build job prefixes, and
+        this is the single place both drivers collapse degenerate arms:
+        under ``prune="full"``, an arm whose resulting configuration
+        equals an earlier sibling's (with no observations of its own)
+        heads an identical subtree — Theorem B.1 determinism — and is
+        dropped as a duplicate representative.
+        """
+        base_trace = len(path.trace)
+        expanded = []
         for arm in arms:
             clone = path.fork()
+            applied: List[_Action] = []
             for action in arm:
                 if not self._apply(clone, action):
                     break
-            forks.append(clone)
-        return forks
+                applied.append(action)
+            expanded.append((clone, tuple(applied)))
+        if self.options.prune != "full" or len(expanded) < 2:
+            return expanded
+        kept: List[Tuple[MachineState, Tuple[_Action, ...]]] = []
+        for clone, applied in expanded:
+            if len(clone.trace) == base_trace and any(
+                    self._same_state(clone, other)
+                    for other, _a in kept):
+                self._skipped += 1
+                continue
+            kept.append((clone, applied))
+        return kept
+
+    @staticmethod
+    def _same_state(a: MachineState, b: MachineState) -> bool:
+        """Do two sibling arms head identical subtrees?  Requires equal
+        configurations, equal observation history, and equal driver
+        flags; cheap discriminators first, structural equality last."""
+        if a.finished != b.finished or a.exhausted != b.exhausted or \
+                len(a.trace) != len(b.trace):
+            return False
+        ca, cb = a.config, b.config
+        if ca is cb:
+            return True
+        if ca.pc != cb.pc or len(ca.buf) != len(cb.buf):
+            return False
+        return ca == cb
 
     def advance_to_fork(self, path: MachineState,
                         record: Optional[List[_Action]] = None
@@ -333,6 +441,18 @@ class Explorer:
         """Apply one action; False if the path ended (stuck)."""
         if isinstance(action, _DelayJmpi):
             path.delayed.add(action.index)
+            # The Execute-now sibling arm explores the redirect outcome,
+            # so the eventual rollback of this delayed jump is covered.
+            path.sleep.add(("redirect", action.index))
+            return True
+        if isinstance(action, _Defer):
+            path.deferred.add(action.index)
+            return True
+        if isinstance(action, _Sleep):
+            entry = action.entry
+            if entry[0] == "redirect" and entry[1] is None:
+                entry = ("redirect", path.config.buf.max_index())
+            path.sleep.add(entry)
             return True
         try:
             config, leak = self.engine.step(path.config, action)
@@ -358,21 +478,85 @@ class Explorer:
                         schedule, trace))
             path.trace = trace
             if any(isinstance(o, Rollback) for o in leak):
+                # Join *before* cleaning up: the squashed indices are
+                # exactly what identifies the covered outcome.
+                if self._rollback_join(path, action, config):
+                    path.finished = True
+                    self._skipped += 1
                 path.delayed = {i for i in path.delayed
                                 if i in config.buf}
-                if isinstance(action, Execute) and \
-                        isinstance(path.config.buf.get(action.index), TBr):
-                    # A delayed mispredicted branch just rolled back.
-                    # Its post-rollback continuation is architecturally
-                    # identical to the correctly-predicted sibling path
-                    # (Thm B.7), so this probe has done its job: end
-                    # it.  This is the pruning that keeps DT(n) from
-                    # re-exploring every program suffix once per
-                    # misprediction.
-                    path.finished = True
+                if path.deferred:
+                    path.deferred = {i for i in path.deferred
+                                     if i in config.buf}
+                if path.sleep:
+                    path.sleep = drop_dead_entries(path.sleep, config.buf)
+        elif isinstance(action, Retire) and (path.sleep or path.deferred):
+            # Retirement frees indices for reuse after a drain; stale
+            # entries must not outlive their instructions.
+            if path.deferred:
+                path.deferred = {i for i in path.deferred
+                                 if i in config.buf}
+            path.sleep = drop_dead_entries(path.sleep, config.buf)
         path.schedule = schedule
         path.config = config
         return True
+
+    def _rollback_join(self, path: MachineState, action: _Action,
+                       config: Config) -> bool:
+        """Does the sibling fork arm cover this rollback's continuation?
+
+        The post-rollback configuration re-converges with the arm that
+        predicted (or forwarded) correctly — modulo resolutions of
+        *older* entries that commute past the squash (transient work
+        never writes memory; only retirement does), so the sibling's
+        subtree explores an equivalent continuation (Thm B.7 plus the
+        commutation lemma, DESIGN.md).  The join fires only when that
+        sibling was actually generated:
+
+        * a delayed mispredicted branch — the correct-guess arm is
+          always forked (``prune`` ≥ sleepset; this is the seed
+          explorer's pruning, now named);
+        * a mispredicted ``jmpi`` whose redirect is in the sleep set —
+          the actual-target fetch arm or the Execute-now arm existed
+          (``prune="full"``);
+        * an aliasing-predicted load failing validation — the plain
+          execution arm always exists alongside §3.5's guessed-forward
+          arms (``prune="full"``);
+        * a store-address hazard whose (store, load) pair is in the
+          sleep set — the forwarding arm was generated at the load's
+          fork (``prune="full"``).
+        """
+        prune = self.options.prune
+        if prune == "none" or not isinstance(action, Execute):
+            return False
+        pre = path.config.buf.get(action.index)
+        if isinstance(pre, TBr):
+            return True
+        if prune != "full":
+            return False
+        if isinstance(pre, TJmpi):
+            return ("redirect", action.index) in path.sleep
+        if isinstance(pre, TLoad) and pre.pred is not None:
+            return True
+        if isinstance(pre, TStore) and action.part == "addr":
+            store = config.buf.get(action.index)
+            if not isinstance(store, TStore) or store.addr is None:
+                return False
+            try:
+                a = self.machine.evaluator.concretize(store.addr)
+            except ReproError:
+                return False
+            k = hazard_load(path.config, action.index, a)
+            if k is None:
+                return False
+            victim = path.config.buf[k]
+            if victim.dep == action.index and victim.addr != a:
+                # wrong-fwd hazard: the load had guessed-forwarded from
+                # this store (§3.5) and the addresses now disagree; its
+                # plain-execution sibling arm always exists.
+                return True
+            return ("fwd", action.index, k) in path.sleep
+        return False
 
     # -- the scheduler: Definition B.18 ----------------------------------
 
@@ -393,7 +577,7 @@ class Explorer:
         if len(config.buf) < self.options.bound:
             fetches = self._fetch_choices(config)
             if fetches:
-                return [[f] for f in fetches]
+                return fetches
 
         if config.buf:
             return [[self._oldest_move(config)]]
@@ -433,6 +617,17 @@ class Explorer:
                     if not self.options.fwd_hazards and \
                             self._can(config, Execute(i, "addr")):
                         return [[Execute(i, "addr")]]
+                    # prune="none": §4.1's deferral is the *letter* of
+                    # the definition — "resolve the address now, or
+                    # defer it" is a choice point for every store.  The
+                    # reduced levels fork only where the address may
+                    # alias an in-flight load (the load-site arms
+                    # below), which is the independence argument.
+                    if self.options.fwd_hazards and \
+                            self.options.prune == "none" and \
+                            i not in path.deferred and \
+                            self._can(config, Execute(i, "addr")):
+                        return [[Execute(i, "addr")], [_Defer(i)]]
             elif isinstance(entry, TBr):
                 if self.options.assume_unknown_branches:
                     continue  # all branches delayed in symbolic mode
@@ -468,7 +663,10 @@ class Explorer:
         resolved younger matching stores make earlier outcomes
         unreachable and are skipped.
         """
-        if not self.options.fwd_hazards:
+        if not self.options.fwd_hazards or self.options.prune == "none":
+            # Raw B.18 mode: the forwarding outcomes arise from the
+            # store-address deferral forks, not from load-site
+            # lookahead — the load just executes when it can.
             if not self._can(config, Execute(i)):
                 return None
             return [[Execute(i)]]
@@ -488,6 +686,7 @@ class Explorer:
                 other_addr = self._eventual_address(config, j, other.args)
                 if other_addr == addr:
                     matching.append((j, False))
+        full = self.options.prune == "full"
         arms: List[List[_Action]] = []
         unresolved_suffix_ok = True  # no resolved store younger than s_k
         for pos in range(len(matching) - 1, -1, -1):
@@ -501,13 +700,23 @@ class Explorer:
                     arm.append(Execute(j, "value"))
                 arm.append(Execute(j, "addr"))
             arm.append(Execute(i))
+            if full:
+                # A younger pending matching store resolving later will
+                # hazard-squash this load into *its* forwarding outcome
+                # — the sibling arm for that store explores it.
+                arm += [_Sleep(("fwd", m, i)) for m, res in matching
+                        if m > j and not res]
             arms.append(arm)
             if resolved:
                 # Outcomes where an older store forwards (or memory is
                 # read) are unreachable past an already-resolved store.
                 unresolved_suffix_ok = False
         if unresolved_suffix_ok:
-            arms.append([Execute(i)])  # no store resolves: read memory
+            arm = [Execute(i)]  # no store resolves: read memory
+            if full:
+                arm += [_Sleep(("fwd", m, i)) for m, res in matching
+                        if not res]
+            arms.append(arm)
         # An older fence (or an unresolved dependency) may block every
         # arm right now; report "not yet" so the sweep makes progress
         # elsewhere and retries after the blocker clears.
@@ -548,22 +757,31 @@ class Explorer:
 
     # -- fetch choices -------------------------------------------------------
 
-    def _fetch_choices(self, config: Config) -> List[_Action]:
+    def _fetch_choices(self, config: Config) -> List[List[_Action]]:
+        """The fetch fork's arms.  Under ``prune="full"``, a mistrained
+        (wrong-target) arm whose *actual*-target sibling is also forked
+        carries a redirect sleep entry: its eventual
+        jmpi-execute-incorrect rollback re-converges with that sibling,
+        so the window is capped there (``("redirect", None)`` resolves
+        to the just-fetched entry's index when applied)."""
+        covered = ([_Sleep(("redirect", None))]
+                   if self.options.prune == "full" else [])
         instr = self.machine.program.get(config.pc)
         if instr is None:
             return []
         if isinstance(instr, Br):
             if self.options.assume_unknown_branches:
-                return [Fetch(True), Fetch(False)]
+                return [[Fetch(True)], [Fetch(False)]]
             correct = self._correct_arm(config, instr)
             if correct is None:
-                return [Fetch(True), Fetch(False)]
-            return [Fetch(correct), Fetch(not correct)]
+                return [[Fetch(True)], [Fetch(False)]]
+            return [[Fetch(correct)], [Fetch(not correct)]]
         if isinstance(instr, Jmpi):
             target = self._static_jmpi_target(config, instr)
-            choices: List[_Action] = [] if target is None else [Fetch(target)]
-            choices += [Fetch(t) for t in self.options.jmpi_targets
-                        if t != target]
+            choices: List[List[_Action]] = \
+                [] if target is None else [[Fetch(target)]]
+            choices += [[Fetch(t)] + (covered if target is not None else [])
+                        for t in self.options.jmpi_targets if t != target]
             return choices
         if isinstance(instr, Ret):
             if config.rsb.top() is BOTTOM and \
@@ -572,12 +790,14 @@ class Explorer:
                 # targets; by default follow the architectural return
                 # address, plus any configured mistrained targets.
                 target = self._actual_return(config)
-                choices = [] if target is None else [Fetch(target)]
-                choices += [Fetch(t) for t in self.options.rsb_targets
+                choices = [] if target is None else [[Fetch(target)]]
+                choices += [[Fetch(t)] + (covered if target is not None
+                                          else [])
+                            for t in self.options.rsb_targets
                             if t != target]
                 return choices
-            return [Fetch(None)]
-        return [Fetch(None)]
+            return [[Fetch(None)]]
+        return [[Fetch(None)]]
 
     def _correct_arm(self, config: Config, instr: Br) -> Optional[bool]:
         i = config.buf.max_index() + 1

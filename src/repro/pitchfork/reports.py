@@ -32,6 +32,21 @@ def violation_set(violations) -> List[Tuple]:
     return sorted(violation_key(v) for v in violations)
 
 
+def observation_set(violations) -> List[str]:
+    """Sorted set of flagged observations, schedule-independent.
+
+    Mazurkiewicz-equivalent schedules produce the same observations in
+    permuted order, so partial-order reduction preserves *this* set
+    while (deliberately) changing witnessing schedules and dropping
+    duplicate witnesses — it is the comparison key of the POR
+    differential suite and the ``BENCH_por.json`` findings gate.
+    :func:`violation_set`, which pins the exact witnessing schedules,
+    remains the key for order-preserving transformations (strategies,
+    sharding) at a fixed pruning level.
+    """
+    return sorted({repr(v.observation) for v in violations})
+
+
 def format_violation(violation: Violation,
                      program: Optional[Program] = None) -> str:
     lines: List[str] = [

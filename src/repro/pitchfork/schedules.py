@@ -43,16 +43,18 @@ def enumerate_schedules(machine: Machine, config: Config,
                         bound: int, fwd_hazards: bool = True,
                         max_paths: int = 20_000,
                         assume_unknown_branches: bool = False,
-                        strategy: str = "dfs", seed: int = 0
-                        ) -> List[Schedule]:
+                        strategy: str = "dfs", seed: int = 0,
+                        prune: str = "sleepset") -> List[Schedule]:
     """All complete tool schedules for ``config`` at this bound.
 
     ``strategy``/``seed`` select the frontier's enumeration order (the
-    schedule *set* is order-invariant)."""
+    schedule *set* is order-invariant); ``prune`` the partial-order-
+    reduction level (one representative per Mazurkiewicz class at
+    ``"full"`` — see :mod:`repro.engine.por`)."""
     options = ExplorationOptions(bound=bound, fwd_hazards=fwd_hazards,
                                  max_paths=max_paths,
                                  assume_unknown_branches=assume_unknown_branches,
-                                 strategy=strategy, seed=seed)
+                                 strategy=strategy, seed=seed, prune=prune)
     result = Explorer(machine, options).explore(config)
     return [p.schedule for p in result.paths if p.complete]
 
@@ -61,8 +63,8 @@ def enumerate_schedule_tree(machine: Machine, config: Config,
                             bound: int, fwd_hazards: bool = True,
                             max_paths: int = 20_000,
                             assume_unknown_branches: bool = False,
-                            strategy: str = "dfs", seed: int = 0
-                            ) -> ScheduleTree:
+                            strategy: str = "dfs", seed: int = 0,
+                            prune: str = "sleepset") -> ScheduleTree:
     """DT(bound) with its DFS fork structure preserved.
 
     The returned tree's ``payloads`` are the explorer's complete
@@ -75,7 +77,7 @@ def enumerate_schedule_tree(machine: Machine, config: Config,
     options = ExplorationOptions(bound=bound, fwd_hazards=fwd_hazards,
                                  max_paths=max_paths,
                                  assume_unknown_branches=assume_unknown_branches,
-                                 strategy=strategy, seed=seed)
+                                 strategy=strategy, seed=seed, prune=prune)
     explorer = Explorer(machine, options)
     result = explorer.explore(config)
     complete = [p for p in result.paths if p.complete]

@@ -52,7 +52,7 @@ from typing import List, Optional, Tuple, Union
 
 from ..core.config import Config
 from ..core.machine import Machine
-from ..engine import MachineState
+from ..engine import MachineState, PruningStats
 from .explorer import (ExplorationOptions, ExplorationResult, Explorer,
                        PathResult, ShardStats, _Action)
 
@@ -125,6 +125,11 @@ def _run_shard(program, config: Config, options: ExplorationOptions,
             raise RuntimeError(
                 f"shard prefix failed to replay at {action!r}: the "
                 f"machine is not deterministic for this evaluator")
+    # Joins fired *inside* the prefix were already counted by the
+    # parent when the splitter applied these actions — without this
+    # reset a job whose root is a join-finished state would report the
+    # same pruned schedule twice after the merge sums shard counters.
+    explorer._skipped = 0
     result = explorer.explore_from([state], stop_at_first=stop_at_first)
     meta = None
     if not keep_paths:
@@ -250,15 +255,14 @@ class ShardedExplorer:
                     continue
                 progressed = True
                 explorer.engine.count_fork(len(arms))
-                children: List[_Pending] = []
-                for arm in arms:
-                    clone = slot.state.fork()
-                    acts = actions
-                    for action in arm:
-                        if not explorer._apply(clone, action):
-                            break
-                        acts = acts + (action,)
-                    children.append(_Pending(clone, acts))
+                # expand() is the explorer's own arm-application (and,
+                # under prune="full", degenerate-arm collapse), so the
+                # split sees exactly the fork structure a single-process
+                # run would: pruning composes with sharding because the
+                # cut only ever lands on surviving, non-redundant arms.
+                children = [_Pending(clone, actions + applied)
+                            for clone, applied
+                            in explorer.expand(slot.state, arms)]
                 # The DFS explorer pushes arms in order and pops the
                 # last first, so DFS visits them reversed — keep the
                 # merged path order identical to the seed's.
@@ -331,6 +335,8 @@ class ShardedExplorer:
                 merged.applied_steps += result.applied_steps
                 merged.states_reused += result.states_reused
                 explorer.engine.stats.merge(result.engine)
+                if result.pruning is not None:
+                    explorer._skipped += result.pruning.schedules_skipped
             job_index += 1
             if result.paths_explored > remaining:
                 result = _trim_to_quota(result, remaining, meta)
@@ -363,6 +369,9 @@ class ShardedExplorer:
                 0, merged.states_stepped - merged.applied_steps)
         merged.engine = explorer.engine.stats.snapshot()
         merged.shards = tuple(shard_stats)
+        merged.pruning = PruningStats(
+            self.options.prune, classes_explored=merged.paths_explored,
+            schedules_skipped=explorer._skipped)
         return merged
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -635,7 +635,8 @@ def analyze_symbolic_result(program: Program, config: Config,
                             max_schedules: int = 512,
                             max_worlds: int = 256,
                             strategy: str = "dfs",
-                            seed: int = 0) -> SymbolicResult:
+                            seed: int = 0,
+                            prune: str = "sleepset") -> SymbolicResult:
     """Pitchfork with its symbolic back end, with full accounting.
 
     Enumerates tool schedules on a concrete representative — keeping
@@ -652,7 +653,8 @@ def analyze_symbolic_result(program: Program, config: Config,
                                    fwd_hazards=fwd_hazards,
                                    max_paths=max_schedules,
                                    assume_unknown_branches=True,
-                                   strategy=strategy, seed=seed)
+                                   strategy=strategy, seed=seed,
+                                   prune=prune)
     findings: List[SymbolicFinding] = []
     if _config_is_concrete(config):
         stats = ReplayStats()

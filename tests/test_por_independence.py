@@ -1,0 +1,201 @@
+"""Property tests for the commutation relation (`repro.engine.por`).
+
+The reduction's soundness rests on one semantic fact: swapping an
+*independent* adjacent pair of directives in a well-formed schedule
+replays to the same final configuration with the same observations
+(swapped within the pair, identical elsewhere) — a direct corollary of
+Theorem B.1 determinism once the pair's footprints are disjoint.  These
+tests check the relation itself:
+
+* symmetry — ``independent(c, a, b) == independent(c, b, a)``;
+* irreflexivity on conflicting pairs — overlapping footprints (every
+  directive with itself included) are never independent;
+* the commutation corollary — on schedules recorded from litmus cases
+  and random programs, every adjacent pair the relation calls
+  independent actually commutes, step-level and whole-schedule.
+"""
+
+import random
+
+import pytest
+
+from repro.core.machine import Machine
+from repro.engine import ExecutionEngine, footprint, independent
+from repro.litmus import find_case
+from repro.pitchfork import ExplorationOptions, Explorer
+from repro.verify.generators import random_config, random_program
+
+LITMUS = ("kocher_01", "kocher_05", "kocher_13", "v4_fig7",
+          "v4_double_store", "v1_fig1", "v11_fig6", "ret2spec_fig12")
+RANDOM_SEEDS = range(12)
+
+
+def _recorded_runs():
+    """(machine, initial config, schedule) triples from real explorations."""
+    runs = []
+    for name in LITMUS:
+        case = find_case(name)
+        machine = Machine(case.program, rsb_policy=case.rsb_policy)
+        options = ExplorationOptions(
+            bound=min(case.min_bound, 12),
+            fwd_hazards=case.needs_fwd_hazards,
+            explore_aliasing=case.needs_aliasing,
+            jmpi_targets=case.jmpi_targets,
+            rsb_targets=case.rsb_targets)
+        result = Explorer(machine, options).explore(case.make_config(),
+                                                    stop_at_first=False)
+        config = case.make_config()
+        for path in result.paths[:4]:
+            runs.append((machine, config, path.schedule))
+    for seed in RANDOM_SEEDS:
+        rng = random.Random(seed)
+        program = random_program(rng, length=rng.randrange(8, 14))
+        config = random_config(rng)
+        machine = Machine(program)
+        result = Explorer(machine, ExplorationOptions(bound=8)).explore(
+            config, stop_at_first=False)
+        for path in result.paths[:3]:
+            runs.append((machine, config, path.schedule))
+    return runs
+
+
+@pytest.fixture(scope="module")
+def recorded_runs():
+    return _recorded_runs()
+
+
+def _states_along(machine, config, schedule):
+    """The configuration before each schedule position."""
+    engine = ExecutionEngine(machine)
+    states = [config]
+    current = config
+    for directive in schedule:
+        current, _leak = engine.step(current, directive)
+        states.append(current)
+    return states
+
+
+def test_symmetric(recorded_runs):
+    """independent(c, a, b) == independent(c, b, a) over every adjacent
+    pair of every recorded schedule."""
+    checked = 0
+    for machine, config, schedule in recorded_runs:
+        states = _states_along(machine, config, schedule)
+        for i in range(len(schedule) - 1):
+            a, b = schedule[i], schedule[i + 1]
+            if a == b:
+                continue
+            lr = independent(machine, states[i], a, b)
+            rl = independent(machine, states[i], b, a)
+            assert lr == rl, (schedule[i], schedule[i + 1], i)
+            checked += 1
+    assert checked > 200, "expected a meaningful sample of pairs"
+
+
+def test_irreflexive_on_conflicts(recorded_runs):
+    """A pair with overlapping footprints is never independent — in
+    particular no directive is independent of itself (its footprint
+    always self-conflicts: every directive writes something)."""
+    checked = 0
+    for machine, config, schedule in recorded_runs[:20]:
+        states = _states_along(machine, config, schedule)
+        for i, directive in enumerate(schedule):
+            fp = footprint(machine, states[i], directive)
+            assert fp is None or fp.writes, directive
+            assert not independent(machine, states[i], directive, directive)
+            checked += 1
+        for i in range(len(schedule) - 1):
+            a, b = schedule[i], schedule[i + 1]
+            fa = footprint(machine, states[i], a)
+            fb = footprint(machine, states[i], b)
+            if fa is None or fb is None or not fa.conflicts(fb):
+                continue
+            assert not independent(machine, states[i], a, b), (a, b, i)
+    assert checked > 100
+
+
+def test_independent_pairs_commute_stepwise(recorded_runs):
+    """For every adjacent pair judged independent: both orders step to
+    the same configuration with the same observation multiset."""
+    commuted = 0
+    for machine, config, schedule in recorded_runs:
+        engine = ExecutionEngine(machine)
+        states = _states_along(machine, config, schedule)
+        for i in range(len(schedule) - 1):
+            a, b = schedule[i], schedule[i + 1]
+            if not independent(machine, states[i], a, b):
+                continue
+            c0 = states[i]
+            c_ab, leak_a = engine.step(c0, a)
+            c_ab, leak_b = engine.step(c_ab, b)
+            c_ba, leak_b2 = engine.step(c0, b)
+            c_ba, leak_a2 = engine.step(c_ba, a)
+            assert c_ab == c_ba, (a, b, i)
+            assert sorted(map(repr, leak_a + leak_b)) == \
+                sorted(map(repr, leak_b2 + leak_a2)), (a, b, i)
+            commuted += 1
+    assert commuted > 40, "expected plenty of independent adjacent pairs"
+
+
+def test_swapped_schedule_replays_to_same_state(recorded_runs):
+    """The Theorem B.1 corollary, whole-schedule form: swapping one
+    independent adjacent pair anywhere in a recorded schedule replays
+    to the same final configuration, with the same observation multiset
+    and an identical trace outside the swapped pair's observations."""
+    replayed = 0
+    for machine, config, schedule in recorded_runs:
+        engine = ExecutionEngine(machine)
+        states = _states_along(machine, config, schedule)
+        candidates = [i for i in range(len(schedule) - 1)
+                      if independent(machine, states[i],
+                                     schedule[i], schedule[i + 1])]
+        for i in candidates[:6]:
+            swapped = list(schedule)
+            swapped[i], swapped[i + 1] = swapped[i + 1], swapped[i]
+            final_a, trace_a = _replay(engine, config, schedule)
+            final_b, trace_b = _replay(engine, config, tuple(swapped))
+            assert final_a == final_b, (schedule[i], schedule[i + 1], i)
+            assert sorted(trace_a) == sorted(trace_b), i
+            replayed += 1
+    assert replayed > 30
+
+
+def _replay(engine, config, schedule):
+    current = config
+    trace = []
+    for directive in schedule:
+        current, leak = engine.step(current, directive)
+        trace.extend(repr(o) for o in leak)
+    return current, trace
+
+
+def test_footprint_tokens_are_meaningful():
+    """Spot checks of the footprint construction on a real window."""
+    from repro.core.directives import Execute, Fetch, Retire
+    case = find_case("kocher_13")
+    machine = Machine(case.program)
+    config = case.make_config()
+    engine = ExecutionEngine(machine)
+    # fetch a few instructions to populate the buffer
+    schedule = []
+    current = config
+    for _ in range(6):
+        stepped = engine.try_step(current, Fetch())
+        if stepped is None:
+            break
+        current = stepped[0]
+    fp_fetch = footprint(machine, current, Fetch())
+    assert fp_fetch is not None and ("pc",) in fp_fetch.reads
+    assert ("size",) in fp_fetch.writes
+    fp_retire = footprint(machine, current, Retire())
+    if fp_retire is not None:
+        assert ("size",) in fp_retire.writes
+        assert fp_fetch.conflicts(fp_retire), \
+            "fetch and retire contend on the buffer frontier"
+    # an execute's footprint stays inside the buffer/memory tokens
+    for i, _entry in current.buf.items():
+        fp = footprint(machine, current, Execute(i))
+        if fp is None:
+            continue
+        assert ("buf", i) in fp.writes
+        assert ("size",) not in fp.writes
