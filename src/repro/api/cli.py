@@ -8,6 +8,9 @@ Subcommands::
     python -m repro repair kocher_01             # synthesize a mitigation
     python -m repro litmus kocher --workers 4    # sweep suites
     python -m repro table2 --json                # reproduce Table 2
+    python -m repro serve --store ~/.repro       # resident analysis daemon
+    python -m repro submit kocher_01 --check     # run via the daemon
+    python -m repro results --store ~/.repro     # browse the result store
 
 Every subcommand takes ``--json`` for machine-readable output; analysis
 knobs (``--bound``, ``--fwd-hazards``, …) map 1:1 onto
@@ -163,6 +166,28 @@ def _resolve_target(target: str, args) -> Project:
             f"or litmus case (try `python -m repro list`)")
 
 
+def _target_spec(target: str, args) -> Dict:
+    """The serve-layer job spec for a CLI positional target.
+
+    File paths are read *client-side* and shipped by value (the daemon
+    never touches this process's filesystem); names travel as-is and
+    resolve on the daemon exactly as ``_resolve_target`` resolves them
+    here.
+    """
+    from ..serve import spec_for_asm, spec_for_name
+    preset = getattr(args, "preset", None)
+    if os.path.exists(target) or target.endswith(".s"):
+        try:
+            with open(target) as fh:
+                source = fh.read()
+        except OSError as exc:
+            raise SystemExit(f"cannot read {target!r}: {exc}")
+        return spec_for_asm(source, regs=_parse_regs(args.reg or []),
+                            pc=args.pc, name=os.path.basename(target),
+                            preset=preset)
+    return spec_for_name(target, preset=preset)
+
+
 # -- subcommands ------------------------------------------------------------
 
 
@@ -314,6 +339,148 @@ def cmd_table2(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    """``repro serve``: the resident analysis daemon (foreground).
+
+    ``--stop`` and ``--stats`` are client modes against a running
+    daemon; everything else starts one and blocks until it is shut
+    down (SIGINT, or a client's ``repro serve --stop``).
+    """
+    from ..serve import ReproServer, ServeClient, ServeError
+    if args.stop or args.stats:
+        try:
+            with ServeClient(socket_path=args.socket, host=args.host,
+                             port=args.port or None) as client:
+                out = (client.shutdown(drain=not args.no_drain)
+                       if args.stop else client.stats())
+        except (ConnectionError, ServeError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 3
+        print(json.dumps(out, indent=2))
+        return 0
+    server = ReproServer(socket_path=args.socket, host=args.host,
+                         port=args.port or 0, store=args.store,
+                         workers=args.workers)
+
+    async def _serve():
+        await server.start()
+        where = (server.socket_path if server.socket_path is not None
+                 else f"{server.host}:{server.port}")
+        store_note = ("; no result store (--store to persist)"
+                      if server.store is None
+                      else f"; store {server.store.root}")
+        print(f"repro daemon listening on {where}"
+              f" ({server.pool.workers} workers{store_note})",
+              file=sys.stderr)
+        await server.serve_forever()
+
+    import asyncio
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:  # pragma: no cover - interactive
+        pass
+    return 0
+
+
+def cmd_submit(args) -> int:
+    """``repro submit``: run one analysis on the daemon.
+
+    Same output and exit-code contract as ``repro analyze`` (0 clean,
+    1 violation, 2 coverage failure under --check) — plus exit 3 when
+    the daemon is unreachable or rejects the job.  ``--json`` reports
+    carry the daemon's cache counters under ``details.cache``.
+    """
+    from ..serve import ServeClient, ServeError
+    spec = _target_spec(args.target, args)
+    overrides = {name: value
+                 for name, value in _option_overrides(args).items()
+                 if value is not None}
+
+    def echo(event):
+        if not args.progress:
+            return
+        if event.get("kind") == "shard":
+            print(f"  shard {event['index']}: "
+                  f"{event['paths_explored']} paths, "
+                  f"{event['violations']} violations "
+                  f"[{event['cumulative_violations']} total]",
+                  file=sys.stderr)
+        elif event.get("kind") == "split":
+            print(f"  split into {event['jobs']} jobs "
+                  f"({event['shards']} shards)", file=sys.stderr)
+
+    try:
+        with ServeClient(socket_path=args.socket, host=args.host,
+                         port=args.port or None,
+                         timeout=args.timeout) as client:
+            job = client.submit(spec, analysis=args.analysis,
+                                options=overrides)
+            report, cache = client.wait(job["job"], timeout=args.timeout,
+                                        on_event=echo)
+    except (ConnectionError, ServeError, TimeoutError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 3
+    if args.json:
+        payload = report.to_dict()
+        details = dict(payload.get("details") or {})
+        details["cache"] = cache
+        payload["details"] = details
+        print(json.dumps(payload, indent=2))
+    else:
+        print(report.render())
+        source = cache.get("source")
+        if source and source != "computed":
+            print(f"(served from {source} cache)", file=sys.stderr)
+    _warn_truncated([report])
+    if not report.ok:
+        return 1
+    if args.check and (report.truncated or report.vacuous):
+        return 2
+    return 0
+
+
+def cmd_results(args) -> int:
+    """``repro results``: browse / GC a result store.
+
+    With ``--store`` the store directory is opened directly (no daemon
+    needed); otherwise the running daemon is asked for its listing.
+    """
+    from ..serve import ResultStore, ServeClient, ServeError
+    if args.store:
+        store = ResultStore(args.store)
+        if args.clear:
+            count = len(store)
+            store.clear()
+            print(f"cleared {count} entries from {store.root}")
+            return 0
+        if args.gc is not None or args.max_age is not None:
+            removed = store.gc(max_entries=args.gc, max_age=args.max_age)
+            print(f"evicted {removed} entries from {store.root}")
+            return 0
+        rows = store.entries()[-args.limit:]
+    else:
+        if args.clear or args.gc is not None or args.max_age is not None:
+            raise SystemExit("--clear/--gc/--max-age operate on a store "
+                             "directory; pass --store PATH")
+        try:
+            with ServeClient(socket_path=args.socket, host=args.host,
+                             port=args.port or None) as client:
+                rows = client.results(limit=args.limit).get("entries", [])
+        except (ConnectionError, ServeError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 3
+    if args.json:
+        print(json.dumps({"entries": rows}, indent=2))
+        return 0
+    if not rows:
+        print("no stored results")
+        return 0
+    for row in rows:
+        print(f"{row['key'][:12]}  {row.get('analysis', ''):<10} "
+              f"{row.get('status', ''):<22} {row.get('target', '')}")
+    return 0
+
+
 class _Parser(argparse.ArgumentParser):
     """argparse with usage errors on exit code 3.
 
@@ -404,6 +571,75 @@ def build_parser() -> argparse.ArgumentParser:
     _add_preset_flag(p_table2)
     _add_option_flags(p_table2)
     p_table2.set_defaults(func=cmd_table2)
+
+    def add_endpoint_flags(p):
+        p.add_argument("--socket", metavar="PATH",
+                       help="daemon Unix socket (default: "
+                            "$REPRO_SERVE_SOCKET or a per-user temp path)")
+        p.add_argument("--host", help="daemon TCP host (instead of a "
+                                      "Unix socket)")
+        p.add_argument("--port", type=int, default=0, help="daemon TCP port")
+
+    p_serve = sub.add_parser(
+        "serve", help="run the resident analysis daemon (warm worker "
+                      "pool + persistent result store)")
+    add_endpoint_flags(p_serve)
+    p_serve.add_argument("--store", metavar="DIR",
+                         help="persist results in this directory "
+                              "(content-addressed; shared with "
+                              "AnalysisManager store=)")
+    p_serve.add_argument("--workers", type=int, default=None,
+                         help="warm pool size (default: CPU count)")
+    p_serve.add_argument("--stop", action="store_true",
+                         help="ask a running daemon to shut down")
+    p_serve.add_argument("--no-drain", action="store_true",
+                         help="with --stop: don't wait for in-flight jobs")
+    p_serve.add_argument("--stats", action="store_true",
+                         help="print a running daemon's stats and exit")
+    p_serve.set_defaults(func=cmd_serve)
+
+    p_submit = sub.add_parser(
+        "submit", help="run one analysis via the daemon (analyze's "
+                       "flags and exit codes)")
+    p_submit.add_argument("target",
+                          help="litmus case, case-study variant, or .s file")
+    p_submit.add_argument("-a", "--analysis", default="pitchfork",
+                          help="registered analysis name "
+                               "(default: pitchfork)")
+    p_submit.add_argument("--reg", action="append", metavar="NAME=VAL",
+                          help="initial register (asm targets; repeatable)")
+    p_submit.add_argument("--pc", type=int, help="entry point (asm targets)")
+    p_submit.add_argument("--json", action="store_true")
+    p_submit.add_argument("--check", action="store_true",
+                          help="CI gate: exit nonzero on any violation, "
+                               "truncated coverage, or a vacuous pass")
+    p_submit.add_argument("--progress", action="store_true",
+                          help="stream per-shard progress to stderr")
+    p_submit.add_argument("--timeout", type=float, default=600.0,
+                          help="give up after this many seconds (exit 3)")
+    add_endpoint_flags(p_submit)
+    _add_preset_flag(p_submit)
+    _add_option_flags(p_submit)
+    p_submit.set_defaults(func=cmd_submit)
+
+    p_results = sub.add_parser(
+        "results", help="list / GC stored analysis results")
+    add_endpoint_flags(p_results)
+    p_results.add_argument("--store", metavar="DIR",
+                           help="open this store directory directly "
+                                "(no daemon needed)")
+    p_results.add_argument("--limit", type=int, default=50,
+                           help="show at most N newest entries")
+    p_results.add_argument("--gc", type=int, metavar="N",
+                           help="evict oldest entries beyond N "
+                                "(needs --store)")
+    p_results.add_argument("--max-age", type=float, metavar="SECONDS",
+                           help="evict entries older than this "
+                                "(needs --store)")
+    p_results.add_argument("--clear", action="store_true",
+                           help="drop every stored entry (needs --store)")
+    p_results.add_argument("--json", action="store_true")
+    p_results.set_defaults(func=cmd_results)
 
     return parser
 

@@ -6,8 +6,18 @@ litmus sweeps from serial loops into a worker-pool fan-out:
 * ``workers=N`` runs tasks on a ``ProcessPoolExecutor`` (results are
   identical to the serial path — each task is a pure function of
   (program, config, options));
-* an in-memory result cache keyed on ``(target fingerprint, analysis,
-  options)`` makes repeated sweeps (bound ablations, re-renders) free.
+* an in-memory result cache keyed on the *cross-process stable*
+  ``(analysis, target digest, canonical options)`` key (see
+  :mod:`repro.serve.keys`) makes repeated sweeps (bound ablations,
+  re-renders) free;
+* ``store=`` adds a second, persistent tier — a
+  :class:`~repro.serve.store.ResultStore` shared with the serve daemon
+  — so batch runs survive process restarts: a rerun of yesterday's
+  sweep reads yesterday's reports off disk instead of re-exploring.
+
+Lookup order is memory → disk → compute; every tier's traffic is
+counted in :class:`CacheInfo` (``hits``/``disk_hits``/``misses``/
+``stores``) so cache effectiveness is observable, not guessed.
 
 Projects are shipped to workers as plain ``(name, program, config,
 options)`` payloads — the configuration is materialised in the parent,
@@ -18,7 +28,7 @@ from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from .analyses import get_analysis
 from .project import AnalysisOptions, Project
@@ -38,24 +48,50 @@ def _run_payload(analysis_name: str, name: str, program, config,
 
 @dataclass
 class CacheInfo:
-    """Hit/miss counters for the manager's result cache."""
+    """Hit/miss counters for the manager's result-cache tiers.
+
+    ``hits`` counts the in-memory tier, ``disk_hits`` the persistent
+    :class:`~repro.serve.store.ResultStore` tier, ``misses`` actual
+    computations, ``stores`` reports written to disk.  Calling the
+    object returns itself, so both the historical ``manager.cache_info``
+    attribute style and the ``manager.cache_info()`` method style read
+    the same counters.
+    """
 
     hits: int = 0
     misses: int = 0
     size: int = 0
+    disk_hits: int = 0
+    stores: int = 0
+
+    def __call__(self) -> "CacheInfo":
+        return self
+
+    def to_dict(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses,
+                "size": self.size, "disk_hits": self.disk_hits,
+                "stores": self.stores}
 
 
 class AnalysisManager:
     """Run one registered analysis over many projects, cached and
     optionally in parallel.
 
-        manager = AnalysisManager("two-phase", workers=4)
+        manager = AnalysisManager("two-phase", workers=4,
+                                  store="~/.cache/repro-store")
         reports = manager.run(projects)
+
+    ``store`` (a :class:`~repro.serve.store.ResultStore` or a directory
+    path) persists every computed report under its content address and
+    serves warm reruns from disk — including reports computed by other
+    processes (a serve daemon, yesterday's batch) against the same
+    store.
     """
 
     def __init__(self, analysis: str = "pitchfork",
                  workers: Optional[int] = None,
-                 cache: bool = True):
+                 cache: bool = True,
+                 store: Optional[Union[str, "ResultStore"]] = None):
         self.analysis = get_analysis(analysis).name
         if workers is not None and workers < 1:
             raise ValueError("workers must be >= 1")
@@ -63,6 +99,10 @@ class AnalysisManager:
         self._cache_enabled = cache
         self._cache: Dict[Tuple, Report] = {}
         self._info = CacheInfo()
+        if isinstance(store, str):
+            from ..serve.store import ResultStore
+            store = ResultStore(store)
+        self.store = store
 
     # -- the batch entry point -----------------------------------------------
 
@@ -87,9 +127,17 @@ class AnalysisManager:
         results: Dict[int, Report] = {}
         pending: List[int] = []
         for i, key in enumerate(keys):
-            if self._cache_enabled and key in self._cache:
+            if not self._cache_enabled:
+                pending.append(i)
+                continue
+            if key in self._cache:
                 self._info.hits += 1
                 results[i] = self._cache[key]
+                continue
+            stored = self._from_store(key)
+            if stored is not None:
+                self._info.disk_hits += 1
+                results[i] = self._cache[key] = stored
             else:
                 pending.append(i)
         self._info.misses += len(pending)
@@ -100,6 +148,7 @@ class AnalysisManager:
                 results[i] = report
                 if self._cache_enabled:
                     self._cache[keys[i]] = report
+                self._to_store(keys[i], report)
         self._info.size = len(self._cache)
         return [results[i] for i in range(len(projects))]
 
@@ -116,10 +165,39 @@ class AnalysisManager:
                 return [f.result() for f in futures]
         return [_run_payload(self.analysis, *p) for p in payloads]
 
+    # -- the persistent tier ---------------------------------------------------
+
+    def _from_store(self, key: Tuple) -> Optional[Report]:
+        if self.store is None:
+            return None
+        return self.store.get(self._store_key(key))
+
+    def _to_store(self, key: Tuple, report: Report) -> None:
+        if self.store is None:
+            return
+        self.store.put(self._store_key(key), report,
+                       analysis=self.analysis)
+        self._info.stores += 1
+
+    @staticmethod
+    def _store_key(key: Tuple) -> str:
+        from ..serve.keys import store_key
+        analysis, fingerprint, canon = key
+        return store_key(analysis, fingerprint, canon)
+
     # -- cache management -------------------------------------------------------
 
     def _key(self, project: Project, options: AnalysisOptions) -> Tuple:
-        return (self.analysis, project.fingerprint(), options)
+        """The cross-process stable cache key.
+
+        Canonical options (sorted non-default fields) + the SHA-256
+        target digest: equivalent option objects and identical targets
+        built in different processes map to the same key, which is what
+        lets the disk tier serve results computed elsewhere.
+        """
+        from ..serve.keys import canonical_options, fingerprint_digest
+        return (self.analysis, fingerprint_digest(project),
+                canonical_options(options))
 
     @property
     def cache_info(self) -> CacheInfo:

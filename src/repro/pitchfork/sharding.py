@@ -45,10 +45,12 @@ evaluator fall back to the single-process explorer
 
 from __future__ import annotations
 
+import threading
 import time
 from concurrent.futures import Executor, ProcessPoolExecutor
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import List, Optional, Tuple, Union
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
 from ..core.config import Config
 from ..core.machine import Machine
@@ -56,7 +58,8 @@ from ..engine import MachineState, PruningStats
 from .explorer import (ExplorationOptions, ExplorationResult, Explorer,
                        PathResult, ShardStats, _Action)
 
-__all__ = ["ShardedExplorer", "OVERPARTITION", "MAX_SPLIT_LEVELS"]
+__all__ = ["ShardedExplorer", "OVERPARTITION", "MAX_SPLIT_LEVELS",
+           "shard_context", "ambient_pool", "ambient_progress"]
 
 #: Jobs per worker the splitter aims for.  DT(n) subtrees are lopsided
 #: (a mispredicted-branch arm is pruned at rollback, the architectural
@@ -80,6 +83,57 @@ MAX_SPLIT_LEVELS = 8
 # later fork can observe them; callers that want amortised workers
 # (benchmarks, sweeps driving many explorations from one place) pass an
 # explicit ``pool=`` whose lifetime they control.
+#
+# The serve daemon (repro.serve) is exactly such a caller, but its pool
+# has to reach a ShardedExplorer constructed several layers down
+# (detector.analyze → RepairAnalysis → repeated re-verifications …)
+# without threading an unpicklable executor through every options
+# object.  ``shard_context`` scopes an *ambient* pool (and an optional
+# progress sink) to the current thread: everything the enclosed call
+# tree explores shards onto the provided executor instead of a per-call
+# pool.  Thread-local on purpose — the context names an owner, it never
+# re-creates the cached-global landmine above, and concurrent daemon
+# jobs in different threads can share one resident pool without seeing
+# each other's progress sinks.
+
+
+class _ShardContext(threading.local):
+    """Per-thread ambient (pool, progress sink) for nested explorations."""
+
+    pool: Optional[Executor] = None
+    progress: Optional[Callable[[Dict[str, Any]], None]] = None
+
+
+_CONTEXT = _ShardContext()
+
+
+@contextmanager
+def shard_context(pool: Optional[Executor] = None,
+                  progress: Optional[Callable[[Dict[str, Any]], None]]
+                  = None):
+    """Scope an owned executor (and progress sink) over a call tree.
+
+    Every :class:`ShardedExplorer` created in this thread while the
+    context is active uses ``pool`` instead of a per-call
+    ``ProcessPoolExecutor`` and reports merge progress to ``progress``.
+    The caller owns the pool's lifetime (see the note above).
+    """
+    previous = (_CONTEXT.pool, _CONTEXT.progress)
+    _CONTEXT.pool, _CONTEXT.progress = pool, progress
+    try:
+        yield
+    finally:
+        _CONTEXT.pool, _CONTEXT.progress = previous
+
+
+def ambient_pool() -> Optional[Executor]:
+    """The executor scoped by the innermost :func:`shard_context`."""
+    return _CONTEXT.pool
+
+
+def ambient_progress() -> Optional[Callable[[Dict[str, Any]], None]]:
+    """The progress sink scoped by the innermost :func:`shard_context`."""
+    return _CONTEXT.progress
 
 
 @dataclass(frozen=True)
@@ -188,7 +242,9 @@ class ShardedExplorer:
 
     def __init__(self, machine: Machine, options: ExplorationOptions,
                  shards: int = 2, pool: Optional[Executor] = None,
-                 keep_paths: bool = True):
+                 keep_paths: bool = True,
+                 progress: Optional[Callable[[Dict[str, Any]], None]]
+                 = None):
         if shards < 1:
             raise ValueError("shards must be >= 1")
         from ..core.isa import ConcreteEvaluator
@@ -205,8 +261,12 @@ class ShardedExplorer:
         self.machine = machine
         self.options = options
         self.shards = shards
-        self.pool = pool
+        # An explicit pool wins; otherwise a shard_context's ambient
+        # pool (the daemon's resident workers); otherwise per-call.
+        self.pool = pool if pool is not None else ambient_pool()
         self.keep_paths = keep_paths
+        self.progress = progress if progress is not None \
+            else ambient_progress()
 
     # -- the three phases ----------------------------------------------------
 
@@ -215,6 +275,9 @@ class ShardedExplorer:
         explorer = Explorer(self.machine, self.options)
         slots = self._split(explorer, MachineState(initial))
         jobs = [slot for slot in slots if isinstance(slot, _Pending)]
+        self._emit({"kind": "split", "jobs": len(jobs),
+                    "leaves": len(slots) - len(jobs),
+                    "shards": self.shards})
         if len(jobs) <= 1 or self.shards == 1:
             # Nothing worth forking a pool for: finish the (at most one)
             # pending subtree in-process and merge locally.
@@ -230,6 +293,15 @@ class ShardedExplorer:
                 explorer, slots,
                 self._submit(pool, initial, slots, stop_at_first),
                 stop_at_first)
+
+    def _emit(self, event: Dict[str, Any]) -> None:
+        """Publish a progress event; sink errors never sink the run."""
+        if self.progress is None:
+            return
+        try:
+            self.progress(event)
+        except Exception:  # pragma: no cover - defensive
+            pass
 
     def _split(self, explorer: Explorer, root: MachineState) -> List[_Slot]:
         """Expand the scheduler level-synchronously until there are
@@ -352,6 +424,21 @@ class ShardedExplorer:
                 violations=len(result.violations),
                 states_stepped=shard_applied,
                 truncated=result.truncated, wall_time=wall))
+            # Streaming results: each merged shard publishes its
+            # ShardStats plus the *new* findings it contributed, so a
+            # daemon's status poll can report partial findings while
+            # later shards are still running.
+            self._emit({"kind": "shard", "index": len(shard_stats) - 1,
+                        "prefix_len": prefix_len,
+                        "paths_explored": result.paths_explored,
+                        "violations": len(result.violations),
+                        "states_stepped": shard_applied,
+                        "truncated": result.truncated,
+                        "wall_time": wall,
+                        "cumulative_paths": merged.paths_explored,
+                        "cumulative_violations": len(merged.violations),
+                        "new_findings": [repr(v.observation)
+                                         for v in result.violations]})
             if stop_at_first and result.violations:
                 stopped = True
         if stopped:
@@ -372,6 +459,13 @@ class ShardedExplorer:
         merged.pruning = PruningStats(
             self.options.prune, classes_explored=merged.paths_explored,
             schedules_skipped=explorer._skipped)
+        self._emit({"kind": "merged",
+                    "paths_explored": merged.paths_explored,
+                    "violations": len(merged.violations),
+                    "truncated": merged.truncated,
+                    "engine_steps": merged.engine.steps,
+                    "engine_forks": merged.engine.forks,
+                    "engine_reused": merged.engine.reused})
         return merged
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -1,0 +1,168 @@
+"""Blocking client for the analysis daemon.
+
+One :class:`ServeClient` is one socket connection issuing sequential
+JSON-RPC calls; open several clients for concurrency (the daemon
+multiplexes connections).  The high-level helpers mirror the CLI verbs:
+
+    with ServeClient(socket_path=path) as client:
+        job = client.submit({"kind": "name", "name": "kocher_01"})
+        report, cache = client.wait(job["job"])
+
+``wait`` polls ``status`` (cheap: the daemon answers from the job
+table) and pages through the streaming progress events, handing each to
+an optional callback as it arrives.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from typing import Any, Callable, Dict, Mapping, Optional, Tuple
+
+from ..api.report import Report
+from . import protocol
+from .protocol import ServeError
+
+__all__ = ["ServeClient", "ServeError"]
+
+
+class ServeClient:
+    """A connected daemon client (context manager)."""
+
+    def __init__(self, socket_path: Optional[str] = None,
+                 host: Optional[str] = None, port: Optional[int] = None,
+                 timeout: float = 600.0):
+        if socket_path is None and host is None:
+            from .server import default_socket_path
+            socket_path = default_socket_path()
+        self.socket_path = socket_path
+        self.host, self.port = host, port
+        self.timeout = timeout
+        self._seq = 0
+        try:
+            if socket_path is not None:
+                self._sock = socket.socket(socket.AF_UNIX,
+                                           socket.SOCK_STREAM)
+                self._sock.settimeout(timeout)
+                self._sock.connect(socket_path)
+            else:
+                self._sock = socket.create_connection(
+                    (host, port), timeout=timeout)
+        except OSError as exc:
+            where = socket_path if socket_path is not None \
+                else f"{host}:{port}"
+            raise ConnectionError(
+                f"cannot reach analysis daemon at {where}: {exc} "
+                f"(is `repro serve` running?)") from exc
+        self._file = self._sock.makefile("rb")
+
+    # -- transport -----------------------------------------------------------
+
+    def call(self, method: str, **params: Any) -> Dict[str, Any]:
+        """One round-trip; raises :class:`ServeError` on error replies."""
+        self._seq += 1
+        frame = protocol.request(self._seq, method, params or None)
+        self._sock.sendall(protocol.encode(frame))
+        line = self._file.readline(protocol.MAX_LINE)
+        if not line:
+            raise ConnectionError("daemon closed the connection")
+        msg = protocol.decode(line)
+        if "error" in msg:
+            error = msg["error"]
+            raise ServeError(error.get("code", protocol.INTERNAL_ERROR),
+                             error.get("message", "unknown error"),
+                             error.get("data"))
+        return msg.get("result", {})
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+            self._sock.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- verbs ---------------------------------------------------------------
+
+    def ping(self) -> Dict[str, Any]:
+        return self.call("ping")
+
+    def submit(self, target: Mapping[str, Any],
+               analysis: str = "pitchfork",
+               options: Optional[Mapping[str, Any]] = None
+               ) -> Dict[str, Any]:
+        return self.call("submit", target=dict(target), analysis=analysis,
+                         options=dict(options or {}))
+
+    def status(self, job_id: str, since: int = 0) -> Dict[str, Any]:
+        return self.call("status", job=job_id, since=since)
+
+    def result(self, job_id: str) -> Tuple[Report, Dict[str, Any]]:
+        """The finished job's :class:`Report` plus the daemon's cache
+        counters (``source``/``memory_hits``/``store_hits``/…)."""
+        result = self.call("result", job=job_id)
+        return Report.from_dict(result["report"]), result.get("cache", {})
+
+    def result_dict(self, job_id: str) -> Dict[str, Any]:
+        """The raw result payload (pristine report dict + cache)."""
+        return self.call("result", job=job_id)
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        return self.call("cancel", job=job_id)
+
+    def stats(self) -> Dict[str, Any]:
+        return self.call("stats")
+
+    def results(self, limit: int = 50) -> Dict[str, Any]:
+        return self.call("results", limit=limit)
+
+    def shutdown(self, drain: bool = True) -> Dict[str, Any]:
+        return self.call("shutdown", drain=drain)
+
+    # -- conveniences --------------------------------------------------------
+
+    def wait(self, job_id: str, timeout: Optional[float] = None,
+             poll: float = 0.05,
+             on_event: Optional[Callable[[Dict[str, Any]], None]] = None
+             ) -> Tuple[Report, Dict[str, Any]]:
+        """Poll until the job settles; return (report, cache counters).
+
+        Streams progress: each new event is passed to ``on_event`` as
+        the poll that first sees it.  Raises :class:`ServeError` for
+        failed/cancelled jobs and ``TimeoutError`` on ``timeout``.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        cursor = 0
+        delay = poll
+        while True:
+            status = self.status(job_id, since=cursor)
+            if on_event is not None:
+                for event in status.get("events", ()):
+                    on_event(event)
+            cursor = status.get("next_cursor", cursor)
+            if status["state"] not in ("queued", "running"):
+                return self.result(job_id)
+            if deadline is not None and time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {status['state']} after "
+                    f"{timeout}s")
+            time.sleep(delay)
+            delay = min(delay * 1.5, 0.5)
+
+    def submit_and_wait(self, target: Mapping[str, Any],
+                        analysis: str = "pitchfork",
+                        options: Optional[Mapping[str, Any]] = None,
+                        timeout: Optional[float] = None,
+                        on_event: Optional[Callable[[Dict[str, Any]], None]]
+                        = None) -> Tuple[Report, Dict[str, Any]]:
+        job = self.submit(target, analysis=analysis, options=options)
+        return self.wait(job["job"], timeout=timeout, on_event=on_event)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        where = self.socket_path or f"{self.host}:{self.port}"
+        return f"ServeClient({where!r})"

@@ -1,0 +1,132 @@
+"""Stable, cross-process cache keys for analysis results.
+
+The in-memory :class:`~repro.api.manager.AnalysisManager` cache keyed on
+``(analysis, Project.fingerprint(), AnalysisOptions)`` worked because
+frozen dataclasses hash consistently *within* one interpreter.  A disk
+store shared between processes (and between daemon restarts) needs
+more:
+
+* **canonical options** — :func:`canonical_options` reduces an
+  :class:`~repro.api.project.AnalysisOptions` to the sorted tuple of its
+  *non-default* fields.  Two option objects constructed differently but
+  equal field-wise map to the same key, and — because defaulted fields
+  are omitted — adding a new option with a default value in a later
+  schema does not invalidate every previously stored result;
+* **content-addressed targets** — :func:`fingerprint_digest` renders the
+  ``(program, initial config)`` pair into a canonical text (sorted
+  registers, sorted memory cells, instruction listing) and hashes it
+  with SHA-256.  The digest is independent of ``PYTHONHASHSEED``,
+  interpreter version details, and dict construction order, so any
+  process computes the same address for the same target;
+* **one key string** — :func:`store_key` combines analysis name, target
+  digest and canonical options into the hex name a
+  :class:`~repro.serve.store.ResultStore` object is filed under.
+
+:func:`strip_volatile` is the comparison normaliser used by the
+differential gates (tests and ``benchmarks/bench_serve.py``): it zeroes
+the wall-clock fields and drops the serve-injected ``details.cache``
+section, after which a daemon-computed report must be *byte-identical*
+to the in-process ``analyze()`` report.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import MISSING, fields
+from typing import Any, Dict, Mapping, Tuple
+
+__all__ = ["canonical_options", "fingerprint_digest", "options_digest",
+           "store_key", "strip_volatile"]
+
+
+def canonical_options(options) -> Tuple[Tuple[str, Any], ...]:
+    """The sorted ``(name, value)`` tuple of non-default option fields.
+
+    Hashable (sequence values are already normalised to tuples by
+    ``AnalysisOptions.__post_init__``) and stable across processes.
+    """
+    out = []
+    for f in fields(options):
+        value = getattr(options, f.name)
+        if f.default is not MISSING and value == f.default:
+            continue
+        out.append((f.name, value))
+    return tuple(sorted(out))
+
+
+def _render_value(value) -> str:
+    """``val:label`` for a labelled machine value."""
+    return f"{value.val!r}:{value.label.name}@{value.label.lattice}"
+
+
+def _target_text(name: str, program, config) -> str:
+    """A canonical, deterministic rendering of (program, initial config).
+
+    Dict ordering never leaks in: registers sort by name, memory cells
+    by address.  The reorder buffer and RSB of an *initial*
+    configuration are empty, but their reprs are included so a
+    non-initial configuration can never collide with the initial one.
+    """
+    lines = [f"name={name}", f"entry={program.entry}"]
+    for pp, instr in sorted(program.items()):
+        lines.append(f"{pp}: {instr!r}")
+    lines.append(f"pc={config.pc}")
+    for reg, value in sorted(config.regs.items(), key=lambda kv: kv[0].name):
+        lines.append(f"reg {reg.name}={_render_value(value)}")
+    for addr, value in sorted(config.mem.cells().items()):
+        lines.append(f"mem {addr:#x}={_render_value(value)}")
+    lines.append(f"buf={config.buf!r}")
+    lines.append(f"rsb={config.rsb!r}")
+    return "\n".join(lines)
+
+
+def fingerprint_digest(project) -> str:
+    """SHA-256 hex digest of a project's (name, program, initial config).
+
+    The cross-process form of :meth:`repro.api.project.Project
+    .fingerprint`: equal digests ⇒ equal fingerprints ⇒ identical
+    analysis results under equal options.
+    """
+    text = _target_text(project.name, project.program, project.config())
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def options_digest(options) -> str:
+    """SHA-256 hex digest of the canonical option tuple."""
+    text = repr(canonical_options(options))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def store_key(analysis: str, fingerprint: str, options) -> str:
+    """The content address of one ``(target, analysis, options)`` result.
+
+    ``fingerprint`` is a :func:`fingerprint_digest`; ``options`` is an
+    ``AnalysisOptions`` or an already-canonical tuple.  The key is the
+    SHA-256 of the three parts, so it is filename-safe and uniform.
+    """
+    canon = options if isinstance(options, tuple) \
+        else canonical_options(options)
+    text = f"{analysis}\n{fingerprint}\n{canon!r}"
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def strip_volatile(report_dict: Mapping[str, Any]) -> Dict[str, Any]:
+    """A deep copy with run-to-run noise removed, for byte-identity
+    comparisons between daemon-computed and in-process reports.
+
+    Zeroes every ``wall_time`` (top level, per phase, per shard) and
+    drops the serve layer's ``details.cache`` annotation.  Everything
+    else — statuses, violations, counters, shard/pruning accounting —
+    must match exactly.
+    """
+    out = json.loads(json.dumps(dict(report_dict), sort_keys=True))
+    out["wall_time"] = 0.0
+    for phase in out.get("phases", ()):
+        phase["wall_time"] = 0.0
+    for shard in out.get("shard_stats", ()):
+        shard["wall_time"] = 0.0
+    details = out.get("details")
+    if isinstance(details, dict):
+        details.pop("cache", None)
+    return out

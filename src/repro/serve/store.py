@@ -1,0 +1,281 @@
+"""A persistent, content-addressed store for analysis :class:`Report`s.
+
+Results are filed under the :func:`~repro.serve.keys.store_key` of their
+``(target fingerprint, analysis, options)`` triple::
+
+    <root>/objects/<key[:2]>/<key>.json     one envelope per result
+    <root>/index.json                       eviction/GC index
+
+Invariants the rest of the serve stack relies on:
+
+* **atomic writes** — an envelope is written to a same-directory temp
+  file and ``os.replace``d into place, so a reader never observes a
+  half-written object and a crashed writer leaves at most a temp file
+  (swept by :meth:`ResultStore.gc`);
+* **corrupt reads are misses** — truncated/garbled JSON, an envelope
+  whose recorded key does not match its filename, or a report that no
+  longer round-trips raises nothing: :meth:`get` quarantines the object
+  (unlinks it) and returns ``None``, so the caller recomputes instead
+  of crashing;
+* **schema-versioned** — the envelope records its own
+  :data:`STORE_VERSION` and the embedded report carries the report
+  ``schema_version``; objects written by a *newer* store or report
+  schema read as misses rather than misparses.  Older report schemas
+  are accepted exactly as :meth:`Report.from_dict` accepts them;
+* **self-healing index** — ``index.json`` is a cache of the object
+  directory, not the source of truth: a missing or corrupt index is
+  rebuilt by scanning ``objects/``.
+
+The store is safe for concurrent readers and writer processes: the only
+mutation is an atomic rename (last writer wins — both writers hold the
+same deterministic result, so the race is benign), and the index is
+rewritten atomically on the same rule.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional
+
+from ..api.report import Report
+
+__all__ = ["ResultStore", "StoreStats", "STORE_VERSION"]
+
+#: Version of the on-disk envelope shape.
+STORE_VERSION = 1
+
+
+@dataclass
+class StoreStats:
+    """Counters for one :class:`ResultStore` instance's lifetime."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    corrupt: int = 0        #: objects quarantined by failed reads
+    evicted: int = 0
+
+    def to_dict(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses,
+                "stores": self.stores, "corrupt": self.corrupt,
+                "evicted": self.evicted}
+
+
+class ResultStore:
+    """Disk-backed result cache, content-addressed by
+    :func:`~repro.serve.keys.store_key`.
+
+        store = ResultStore("~/.cache/repro-store")
+        store.put(key, report, target="kocher_01", analysis="pitchfork")
+        report = store.get(key)        # None on miss/corruption
+    """
+
+    def __init__(self, root: str, max_entries: Optional[int] = None):
+        self.root = os.path.abspath(os.path.expanduser(root))
+        self.objects = os.path.join(self.root, "objects")
+        self._index_path = os.path.join(self.root, "index.json")
+        self.max_entries = max_entries
+        self.stats = StoreStats()
+        self._lock = threading.Lock()
+        os.makedirs(self.objects, exist_ok=True)
+
+    # -- paths ---------------------------------------------------------------
+
+    def path_for(self, key: str) -> str:
+        return os.path.join(self.objects, key[:2], f"{key}.json")
+
+    # -- read ----------------------------------------------------------------
+
+    def get(self, key: str) -> Optional[Report]:
+        """The stored report, or ``None`` (miss, corruption, or a newer
+        schema than this process can parse)."""
+        envelope = self._read_envelope(key)
+        if envelope is None:
+            self.stats.misses += 1
+            return None
+        try:
+            report = Report.from_dict(envelope["report"])
+        except (ValueError, KeyError, TypeError):
+            self._quarantine(key)
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return report
+
+    def contains(self, key: str) -> bool:
+        return os.path.exists(self.path_for(key))
+
+    def _read_envelope(self, key: str) -> Optional[Dict[str, Any]]:
+        path = self.path_for(key)
+        try:
+            with open(path, encoding="utf-8") as fh:
+                envelope = json.load(fh)
+        except FileNotFoundError:
+            return None
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            # Truncated by a crashed writer or corrupted on disk:
+            # quarantine so the next writer replaces it cleanly.
+            self._quarantine(key)
+            return None
+        if (not isinstance(envelope, dict)
+                or envelope.get("store_version", 0) > STORE_VERSION
+                or envelope.get("key") != key
+                or "report" not in envelope):
+            self._quarantine(key)
+            return None
+        return envelope
+
+    def _quarantine(self, key: str) -> None:
+        try:
+            os.unlink(self.path_for(key))
+            self.stats.corrupt += 1
+        except OSError:  # pragma: no cover - already gone / perms
+            pass
+
+    # -- write ---------------------------------------------------------------
+
+    def put(self, key: str, report: Report, *,
+            target: str = "", analysis: str = "",
+            options: Any = None) -> None:
+        """Atomically file ``report`` under ``key`` and index it."""
+        envelope = {
+            "store_version": STORE_VERSION,
+            "key": key,
+            "target": target or report.target,
+            "analysis": analysis or report.analysis,
+            "options": repr(options) if options is not None else None,
+            "stored_at": time.time(),
+            "report": report.to_dict(),
+        }
+        path = self.path_for(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        self._atomic_write(path, json.dumps(envelope, sort_keys=True))
+        self.stats.stores += 1
+        with self._lock:
+            index = self._load_index()
+            index[key] = {"target": envelope["target"],
+                          "analysis": envelope["analysis"],
+                          "status": report.status,
+                          "stored_at": envelope["stored_at"]}
+            self._write_index(index)
+        if self.max_entries is not None:
+            self.gc(max_entries=self.max_entries)
+
+    @staticmethod
+    def _atomic_write(path: str, text: str) -> None:
+        fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path),
+                                   prefix=".tmp-", suffix=".json")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                fh.write(text)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:  # pragma: no cover - already renamed
+                pass
+            raise
+
+    # -- the index and GC ----------------------------------------------------
+
+    def _load_index(self) -> Dict[str, Dict[str, Any]]:
+        try:
+            with open(self._index_path, encoding="utf-8") as fh:
+                index = json.load(fh)
+            if isinstance(index, dict):
+                return index
+        except FileNotFoundError:
+            pass
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            pass
+        return self._rebuild_index()
+
+    def _rebuild_index(self) -> Dict[str, Dict[str, Any]]:
+        """Rescan ``objects/`` — the index is only a cache of it."""
+        index: Dict[str, Dict[str, Any]] = {}
+        for dirpath, _dirs, names in os.walk(self.objects):
+            for name in names:
+                if not name.endswith(".json") or name.startswith(".tmp-"):
+                    continue
+                key = name[:-len(".json")]
+                envelope = self._read_envelope(key)
+                if envelope is not None:
+                    index[key] = {
+                        "target": envelope.get("target", ""),
+                        "analysis": envelope.get("analysis", ""),
+                        "status": envelope.get("report", {}).get("status"),
+                        "stored_at": envelope.get("stored_at", 0.0)}
+        return index
+
+    def _write_index(self, index: Mapping[str, Any]) -> None:
+        self._atomic_write(self._index_path,
+                           json.dumps(index, sort_keys=True))
+
+    def entries(self) -> List[Dict[str, Any]]:
+        """Indexed entries, oldest first; each carries its ``key``."""
+        with self._lock:
+            index = self._load_index()
+        rows = [{"key": key, **meta} for key, meta in index.items()]
+        rows.sort(key=lambda row: (row.get("stored_at", 0.0), row["key"]))
+        return rows
+
+    def keys(self) -> List[str]:
+        return [row["key"] for row in self.entries()]
+
+    def __len__(self) -> int:
+        return len(self.entries())
+
+    def gc(self, max_entries: Optional[int] = None,
+           max_age: Optional[float] = None) -> int:
+        """Evict oldest-first down to ``max_entries`` and/or drop
+        entries older than ``max_age`` seconds; sweep stale temp files.
+        Returns the number of objects removed."""
+        rows = self.entries()
+        doomed: List[str] = []
+        if max_age is not None:
+            cutoff = time.time() - max_age
+            doomed.extend(r["key"] for r in rows
+                          if r.get("stored_at", 0.0) < cutoff)
+        if max_entries is not None and len(rows) > max_entries:
+            survivors = [r for r in rows if r["key"] not in set(doomed)]
+            doomed.extend(r["key"]
+                          for r in survivors[:len(survivors) - max_entries])
+        for dirpath, _dirs, names in os.walk(self.objects):
+            for name in names:
+                if name.startswith(".tmp-"):
+                    try:
+                        os.unlink(os.path.join(dirpath, name))
+                    except OSError:  # pragma: no cover - racing writer
+                        pass
+        if not doomed:
+            return 0
+        for key in doomed:
+            try:
+                os.unlink(self.path_for(key))
+            except OSError:  # pragma: no cover - already gone
+                pass
+        self.stats.evicted += len(doomed)
+        with self._lock:
+            index = self._load_index()
+            for key in doomed:
+                index.pop(key, None)
+            self._write_index(index)
+        return len(doomed)
+
+    def clear(self) -> None:
+        """Drop every stored object (the index included)."""
+        for key in self.keys():
+            try:
+                os.unlink(self.path_for(key))
+            except OSError:  # pragma: no cover - already gone
+                pass
+        with self._lock:
+            self._write_index({})
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ResultStore({self.root!r}, {len(self)} entries)"

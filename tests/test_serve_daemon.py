@@ -1,0 +1,354 @@
+"""End-to-end daemon tests: the serve stack's strict bar.
+
+A report computed by the daemon — over the socket, through the warm
+pool, with or without sharding — must be **byte-identical** (modulo
+wall-clock fields, via ``strip_volatile``) to the report the in-process
+``Project.run`` produces for the same target and options.  On top of
+that: warm resubmissions must come from the memory/store tiers without
+touching the pool, a daemon restarted over the same store directory
+must answer from disk without ever *starting* its pool, corrupt store
+objects must be recomputed (not crash the daemon), and graceful
+shutdown must drain in-flight jobs.
+
+One module-scoped daemon serves most tests (worker start-up is paid
+once); lifecycle tests that need their own daemon build one per test.
+"""
+
+import json
+import os
+import threading
+
+import pytest
+
+from repro.api import Project
+from repro.api.cli import main
+from repro.engine import available_strategies
+from repro.serve import (ResultStore, ServeClient, ServeError,
+                         start_in_thread, strip_volatile)
+
+pytestmark = pytest.mark.filterwarnings(
+    "ignore::pytest.PytestUnraisableExceptionWarning")
+
+
+def _direct(name, **overrides):
+    """The in-process reference report for a litmus target."""
+    report = Project.from_litmus(name).run("pitchfork", **overrides)
+    return strip_volatile(report.to_dict())
+
+
+@pytest.fixture(scope="module")
+def daemon(tmp_path_factory):
+    tmp = tmp_path_factory.mktemp("serve")
+    handle = start_in_thread(socket_path=str(tmp / "daemon.sock"),
+                             store=str(tmp / "store"), workers=2)
+    yield handle
+    handle.stop()
+
+
+@pytest.fixture()
+def client(daemon):
+    with ServeClient(socket_path=daemon.server.socket_path) as c:
+        yield c
+
+
+# -- round trips -------------------------------------------------------------
+
+
+def test_ping(client):
+    pong = client.ping()
+    assert pong["pong"] and pong["pid"] == os.getpid()
+    assert pong["draining"] is False
+
+
+def test_daemon_report_identical_to_direct(client):
+    report, cache = client.submit_and_wait(
+        {"kind": "name", "name": "kocher_01"})
+    assert strip_volatile(report.to_dict()) == _direct("kocher_01")
+    assert cache["source"] in ("computed", "memory", "store")
+
+
+def test_warm_resubmit_skips_the_pool(daemon, client):
+    client.submit_and_wait({"kind": "name", "name": "kocher_02"})
+    before = daemon.server.pool.stats()["tasks_submitted"]
+    report, cache = client.submit_and_wait(
+        {"kind": "name", "name": "kocher_02"})
+    assert cache["source"] == "memory"
+    assert daemon.server.pool.stats()["tasks_submitted"] == before
+    assert strip_volatile(report.to_dict()) == _direct("kocher_02")
+
+
+def test_asm_target_shipped_by_value(client):
+    source = """
+    check:  br gt, 4, %ra -> body, done
+    body:   %rb = load [0x40, %ra]
+            %rc = load [0x44, %rb]
+    done:   halt
+"""
+    report, _ = client.submit_and_wait(
+        {"kind": "asm", "source": source, "regs": {"ra": 9},
+         "name": "fig1.s"})
+    direct = Project.from_asm(source, regs={"ra": 9},
+                              name="fig1.s").run("pitchfork")
+    assert strip_volatile(report.to_dict()) \
+        == strip_volatile(direct.to_dict())
+
+
+def test_option_overrides_reach_the_analysis(client):
+    report, _ = client.submit_and_wait(
+        {"kind": "name", "name": "kocher_01"}, options={"bound": 7})
+    assert strip_volatile(report.to_dict()) == _direct("kocher_01", bound=7)
+
+
+def test_unknown_target_is_a_clean_error(client):
+    with pytest.raises(ServeError) as err:
+        client.submit({"kind": "name", "name": "no_such_case"})
+    assert "no_such_case" in str(err.value)
+
+
+def test_unknown_job_is_a_clean_error(client):
+    with pytest.raises(ServeError):
+        client.status("job-999999")
+
+
+# -- concurrency -------------------------------------------------------------
+
+
+def test_concurrent_clients_all_identical(daemon):
+    """Several clients hammering distinct targets at once each get the
+    exact in-process report back."""
+    names = ["kocher_03", "kocher_04", "kocher_06", "v1_fig8_fence"]
+    results = {}
+    errors = []
+
+    def worker(name):
+        try:
+            with ServeClient(
+                    socket_path=daemon.server.socket_path) as c:
+                report, _ = c.submit_and_wait(
+                    {"kind": "name", "name": name})
+                results[name] = strip_volatile(report.to_dict())
+        except Exception as exc:  # pragma: no cover - surfaced below
+            errors.append((name, exc))
+
+    threads = [threading.Thread(target=worker, args=(n,)) for n in names]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=120)
+    assert not errors
+    for name in names:
+        assert results[name] == _direct(name), name
+
+
+def test_identical_submissions_coalesce_or_hit(daemon, client):
+    """Two submits of one key never compute twice."""
+    spec = {"kind": "name", "name": "kocher_08"}
+    computed_before = daemon.server.jobs_computed
+    a = client.submit(spec)
+    b = client.submit(spec)
+    ra, _ = client.wait(a["job"])
+    rb, _ = client.wait(b["job"])
+    assert strip_volatile(ra.to_dict()) == strip_volatile(rb.to_dict())
+    assert daemon.server.jobs_computed <= computed_before + 1
+
+
+# -- strategy × shard differential -------------------------------------------
+
+
+@pytest.mark.parametrize("strategy", available_strategies())
+@pytest.mark.parametrize("shards", [1, 4])
+def test_strategy_shard_differential(client, strategy, shards):
+    """Every search strategy, sharded and serial, through the daemon:
+    identical to the in-process run under the same knobs."""
+    overrides = {"strategy": strategy, "shards": shards}
+    if strategy == "random":
+        overrides["seed"] = 11
+    report, _ = client.submit_and_wait(
+        {"kind": "name", "name": "kocher_05"}, options=overrides)
+    assert strip_volatile(report.to_dict()) \
+        == _direct("kocher_05", **overrides)
+
+
+def test_sharded_jobs_stream_progress(client):
+    """A shards>1 run publishes split/shard events with partial
+    findings while it runs (kocher_05 splits into real subtree jobs)."""
+    events = []
+    report, _ = client.submit_and_wait(
+        {"kind": "name", "name": "kocher_05"},
+        options={"shards": 4, "max_paths": 10_000},
+        on_event=events.append)
+    kinds = [e["kind"] for e in events]
+    assert "split" in kinds and "state" in kinds
+    split = next(e for e in events if e["kind"] == "split")
+    assert split["jobs"] > 1
+    shard_events = [e for e in events if e["kind"] == "shard"]
+    assert shard_events, "expected per-shard progress events"
+    assert shard_events[-1]["cumulative_violations"] \
+        == len(report.violations)
+    assert all(events[i]["seq"] < events[i + 1]["seq"]
+               for i in range(len(events) - 1))
+
+
+def test_tcp_transport(tmp_path):
+    """The daemon speaks the same protocol over TCP (port 0 = ephemeral,
+    bound port discovered at start)."""
+    handle = start_in_thread(host="127.0.0.1", port=0, workers=1,
+                             store=str(tmp_path / "store"))
+    try:
+        port = handle.server.port
+        assert port > 0
+        with ServeClient(host="127.0.0.1", port=port) as c:
+            assert c.ping()["pong"]
+            report, _ = c.submit_and_wait(
+                {"kind": "name", "name": "kocher_01"})
+            assert strip_volatile(report.to_dict()) == _direct("kocher_01")
+    finally:
+        handle.stop()
+
+
+def test_preset_spec_resolves_like_the_cli(client):
+    from repro.api import AnalysisOptions
+    report, _ = client.submit_and_wait(
+        {"kind": "name", "name": "kocher_01", "preset": "paper"})
+    direct = Project.from_litmus(
+        "kocher_01", options=AnalysisOptions.paper()).run("pitchfork")
+    assert strip_volatile(report.to_dict()) \
+        == strip_volatile(direct.to_dict())
+
+
+# -- store tier across restarts ----------------------------------------------
+
+
+def test_restarted_daemon_serves_from_disk_without_a_pool(tmp_path):
+    sock, store = str(tmp_path / "a.sock"), str(tmp_path / "store")
+    with start_in_thread(socket_path=sock, store=store, workers=1):
+        with ServeClient(socket_path=sock) as c:
+            first, _ = c.submit_and_wait(
+                {"kind": "name", "name": "kocher_09"})
+
+    # Same store, fresh daemon: the resubmission is answered from disk
+    # and the warm pool is never even started.
+    with start_in_thread(socket_path=sock, store=store,
+                         workers=1) as handle:
+        with ServeClient(socket_path=sock) as c:
+            again, cache = c.submit_and_wait(
+                {"kind": "name", "name": "kocher_09"})
+        assert cache["source"] == "store"
+        assert handle.server.pool.started is False
+    assert again.to_dict() == first.to_dict()
+
+
+def test_corrupt_store_object_recomputed_not_crashed(tmp_path):
+    sock, store_dir = str(tmp_path / "b.sock"), str(tmp_path / "store")
+    with start_in_thread(socket_path=sock, store=store_dir, workers=1):
+        with ServeClient(socket_path=sock) as c:
+            first, _ = c.submit_and_wait(
+                {"kind": "name", "name": "kocher_11"})
+
+    store = ResultStore(store_dir)
+    key = store.keys()[0]
+    with open(store.path_for(key), "w", encoding="utf-8") as fh:
+        fh.write('{"store_version": 1, "key')       # torn write
+
+    with start_in_thread(socket_path=sock, store=store_dir, workers=1):
+        with ServeClient(socket_path=sock) as c:
+            again, cache = c.submit_and_wait(
+                {"kind": "name", "name": "kocher_11"})
+        assert cache["source"] == "computed"
+    assert strip_volatile(again.to_dict()) \
+        == strip_volatile(first.to_dict())
+
+
+# -- lifecycle ---------------------------------------------------------------
+
+
+def test_graceful_shutdown_drains_inflight_jobs(tmp_path):
+    """Jobs in flight at shutdown complete (and persist) before the
+    daemon exits; new submissions are refused while draining."""
+    sock = str(tmp_path / "c.sock")
+    store_dir = str(tmp_path / "store")
+    handle = start_in_thread(socket_path=sock, store=store_dir, workers=1)
+    with ServeClient(socket_path=sock) as c:
+        jobs = [c.submit({"kind": "name", "name": name})["job"]
+                for name in ("kocher_12", "kocher_13", "kocher_14")]
+        c.shutdown(drain=True)
+        with pytest.raises((ServeError, ConnectionError)):
+            c.submit({"kind": "name", "name": "kocher_01"})
+    handle.thread.join(timeout=120)
+    assert not handle.thread.is_alive()
+    server = handle.server
+    assert all(server._jobs[j].state == "done" for j in jobs)
+    # ...and the drained results made it to disk.
+    assert len(ResultStore(store_dir)) == len(jobs)
+
+
+def test_stats_counters(daemon, client):
+    stats = client.stats()
+    assert sum(stats["jobs"].values()) >= 1
+    assert stats["pool"]["started"] is True
+    assert stats["store"]["entries"] >= 1
+    assert stats["cache"]["computed"] >= 1
+
+
+def test_results_listing(daemon, client):
+    rows = client.results()["entries"]
+    assert rows and all("key" in r and "target" in r for r in rows)
+
+
+# -- the CLI against a live daemon -------------------------------------------
+
+
+def test_cli_submit_exit_codes_and_json(daemon, capsys, monkeypatch):
+    monkeypatch.setenv("REPRO_SERVE_SOCKET", daemon.server.socket_path)
+    assert main(["submit", "kocher_01", "--check"]) == 1   # violation
+    assert main(["submit", "v1_fig8_fence", "--check"]) == 0
+    assert main(["submit", "no_such_case"]) == 3
+    capsys.readouterr()
+    assert main(["submit", "kocher_01", "--json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["details"]["cache"]["source"] in ("memory", "store")
+    assert strip_volatile(payload) == _direct("kocher_01")
+
+
+def test_cli_results_against_store(daemon, capsys, monkeypatch):
+    monkeypatch.setenv("REPRO_SERVE_SOCKET", daemon.server.socket_path)
+    assert main(["results"]) == 0
+    out = capsys.readouterr().out
+    assert "kocher" in out
+    assert main(["results", "--store", daemon.server.store.root,
+                 "--json"]) == 0
+    rows = json.loads(capsys.readouterr().out)["entries"]
+    assert rows
+
+
+def test_cli_serve_stats(daemon, capsys, monkeypatch):
+    monkeypatch.setenv("REPRO_SERVE_SOCKET", daemon.server.socket_path)
+    assert main(["serve", "--stats"]) == 0
+    stats = json.loads(capsys.readouterr().out)
+    assert stats["pool"]["workers"] >= 1
+
+
+def test_cli_submit_asm_file(daemon, tmp_path, capsys, monkeypatch):
+    """File targets are read client-side and shipped by value."""
+    monkeypatch.setenv("REPRO_SERVE_SOCKET", daemon.server.socket_path)
+    source = """
+    check:  br gt, 4, %ra -> body, done
+    body:   %rb = load [0x40, %ra]
+            %rc = load [0x44, %rb]
+    done:   halt
+"""
+    asm = tmp_path / "victim.s"
+    asm.write_text(source)
+    # No memory layout → no secret to leak: secure, exit 0.
+    assert main(["submit", str(asm), "--reg", "ra=9", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    direct = Project.from_asm(source, regs={"ra": 9},
+                              name="victim.s").run("pitchfork")
+    assert strip_volatile(payload) == strip_volatile(direct.to_dict())
+
+
+def test_cli_unreachable_daemon_exits_3(tmp_path, capsys, monkeypatch):
+    monkeypatch.setenv("REPRO_SERVE_SOCKET",
+                       str(tmp_path / "nobody-home.sock"))
+    assert main(["submit", "kocher_01"]) == 3
+    assert "repro serve" in capsys.readouterr().err

@@ -1,0 +1,146 @@
+"""Cache-key stability: the contract the disk store lives on.
+
+A content address must not depend on anything process-local: not dict
+order, not ``PYTHONHASHSEED``, not how the options object was built.
+These tests pin (a) the canonical-options reduction, (b) digest
+equality across *fresh interpreter processes with different hash
+seeds*, and (c) the ``strip_volatile`` normaliser used by every
+daemon-vs-direct differential gate.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.api import AnalysisOptions, Project
+from repro.serve import (canonical_options, fingerprint_digest,
+                         options_digest, store_key, strip_volatile)
+
+
+# -- canonical options -------------------------------------------------------
+
+
+def test_default_options_canonicalize_empty():
+    assert canonical_options(AnalysisOptions()) == ()
+
+
+def test_non_default_fields_appear_sorted():
+    options = AnalysisOptions(shards=4, bound=7, strategy="bfs")
+    canon = canonical_options(options)
+    assert canon == (("bound", 7), ("shards", 4), ("strategy", "bfs"))
+
+
+def test_field_set_back_to_default_is_omitted():
+    default_bound = AnalysisOptions().bound
+    options = AnalysisOptions(shards=2).with_(bound=default_bound)
+    assert ("bound", default_bound) not in canonical_options(options)
+    assert canonical_options(options) == (("shards", 2),)
+
+
+def test_equivalent_constructions_share_a_key():
+    a = AnalysisOptions(bound=9, shards=4)
+    b = AnalysisOptions().with_(shards=4).with_(bound=9)
+    assert canonical_options(a) == canonical_options(b)
+    assert options_digest(a) == options_digest(b)
+
+
+def test_different_options_differ():
+    assert (options_digest(AnalysisOptions(bound=5))
+            != options_digest(AnalysisOptions(bound=6)))
+
+
+# -- target fingerprints -----------------------------------------------------
+
+
+def test_same_target_same_digest():
+    a = Project.from_litmus("kocher_01")
+    b = Project.from_litmus("kocher_01")
+    assert fingerprint_digest(a) == fingerprint_digest(b)
+
+
+def test_different_targets_differ():
+    a = Project.from_litmus("kocher_01")
+    b = Project.from_litmus("kocher_02")
+    assert fingerprint_digest(a) != fingerprint_digest(b)
+
+
+def test_register_values_reach_the_digest():
+    source = "entry: %rb = load [0x40, %ra]\n       halt"
+    a = Project.from_asm(source, regs={"ra": 4})
+    b = Project.from_asm(source, regs={"ra": 8})
+    assert fingerprint_digest(a) != fingerprint_digest(b)
+
+
+def test_store_key_accepts_options_or_canonical_tuple():
+    project = Project.from_litmus("kocher_01")
+    fp = fingerprint_digest(project)
+    options = AnalysisOptions(shards=4)
+    assert (store_key("pitchfork", fp, options)
+            == store_key("pitchfork", fp, canonical_options(options)))
+    assert store_key("pitchfork", fp, options) \
+        != store_key("two-phase", fp, options)
+
+
+# -- cross-process stability -------------------------------------------------
+
+_CHILD = """
+import json, sys
+from repro.api import AnalysisOptions, Project
+from repro.serve import fingerprint_digest, options_digest, store_key
+project = Project.from_litmus("kocher_03")
+options = AnalysisOptions(bound=11, shards=4, strategy="bfs")
+fp = fingerprint_digest(project)
+print(json.dumps({"fp": fp, "opt": options_digest(options),
+                  "key": store_key("pitchfork", fp, options)}))
+"""
+
+
+def test_digests_stable_across_processes_and_hash_seeds():
+    """The key of one (target, options) pair is identical in fresh
+    interpreters started with different PYTHONHASHSEEDs — the property
+    that lets a store outlive the daemon that filled it."""
+    src = os.path.abspath(os.path.join(os.path.dirname(__file__),
+                                       "..", "src"))
+    outputs = []
+    for seed in ("0", "42", "12345"):
+        env = dict(os.environ, PYTHONHASHSEED=seed, PYTHONPATH=src)
+        proc = subprocess.run([sys.executable, "-c", _CHILD],
+                              capture_output=True, text=True, check=True,
+                              env=env)
+        outputs.append(json.loads(proc.stdout))
+    assert outputs[0] == outputs[1] == outputs[2]
+
+
+# -- the differential normaliser ---------------------------------------------
+
+
+def test_strip_volatile_zeroes_timings_and_drops_cache():
+    report = Project.from_litmus("kocher_01").run("pitchfork")
+    noisy = report.to_dict()
+    noisy["details"] = dict(noisy.get("details") or {},
+                            cache={"source": "memory"})
+    stripped = strip_volatile(noisy)
+    assert stripped["wall_time"] == 0.0
+    assert all(p["wall_time"] == 0.0 for p in stripped["phases"])
+    assert "cache" not in stripped["details"]
+    # Everything non-volatile survives untouched.
+    assert stripped["status"] == noisy["status"]
+    assert stripped["violations"] == noisy["violations"]
+
+
+def test_strip_volatile_is_a_copy():
+    report = Project.from_litmus("kocher_01").run("pitchfork")
+    original = report.to_dict()
+    before = json.dumps(original, sort_keys=True)
+    strip_volatile(original)
+    assert json.dumps(original, sort_keys=True) == before
+
+
+def test_two_runs_identical_after_strip():
+    project = Project.from_litmus("kocher_02")
+    a = strip_volatile(project.run("pitchfork").to_dict())
+    b = strip_volatile(project.run("pitchfork").to_dict())
+    assert a == b

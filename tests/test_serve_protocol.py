@@ -1,0 +1,178 @@
+"""Unit tests for the serve transport layer (`repro.serve.protocol`)
+and the owned-lifecycle worker pool (`repro.serve.pool`).
+
+The e2e daemon tests exercise the happy paths over a real socket;
+these pin the edges — malformed frames, broken pools, drain/shutdown
+semantics — without a daemon in the loop.
+"""
+
+import time
+
+import pytest
+
+from repro.serve import WarmPool
+from repro.serve.pool import _worker_ping
+from repro.serve import protocol
+from repro.serve.protocol import ProtocolError, ServeError
+
+
+# -- frames ------------------------------------------------------------------
+
+
+def test_request_response_roundtrip():
+    frame = protocol.request(7, "submit", {"target": {"kind": "name"}})
+    decoded = protocol.decode(protocol.encode(frame))
+    assert decoded == frame
+    reply = protocol.decode(protocol.encode(
+        protocol.response(7, {"job": "job-1"})))
+    assert reply["result"] == {"job": "job-1"}
+
+
+def test_request_without_params_omits_them():
+    assert "params" not in protocol.request(1, "ping")
+
+
+def test_error_response_carries_code_and_data():
+    frame = protocol.error_response(3, protocol.UNKNOWN_JOB, "nope",
+                                    {"job": "job-9"})
+    decoded = protocol.decode(protocol.encode(frame))
+    assert decoded["error"]["code"] == protocol.UNKNOWN_JOB
+    assert decoded["error"]["data"] == {"job": "job-9"}
+    assert "data" not in protocol.error_response(3, -1, "x")["error"]
+
+
+def test_encode_is_one_line():
+    line = protocol.encode(protocol.request(1, "ping"))
+    assert line.endswith(b"\n") and line.count(b"\n") == 1
+
+
+@pytest.mark.parametrize("line,code", [
+    (b"{ not json", protocol.PARSE_ERROR),
+    (b"\xff\xfe", protocol.PARSE_ERROR),
+    (b'"a bare string"', protocol.INVALID_REQUEST),
+    (b'{"jsonrpc": "1.0", "method": "ping"}', protocol.INVALID_REQUEST),
+    (b'{"jsonrpc": "2.0", "method": 42}', protocol.INVALID_REQUEST),
+    (b'{"jsonrpc": "2.0", "method": "ping", "params": [1]}',
+     protocol.INVALID_PARAMS),
+])
+def test_bad_frames_raise_typed_errors(line, code):
+    with pytest.raises(ProtocolError) as err:
+        protocol.decode(line)
+    assert err.value.code == code
+
+
+def test_oversized_frame_rejected():
+    huge = b" " * (protocol.MAX_LINE + 1)
+    with pytest.raises(ProtocolError) as err:
+        protocol.decode(huge)
+    assert err.value.code == protocol.INVALID_REQUEST
+
+
+def test_serve_error_defaults_empty_data():
+    err = ServeError(protocol.DRAINING, "draining")
+    assert err.code == protocol.DRAINING and err.data == {}
+
+
+# -- the warm pool -----------------------------------------------------------
+
+
+def test_pool_starts_lazily_and_counts():
+    pool = WarmPool(workers=1)
+    assert pool.started is False
+    try:
+        assert pool.submit(_worker_ping).result(timeout=60) > 0
+        assert pool.started is True
+        pool.drain(timeout=60)
+        stats = pool.stats()
+        assert stats["tasks_submitted"] == 1
+        assert stats["tasks_completed"] == 1
+        assert stats["tasks_failed"] == 0
+    finally:
+        pool.shutdown()
+
+
+def test_pool_rejects_bad_worker_count():
+    with pytest.raises(ValueError):
+        WarmPool(workers=0)
+
+
+def test_health_check_answers_true():
+    pool = WarmPool(workers=1)
+    try:
+        assert pool.health_check(timeout=60) is True
+    finally:
+        pool.shutdown()
+
+
+def test_restart_tears_down_and_rebuilds_on_demand():
+    pool = WarmPool(workers=1)
+    try:
+        pool.start()
+        assert pool.started
+        pool.restart()
+        assert pool.started is False
+        assert pool.restarts == 1
+        # Next submit transparently rebuilds.
+        assert pool.submit(_worker_ping).result(timeout=60) > 0
+    finally:
+        pool.shutdown()
+
+
+def test_health_check_rebuilds_a_broken_pool():
+    pool = WarmPool(workers=1)
+    try:
+        pool.start()
+        # Simulate the OOM-killer scenario: nuke the workers behind
+        # the executor's back, then health-check.
+        for proc in pool._executor._processes.values():
+            proc.terminate()
+        time.sleep(0.2)
+        assert pool.health_check(timeout=60) is True
+        assert pool.restarts >= 0          # rebuilt via either path
+        assert pool.submit(_worker_ping).result(timeout=60) > 0
+    finally:
+        pool.shutdown()
+
+
+def test_drain_waits_for_inflight_work():
+    pool = WarmPool(workers=1)
+    try:
+        future = pool.submit(time.sleep, 0.3)
+        assert pool.inflight >= 1
+        assert pool.drain(timeout=60) is True
+        assert future.done()
+        assert pool.inflight == 0
+    finally:
+        pool.shutdown()
+
+
+def test_drain_with_nothing_inflight_is_immediate():
+    pool = WarmPool(workers=1)
+    try:
+        assert pool.drain(timeout=0.01) is True
+    finally:
+        pool.shutdown()
+
+
+def test_shutdown_is_idempotent_and_final():
+    pool = WarmPool(workers=1)
+    pool.submit(_worker_ping).result(timeout=60)
+    pool.shutdown()
+    pool.shutdown()                        # second call is a no-op
+    assert pool.started is False
+    with pytest.raises(RuntimeError):
+        pool.submit(_worker_ping)
+    with pytest.raises(RuntimeError):
+        pool.start()
+
+
+def test_failed_task_counted_not_raised_at_submit():
+    pool = WarmPool(workers=1)
+    try:
+        future = pool.submit(divmod, 1, 0)      # ZeroDivisionError
+        with pytest.raises(ZeroDivisionError):
+            future.result(timeout=60)
+        pool.drain(timeout=60)
+        assert pool.stats()["tasks_failed"] == 1
+    finally:
+        pool.shutdown()
