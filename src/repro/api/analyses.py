@@ -147,7 +147,8 @@ def _explore(project: Project, options: AnalysisOptions, *,
                    strategy=options.strategy,
                    shards=options.shards,
                    seed=options.seed,
-                   prune=options.prune)
+                   prune=options.prune,
+                   subsume=options.subsume)
 
 
 @register
@@ -163,7 +164,7 @@ class PitchforkAnalysis(Analysis):
         report = _explore(project, options, bound=options.bound,
                           fwd_hazards=options.fwd_hazards)
         details = {"strategy": options.strategy, "shards": options.shards,
-                   "prune": options.prune}
+                   "prune": options.prune, "subsume": options.subsume}
         if options.strategy == "random":
             details["seed"] = options.seed
         return from_analysis_report(report, project.name, self.name,
@@ -245,6 +246,12 @@ class SymbolicAnalysis(Analysis):
             # The symbolic replay is not sharded (only the explorer
             # is); surface the ignored knob instead of dropping it.
             details["shards_ignored"] = options.shards
+        if options.subsume:
+            # Concrete-state subsumption is unsound for symbolic
+            # replay: two equal concrete configurations may differ in
+            # the symbolic worlds reaching them, so pruning one would
+            # drop satisfiable attacker models.  Ignored, and said so.
+            details["subsume_ignored"] = True
         return Report(
             target=project.name, analysis=self.name,
             status="secure" if result.secure else "insecure",
@@ -382,7 +389,8 @@ class RepairAnalysis(Analysis):
             rsb_targets=options.rsb_targets,
             max_paths=options.max_paths, max_steps=options.max_steps,
             strategy=options.strategy, shards=options.shards,
-            seed=options.seed, prune=options.prune)
+            seed=options.seed, prune=options.prune,
+            subsume=options.subsume)
         final = result.final_report
         secure = result.status in ("already-secure", "repaired")
         details = {"policy": options.policy,
@@ -390,7 +398,8 @@ class RepairAnalysis(Analysis):
                    "rounds": result.rounds,
                    "strategy": options.strategy,
                    "shards": options.shards,
-                   "prune": options.prune}
+                   "prune": options.prune,
+                   "subsume": options.subsume}
         wall = time.perf_counter() - t0
         # NB: AnalysisReport.__bool__ is "secure" — guard on None, not
         # truthiness, or insecure final reports zero these fields out.

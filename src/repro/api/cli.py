@@ -56,6 +56,7 @@ def _option_overrides(args) -> Dict:
         "shards": args.shards,
         "seed": args.seed,
         "prune": args.prune,
+        "subsume": getattr(args, "subsume", None),
         # repair-only knobs (absent on other subcommands, ignored when
         # None by AnalysisOptions.with_).
         "policy": getattr(args, "policy", None),
@@ -118,6 +119,14 @@ def _add_option_flags(parser: argparse.ArgumentParser) -> None:
                         help="partial-order reduction over the schedule "
                              "tree (default: sleepset); all levels flag "
                              "the same violation observations")
+    parser.add_argument("--subsume", action="store_true", default=None,
+                        help="prune fork arms whose state was already "
+                             "explored with same-or-weaker obligations "
+                             "(default: off); the observation set is "
+                             "unchanged (symbolic runs ignore it)")
+    parser.add_argument("--no-subsume", dest="subsume",
+                        action="store_false",
+                        help="disable redundant-state subsumption")
 
 
 def _preset_options(args) -> Optional[AnalysisOptions]:

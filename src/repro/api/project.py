@@ -26,6 +26,7 @@ from ..core.memory import Memory
 from ..core.program import Program
 from ..engine import available_strategies
 from ..engine.por import PRUNE_LEVELS
+from ..engine.subsume import validate_subsume
 
 #: Default Table 2 bounds (see ``repro.casestudies.common``): the ported
 #: kernels are smaller than compiled x86, so phase 1 runs at 28 instead
@@ -73,6 +74,13 @@ class AnalysisOptions:
     #: (window capping + degenerate-arm collapse) — all flag the same
     #: violation observations.  See :mod:`repro.engine.por`.
     prune: str = "sleepset"
+    #: Redundant-state subsumption (:mod:`repro.engine.subsume`): prune
+    #: fork arms whose state was already explored with the same or
+    #: weaker residual obligations.  Same observation set, far fewer
+    #: steps on re-convergent programs; off by default (concrete-state
+    #: identity is meaningless to the symbolic back end, which ignores
+    #: it — see :class:`~repro.api.analyses.SymbolicAnalysis`).
+    subsume: bool = False
 
     # -- the symbolic back end ----------------------------------------------
     max_schedules: int = 512        #: tool schedules replayed symbolically
@@ -126,6 +134,7 @@ class AnalysisOptions:
             raise ValueError(
                 f"prune must be one of {list(PRUNE_LEVELS)}, "
                 f"got {self.prune!r}")
+        validate_subsume(self.subsume)
         # Normalise sequences so options stay hashable (cache keys).
         object.__setattr__(self, "jmpi_targets", tuple(self.jmpi_targets))
         object.__setattr__(self, "rsb_targets", tuple(self.rsb_targets))

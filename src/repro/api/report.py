@@ -31,15 +31,17 @@ from typing import Any, Dict, Mapping, Optional, Tuple
 CLEAN_STATUSES = frozenset({"secure", "clean", "ok", "already-secure",
                             "repaired"})
 
-#: Version of the serialised report shape.  4 added the ``pruning``
-#: section (partial-order-reduction stats from :mod:`repro.engine.por`:
-#: level, classes_explored, schedules_skipped); 3 added the
-#: ``mitigation`` section (the repair certificate emitted by
+#: Version of the serialised report shape.  5 added the ``subsumption``
+#: section (redundant-state-subsumption stats from
+#: :mod:`repro.engine.subsume`: enabled, states_seen, states_subsumed);
+#: 4 added the ``pruning`` section (partial-order-reduction stats from
+#: :mod:`repro.engine.por`: level, classes_explored, schedules_skipped);
+#: 3 added the ``mitigation`` section (the repair certificate emitted by
 #: :mod:`repro.mitigate`); 2 added ``schema_version`` itself, the
 #: search-strategy fields and per-shard stats; 1 (implicit, no marker)
 #: is the pre-sharding shape.  All older versions are still accepted by
 #: :meth:`Report.from_dict`.
-SCHEMA_VERSION = 4
+SCHEMA_VERSION = 5
 
 
 @dataclass(frozen=True)
@@ -186,6 +188,12 @@ class Report:
     #: representatives) and ``schedules_skipped`` (pruned subtree
     #: roots).  None for analyses without a schedule exploration.
     pruning: Optional[Mapping[str, Any]] = None
+    #: Redundant-state-subsumption stats when the exploration ran with
+    #: the SeenStates table (see :mod:`repro.engine.subsume`):
+    #: ``enabled``, ``states_seen`` (canonical states recorded) and
+    #: ``states_subsumed`` (fork arms pruned as already covered).  None
+    #: for analyses without a schedule exploration.
+    subsumption: Optional[Mapping[str, Any]] = None
     details: Mapping[str, Any] = field(default_factory=dict)
 
     def __bool__(self) -> bool:
@@ -225,6 +233,8 @@ class Report:
                            if self.mitigation is not None else None),
             "pruning": (dict(self.pruning)
                         if self.pruning is not None else None),
+            "subsumption": (dict(self.subsumption)
+                            if self.subsumption is not None else None),
             "details": dict(self.details),
         }
 
@@ -260,6 +270,8 @@ class Report:
                         if data.get("mitigation") is not None else None),
             pruning=(dict(data["pruning"])
                      if data.get("pruning") is not None else None),
+            subsumption=(dict(data["subsumption"])
+                         if data.get("subsumption") is not None else None),
             details=dict(data.get("details", {})),
         )
 
@@ -280,9 +292,13 @@ class Report:
                 self.pruning.get("schedules_skipped"):
             pruned = (f", {self.pruning['schedules_skipped']} pruned "
                       f"[{self.pruning.get('level', '?')}]")
+        subsumed = ""
+        if self.subsumption is not None and \
+                self.subsumption.get("states_subsumed"):
+            subsumed = f", {self.subsumption['states_subsumed']} subsumed"
         head = (f"[{self.analysis}] {self.target}: {self.status.upper()} "
                 f"({self.paths_explored} paths, {self.states_stepped} steps"
-                f"{reused}{sharded}{pruned}, {self.wall_time:.2f}s"
+                f"{reused}{sharded}{pruned}{subsumed}, {self.wall_time:.2f}s"
                 f"{', truncated' if self.truncated else ''}"
                 f"{', VACUOUS' if self.vacuous else ''})")
         lines = [head]
@@ -356,5 +372,8 @@ def from_analysis_report(report, target: str, analysis: str,
             for s in getattr(report, "shards", ())),
         pruning=(getattr(report, "pruning", None).to_dict()
                  if getattr(report, "pruning", None) is not None else None),
+        subsumption=(getattr(report, "subsumption", None).to_dict()
+                     if getattr(report, "subsumption", None) is not None
+                     else None),
         details=dict(details or {}),
     )

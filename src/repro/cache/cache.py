@@ -94,8 +94,9 @@ class Cache:
         return (self.config == other.config
                 and self.contents() == other.contents())
 
-    def __hash__(self):  # pragma: no cover - not used as dict key
-        return hash((self.config, self.contents()))
+    # A Cache is mutable (access() reorders LRU state), so defining
+    # __eq__ leaves __hash__ implicitly None: caches are unhashable by
+    # design and must not be used as dict keys.
 
 
 def addresses_touching_cache(trace: Trace) -> List[int]:

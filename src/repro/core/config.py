@@ -121,15 +121,36 @@ class Config:
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Config):
             return NotImplemented
-        return (self.regs == other.regs and self.mem == other.mem
-                and self.pc == other.pc and self.buf == other.buf
-                and self.rsb == other.rsb)
+        if self is other:
+            return True
+        ha = self.__dict__.get("_shash")
+        if ha is not None and ha != other.__dict__.get("_shash", ha):
+            # Sound fast-fail: equal configurations hash equal, and a
+            # memoised hash never changes (every component is immutable).
+            return False
+        return (self.pc == other.pc and self.buf == other.buf
+                and self.rsb == other.rsb and self.regs == other.regs
+                and self.mem == other.mem)
 
     def __hash__(self) -> int:
-        return hash((tuple(sorted((r.name, v.val, v.label)
-                                  for r, v in self.regs.items()
-                                  if isinstance(v.val, int))),
-                     self.mem, self.pc, self.buf, self.rsb))
+        """Structural hash, memoised on first use.
+
+        Configurations are immutable values over persistent components
+        (the memory maintains its hash incrementally on write, the
+        buffers memoise theirs), so this is computed at most once and
+        never invalidated.  The subsumption table and the engine's
+        trial-step cache both key on it.
+        """
+        try:
+            return self._shash
+        except AttributeError:
+            pass
+        h = hash((tuple(sorted((r.name, v.val, v.label)
+                               for r, v in self.regs.items()
+                               if isinstance(v.val, int))),
+                  self.mem, self.pc, self.buf, self.rsb))
+        object.__setattr__(self, "_shash", h)
+        return h
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         regs = ", ".join(f"{r.name}={v!r}" for r, v in sorted(

@@ -35,6 +35,23 @@ from .values import Value
 _COMPACT_LIMIT = 32
 
 
+def _cell_hash(addr: int, value: Value) -> int:
+    """One cell's contribution to a memory's structural hash.
+
+    Contributions are XOR-combined, which makes them order-independent
+    (matching ``cells()`` equality, which has no order) and — crucially
+    — invertible: a write can XOR the old cell's contribution out and
+    the new one in, so the hash of ``µ[a ↦ v]`` is O(1) from the hash
+    of ``µ``.  Non-integer payloads (symbolic expressions) contribute a
+    constant, exactly like the seed hash which skipped them; equality
+    still compares them fully.
+    """
+    payload = value.val
+    if type(payload) is not int:
+        return 0
+    return hash((addr, payload, value.label))
+
+
 @dataclass(frozen=True)
 class Region:
     """A named, contiguous block of memory with a default label."""
@@ -64,19 +81,29 @@ class Memory:
     :class:`repro.core.program.Program`.
     """
 
-    __slots__ = ("_base", "_delta", "_regions")
+    __slots__ = ("_base", "_delta", "_regions", "_shash")
 
     def __init__(self, cells: Optional[Dict[int, Value]] = None,
                  regions: Tuple[Region, ...] = ()):
         self._base: Dict[int, Value] = dict(cells or {})
         self._delta: Dict[int, Value] = {}
         self._regions = regions
+        shash = 0
+        for addr, value in self._base.items():
+            shash ^= _cell_hash(addr, value)
+        self._shash = shash
 
     @classmethod
     def _overlay(cls, base: Dict[int, Value], delta: Dict[int, Value],
-                 regions: Tuple[Region, ...]) -> "Memory":
+                 regions: Tuple[Region, ...], shash: int) -> "Memory":
         """Internal constructor sharing ``base`` (which must never be
-        mutated after publication); compacts oversized deltas."""
+        mutated after publication); compacts oversized deltas.
+
+        ``shash`` is the already-maintained structural hash of the
+        overlay's contents — compaction only re-shelves cells, so it
+        passes through unchanged.  Never invalidated: memories are
+        persistent, so the hash is a property of the value.
+        """
         if len(delta) > _COMPACT_LIMIT:
             base = {**base, **delta}
             delta = {}
@@ -84,6 +111,7 @@ class Memory:
         mem._base = base
         mem._delta = delta
         mem._regions = regions
+        mem._shash = shash
         return mem
 
     # -- reads -------------------------------------------------------------
@@ -108,14 +136,27 @@ class Memory:
 
     def write(self, addr: int, value: Value) -> "Memory":
         """µ[a ↦ v]; returns a new memory sharing storage with this one."""
+        old = self._delta.get(addr)
+        if old is None:
+            old = self._base.get(addr)
+        shash = self._shash ^ _cell_hash(addr, value)
+        if old is not None:
+            shash ^= _cell_hash(addr, old)
         return Memory._overlay(self._base, {**self._delta, addr: value},
-                               self._regions)
+                               self._regions, shash)
 
     def write_all(self, pairs: Iterable[Tuple[int, Value]]) -> "Memory":
         delta = dict(self._delta)
+        shash = self._shash
         for addr, value in pairs:
+            old = delta.get(addr)
+            if old is None:
+                old = self._base.get(addr)
+            shash ^= _cell_hash(addr, value)
+            if old is not None:
+                shash ^= _cell_hash(addr, old)
             delta[addr] = value
-        return Memory._overlay(self._base, delta, self._regions)
+        return Memory._overlay(self._base, delta, self._regions, shash)
 
     # -- regions -----------------------------------------------------------
 
@@ -176,14 +217,15 @@ class Memory:
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Memory):
             return NotImplemented
+        if self._shash != other._shash:
+            # Sound fast-fail: equal cell maps have equal XOR hashes.
+            return False
         if self._base is other._base and self._delta == other._delta:
             return True
         return self.cells() == other.cells()
 
     def __hash__(self) -> int:
-        return hash(tuple(sorted(
-            (a, v.val, v.label) for a, v in self.cells().items()
-            if isinstance(v.val, int))))
+        return self._shash
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         cells = ", ".join(f"{a:#x}: {v!r}" for a, v in sorted(self.cells().items()))

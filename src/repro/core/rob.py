@@ -29,12 +29,14 @@ _UNCOMPUTED = -2
 class ReorderBuffer:
     """An immutable contiguous map from indices to transient instructions."""
 
-    __slots__ = ("_base", "_slots", "_fence")
+    __slots__ = ("_base", "_slots", "_fence", "_hash")
 
     def __init__(self, base: int = 1, slots: Tuple[Transient, ...] = ()):
         self._base = base          # index of the first slot
         self._slots = slots
         self._fence = _UNCOMPUTED  # oldest fence index (-1: none)
+        self._hash = None          # lazy structural hash (buffers are
+                                   # immutable, so it is computed once)
 
     # -- queries ----------------------------------------------------------
 
@@ -151,9 +153,15 @@ class ReorderBuffer:
         return self._base == other._base and self._slots == other._slots
 
     def __hash__(self) -> int:
-        if not self._slots:
-            return hash(())
-        return hash((self._base, self._slots))
+        h = self._hash
+        if h is None:
+            # All empty buffers are equal regardless of base, so they
+            # must share one hash; otherwise the hash walks the slot
+            # tuple exactly once per buffer (cached like _fence).
+            h = hash(()) if not self._slots else hash((self._base,
+                                                       self._slots))
+            self._hash = h
+        return h
 
 
 # ---------------------------------------------------------------------------

@@ -30,10 +30,11 @@ Entry = Tuple[int, str, Optional[int]]
 class ReturnStackBuffer:
     """An immutable RSB command log."""
 
-    __slots__ = ("_entries",)
+    __slots__ = ("_entries", "_hash")
 
     def __init__(self, entries: Tuple[Entry, ...] = ()):
         self._entries = entries
+        self._hash = None  # lazy structural hash (the log is immutable)
 
     def push(self, index: int, target: int) -> "ReturnStackBuffer":
         """``σ[index ↦ push target]``."""
@@ -89,7 +90,10 @@ class ReturnStackBuffer:
         return self._entries == other._entries
 
     def __hash__(self) -> int:
-        return hash(self._entries)
+        h = self._hash
+        if h is None:
+            h = self._hash = hash(self._entries)
+        return h
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         body = ", ".join(

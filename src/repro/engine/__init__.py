@@ -22,10 +22,15 @@ The supporting structures make forking free:
 * :mod:`repro.engine.por` — independence-based partial-order
   reduction: the commutation relation over directive pairs, sleep-set
   entries for covered rollback outcomes, and the ``none``/``sleepset``/
-  ``full`` pruning levels drivers thread through ``prune=``.
+  ``full`` pruning levels drivers thread through ``prune=``;
+* :mod:`repro.engine.subsume` — redundant-state subsumption over the
+  hash-consed state core: the :class:`SeenStates` table prunes fork
+  arms whose configuration was already explored with the same or
+  weaker residual obligations, behind the ``subsume=`` knob.
 
 See DESIGN.md ("The execution engine", "The frontier and sharding",
-"Partial-order reduction") for the design rationale.
+"Partial-order reduction", "State subsumption") for the design
+rationale.
 """
 
 from .core import EngineStats, ExecutionEngine
@@ -36,12 +41,14 @@ from .journal import EMPTY_LOG, Log
 from .por import (PRUNE_LEVELS, Footprint, PruningStats, footprint,
                   hazard_load, independent, validate_prune)
 from .state import MachineState
+from .subsume import SeenStates, SubsumptionStats, validate_subsume
 from .tree import ScheduleTree, TreeNode
 
 __all__ = [
     "BreadthFirstFrontier", "CoverageFrontier", "DepthFirstFrontier",
     "EngineStats", "ExecutionEngine", "EMPTY_LOG", "Footprint", "Frontier",
     "Log", "MachineState", "PRUNE_LEVELS", "PruningStats", "RandomFrontier",
-    "ScheduleTree", "TreeNode", "available_strategies", "footprint",
-    "hazard_load", "independent", "make_frontier", "validate_prune",
+    "ScheduleTree", "SeenStates", "SubsumptionStats", "TreeNode",
+    "available_strategies", "footprint", "hazard_load", "independent",
+    "make_frontier", "validate_prune", "validate_subsume",
 ]

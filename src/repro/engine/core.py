@@ -19,10 +19,15 @@ small-step relation it adds:
   B.1, determinism), so the engine remembers the trial's successor and
   hands it back on commit instead of re-running the rule.
 
-The cache is keyed on configuration *identity* (``id``), which is sound
-because the engine pins a strong reference to every cached
-configuration — an id is never reused while its entry lives — and
-entries are verified with an ``is`` check on lookup.
+The cache is keyed on the configuration's *structural hash* (cached on
+the configuration and computed incrementally by its components, so a
+key costs an int lookup) with a full-equality confirm on the pinned
+configuration at hit time.  Structural keying is sound for the same
+reason the cache exists at all — the pure step relation is a function
+of the configuration's *value* (Theorem B.1) — and it is what lets
+sibling branches share trials: two arms that converge on equal
+configurations hit each other's entries and receive the *same*
+successor object, so their downstream states compare by pointer.
 """
 
 from __future__ import annotations
@@ -55,10 +60,11 @@ class EngineStats:
     stuck_hits: int = 0     #: cached "this directive is stuck here" answers
     forks: int = 0          #: fork points the driver took
     reused: int = 0         #: steps resumed from snapshots / shared prefixes
+    states_subsumed: int = 0  #: fork arms pruned by the SeenStates table
 
     def snapshot(self) -> "EngineStats":
         return EngineStats(self.steps, self.cache_hits, self.stuck_hits,
-                           self.forks, self.reused)
+                           self.forks, self.reused, self.states_subsumed)
 
     def merge(self, other: Optional["EngineStats"]) -> "EngineStats":
         """Counter-wise sum (sharded explorations merge shard engines)."""
@@ -69,6 +75,7 @@ class EngineStats:
         self.stuck_hits += other.stuck_hits
         self.forks += other.forks
         self.reused += other.reused
+        self.states_subsumed += other.states_subsumed
         return self
 
     @property
@@ -88,9 +95,9 @@ class ExecutionEngine:
     def __init__(self, machine: Machine):
         self.machine = machine
         self.stats = EngineStats()
-        # (id(config), directive) -> (pinned config, (config', leak) | None);
-        # the pinned reference keeps the id from being recycled and is
-        # identity-checked on every hit.
+        # (hash(config), directive) -> (pinned config, (config', leak) | None);
+        # the pinned configuration is equality-confirmed on every hit,
+        # so hash collisions can only cost a miss, never a wrong answer.
         self._cache: Dict[Tuple[int, Directive], Tuple[Config, object]] = {}
         self._cacheable = getattr(machine.evaluator, "pure", False)
 
@@ -123,9 +130,9 @@ class ExecutionEngine:
             # churn) the cache without any chance of a hit.
             self.stats.steps += 1
             return self.machine.step(config, directive)
-        key = (id(config), directive)
+        key = (hash(config), directive)
         hit = self._cache.get(key)
-        if hit is not None and hit[0] is config:
+        if hit is not None and (hit[0] is config or hit[0] == config):
             if hit[1] is None:
                 self.stats.stuck_hits += 1
                 raise StuckError(f"directive {directive!r} is stuck here "

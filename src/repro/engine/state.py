@@ -66,6 +66,20 @@ class MachineState:
                             self.fetches, self.steps,
                             set(self.deferred), set(self.sleep))
 
+    def residual_obligations(self):
+        """What this state still owes the exploration, beyond its
+        configuration: the driver-local scratch that determines which
+        continuations the scheduler will generate from here.  Two
+        states with equal configurations and equal obligations have
+        identical futures (Theorem B.1 — the machine is deterministic
+        and the scheduler is memoryless beyond these fields); the
+        subsumption table (:mod:`repro.engine.subsume`) compares them
+        component-wise under its weakening order instead of comparing
+        this tuple directly.
+        """
+        return (frozenset(self.delayed), frozenset(self.deferred),
+                frozenset(self.sleep), self.steps, self.fetches)
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (f"MachineState(pc={self.config.pc}, "
                 f"|schedule|={len(self.schedule)}, steps={self.steps})")

@@ -390,7 +390,8 @@ def repair(program: Program, config: Config, *,
     ``analyze_kwargs`` are forwarded to :func:`repro.pitchfork.analyze`
     for every verification run (``bound``, ``fwd_hazards``,
     ``explore_aliasing``, ``jmpi_targets``, ``rsb_targets``,
-    ``max_paths``, ``max_steps``, ``strategy``, ``shards``, ``seed``).
+    ``max_paths``, ``max_steps``, ``strategy``, ``shards``, ``seed``,
+    ``prune``, ``subsume``).
     """
     synthesizer = MitigationSynthesizer(
         program, config, name=name,

@@ -19,7 +19,7 @@ from ..core.config import Config
 from ..core.isa import Evaluator
 from ..core.machine import Machine
 from ..core.program import Program
-from ..engine import PruningStats
+from ..engine import PruningStats, SubsumptionStats
 from .explorer import (ExplorationOptions, ExplorationResult, Explorer,
                        ShardStats, Violation)
 
@@ -53,6 +53,10 @@ class AnalysisReport:
     #: the pruning level, Mazurkiewicz-class representatives explored,
     #: and pruned subtree roots.  See :mod:`repro.engine.por`.
     pruning: Optional[PruningStats] = None
+    #: Redundant-state-subsumption accounting (None for legacy
+    #: producers): whether the SeenStates table was on, states recorded,
+    #: fork arms pruned.  See :mod:`repro.engine.subsume`.
+    subsumption: Optional[SubsumptionStats] = None
 
     def __bool__(self) -> bool:
         return self.secure
@@ -73,7 +77,8 @@ def analyze(program: Program, config: Config,
             strategy: str = "dfs",
             shards: int = 1,
             seed: int = 0,
-            prune: str = "sleepset") -> AnalysisReport:
+            prune: str = "sleepset",
+            subsume: bool = False) -> AnalysisReport:
     """One Pitchfork run: explore DT(bound), flag secret observations.
 
     ``strategy`` selects the frontier's search order (see
@@ -86,7 +91,11 @@ def analyze(program: Program, config: Config,
     forces the single-process path.  ``prune`` selects the
     partial-order-reduction level (:mod:`repro.engine.por`):
     ``none``/``sleepset``/``full``, all flagging the same violation
-    observations.
+    observations.  ``subsume`` prunes fork arms whose state was already
+    explored with the same or weaker residual obligations
+    (:mod:`repro.engine.subsume`) — same observation set, far fewer
+    machine steps on re-convergent (loop-heavy) programs; under
+    sharding each shard keeps its own table and the counters merge.
     """
     machine = Machine(program, evaluator=evaluator, rsb_policy=rsb_policy)
     options = ExplorationOptions(bound=bound, fwd_hazards=fwd_hazards,
@@ -97,7 +106,8 @@ def analyze(program: Program, config: Config,
                                  max_steps=max_steps,
                                  strategy=strategy,
                                  seed=seed,
-                                 prune=prune)
+                                 prune=prune,
+                                 subsume=subsume)
     if shards > 1 and evaluator is None:
         from .sharding import ShardedExplorer
         result = ShardedExplorer(machine, options, shards=shards,
@@ -113,7 +123,8 @@ def analyze(program: Program, config: Config,
                           truncated, phase, bound,
                           states_reused=result.states_reused,
                           shards=result.shards,
-                          pruning=result.pruning)
+                          pruning=result.pruning,
+                          subsumption=result.subsumption)
 
 
 def analyze_two_phase(program: Program, config: Config,

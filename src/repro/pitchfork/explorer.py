@@ -89,8 +89,10 @@ from ..core.transient import (TBr, TCallMarker, TFence, TJmpi, TJump, TLoad,
                               TOp, TRetMarker, TStore, TValue)
 from ..core.values import BOTTOM
 from ..engine import (EngineStats, ExecutionEngine, MachineState,
-                      PruningStats, make_frontier)
+                      PruningStats, SeenStates, SubsumptionStats,
+                      make_frontier)
 from ..engine.por import drop_dead_entries, hazard_load, validate_prune
+from ..engine.subsume import validate_subsume
 
 
 @dataclass(frozen=True)
@@ -130,9 +132,17 @@ class ExplorationOptions:
     #: (window capping on covered rollbacks + degenerate-arm collapse).
     #: See :mod:`repro.engine.por`.
     prune: str = "sleepset"
+    #: Redundant-state subsumption (see :mod:`repro.engine.subsume`):
+    #: prune fork arms whose configuration was already explored with
+    #: the same or weaker residual obligations.  Orthogonal to
+    #: ``prune`` — POR cuts equivalent *schedules*, this cuts
+    #: re-converged *states* — and off by default so the default
+    #: enumeration (and its path/schedule identities) is unchanged.
+    subsume: bool = False
 
     def __post_init__(self):
         validate_prune(self.prune)
+        validate_subsume(self.subsume)
 
 
 @dataclass(frozen=True)
@@ -204,6 +214,10 @@ class ExplorationResult:
     #: the pruning level, completed representatives, and pruned subtree
     #: roots.
     pruning: Optional[PruningStats] = None
+    #: Redundant-state-subsumption accounting (see
+    #: :mod:`repro.engine.subsume`): states recorded and fork arms
+    #: pruned as already-covered.
+    subsumption: Optional[SubsumptionStats] = None
 
     @property
     def secure(self) -> bool:
@@ -291,6 +305,15 @@ class Explorer:
         self.engine: ExecutionEngine = ExecutionEngine(machine)
         self._applied = 0  #: schedule steps applied in the current run
         self._skipped = 0  #: pruned subtree roots (joins + collapsed arms)
+        #: the SeenStates table (see repro.engine.subsume), one per
+        #: exploration — shard workers each build their own over their
+        #: subtree and only the counters are merged
+        self._seen: Optional[SeenStates] = \
+            SeenStates() if options.subsume else None
+        #: pending violations from subsumed arms, flushed (and drained)
+        #: into the result at _finalize: pruning an arm must not drop
+        #: observations its *prefix* already produced
+        self._subsumed_notes: List[_PendingViolation] = []
 
     # -- driving ------------------------------------------------------------
 
@@ -300,6 +323,8 @@ class Explorer:
         self.engine = ExecutionEngine(self.machine)
         self._applied = 0
         self._skipped = 0
+        self._seen = SeenStates() if self.options.subsume else None
+        self._subsumed_notes = []
         return self.explore_from([MachineState(initial)], stop_at_first)
 
     def explore_from(self, states: List[MachineState],
@@ -329,6 +354,11 @@ class Explorer:
                 if stop_at_first and path_result.violations:
                     break
             else:
+                if stop_at_first and self._subsumed_notes:
+                    # A subsumed arm carried a pending violation: the
+                    # finding exists, stop exactly as a completed
+                    # violating path would have.
+                    break
                 frontier.extend(forks)
         return self._finalize(result)
 
@@ -336,10 +366,20 @@ class Explorer:
         result.applied_steps = self._applied
         result.states_reused = max(0, result.states_stepped - self._applied)
         self.engine.count_reused(result.states_reused)
+        if self._subsumed_notes:
+            # Violations observed on prefixes of subsumed arms, appended
+            # after the path-ordered violations (and drained: a sharded
+            # run finalizes the same explorer once per local job).
+            result.violations.extend(
+                note.materialize() for note in self._subsumed_notes)
+            self._subsumed_notes = []
         result.engine = self.engine.stats.snapshot()
         result.pruning = PruningStats(self.options.prune,
                                       classes_explored=result.paths_explored,
                                       schedules_skipped=self._skipped)
+        seen = self._seen
+        result.subsumption = (SubsumptionStats(False) if seen is None
+                              else seen.stats(True))
         return result
 
     @staticmethod
@@ -381,16 +421,55 @@ class Explorer:
                     break
                 applied.append(action)
             expanded.append((clone, tuple(applied)))
-        if self.options.prune != "full" or len(expanded) < 2:
+        if self.options.prune == "full" and len(expanded) >= 2:
+            kept: List[Tuple[MachineState, Tuple[_Action, ...]]] = []
+            for clone, applied in expanded:
+                if len(clone.trace) == base_trace and any(
+                        self._same_state(clone, other)
+                        for other, _a in kept):
+                    self._skipped += 1
+                    continue
+                kept.append((clone, applied))
+            expanded = kept
+        if self._seen is None:
             return expanded
+        return self._subsume_arms(path, expanded)
+
+    def _subsume_arms(self, path: MachineState,
+                      expanded: List[Tuple[MachineState, Tuple[_Action, ...]]]
+                      ) -> List[Tuple[MachineState, Tuple[_Action, ...]]]:
+        """Consult the SeenStates table for each live fork arm.
+
+        An arm whose post-fork state was already recorded with the same
+        or weaker residual obligations is dropped — its subtree's
+        observations are covered by the canonical state's subtree (see
+        :mod:`repro.engine.subsume`).  Pending violations the arm's own
+        actions produced are *not* covered (they are past, not future),
+        so they are flushed to ``_subsumed_notes``; and when every arm
+        of a fork is dropped, the shared prefix would never reach a
+        completed path, so its pending violations are flushed too.
+        Finished/exhausted arms pass through untouched: an exhausted
+        state explored nothing and must never become (or be compared
+        against) a canonical covering entry.
+        """
+        seen = self._seen
+        base_notes = len(path.notes)
         kept: List[Tuple[MachineState, Tuple[_Action, ...]]] = []
         for clone, applied in expanded:
-            if len(clone.trace) == base_trace and any(
-                    self._same_state(clone, other)
-                    for other, _a in kept):
-                self._skipped += 1
+            if clone.finished or clone.exhausted:
+                kept.append((clone, applied))
                 continue
+            if seen.subsumes(clone):
+                self.engine.stats.states_subsumed += 1
+                notes = list(clone.notes)
+                self._subsumed_notes.extend(notes[base_notes:])
+                continue
+            seen.record(clone)
             kept.append((clone, applied))
+        if not kept and expanded and base_notes:
+            # Every arm subsumed: no descendant path will materialize
+            # the shared prefix's pending violations — flush them here.
+            self._subsumed_notes.extend(path.notes)
         return kept
 
     @staticmethod

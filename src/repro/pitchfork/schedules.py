@@ -44,17 +44,24 @@ def enumerate_schedules(machine: Machine, config: Config,
                         max_paths: int = 20_000,
                         assume_unknown_branches: bool = False,
                         strategy: str = "dfs", seed: int = 0,
-                        prune: str = "sleepset") -> List[Schedule]:
+                        prune: str = "sleepset",
+                        subsume: bool = False) -> List[Schedule]:
     """All complete tool schedules for ``config`` at this bound.
 
     ``strategy``/``seed`` select the frontier's enumeration order (the
     schedule *set* is order-invariant); ``prune`` the partial-order-
     reduction level (one representative per Mazurkiewicz class at
-    ``"full"`` — see :mod:`repro.engine.por`)."""
+    ``"full"`` — see :mod:`repro.engine.por`).  ``subsume`` additionally
+    drops schedules continuing from already-covered states
+    (:mod:`repro.engine.subsume`) — the *materialised* set shrinks, so
+    leave it off when the schedules themselves are the product (e.g.
+    feeding symbolic replay, where concrete-state identity is not
+    state identity)."""
     options = ExplorationOptions(bound=bound, fwd_hazards=fwd_hazards,
                                  max_paths=max_paths,
                                  assume_unknown_branches=assume_unknown_branches,
-                                 strategy=strategy, seed=seed, prune=prune)
+                                 strategy=strategy, seed=seed, prune=prune,
+                                 subsume=subsume)
     result = Explorer(machine, options).explore(config)
     return [p.schedule for p in result.paths if p.complete]
 
@@ -64,7 +71,8 @@ def enumerate_schedule_tree(machine: Machine, config: Config,
                             max_paths: int = 20_000,
                             assume_unknown_branches: bool = False,
                             strategy: str = "dfs", seed: int = 0,
-                            prune: str = "sleepset") -> ScheduleTree:
+                            prune: str = "sleepset",
+                            subsume: bool = False) -> ScheduleTree:
     """DT(bound) with its DFS fork structure preserved.
 
     The returned tree's ``payloads`` are the explorer's complete
@@ -73,11 +81,14 @@ def enumerate_schedule_tree(machine: Machine, config: Config,
     the same arguments), ``truncated`` reports whether any cap
     (``max_paths`` or a per-path budget) cut coverage, and
     ``engine_stats`` carries the enumeration's step accounting.
+    ``subsume`` consults the SeenStates table at every fork the walk
+    expands (same caveats as :func:`enumerate_schedules`).
     """
     options = ExplorationOptions(bound=bound, fwd_hazards=fwd_hazards,
                                  max_paths=max_paths,
                                  assume_unknown_branches=assume_unknown_branches,
-                                 strategy=strategy, seed=seed, prune=prune)
+                                 strategy=strategy, seed=seed, prune=prune,
+                                 subsume=subsume)
     explorer = Explorer(machine, options)
     result = explorer.explore(config)
     complete = [p for p in result.paths if p.complete]

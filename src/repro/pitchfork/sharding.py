@@ -54,7 +54,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
 from ..core.config import Config
 from ..core.machine import Machine
-from ..engine import MachineState, PruningStats
+from ..engine import MachineState, PruningStats, SubsumptionStats
 from .explorer import (ExplorationOptions, ExplorationResult, Explorer,
                        PathResult, ShardStats, _Action)
 
@@ -365,6 +365,11 @@ class ShardedExplorer:
         shard_stats: List[ShardStats] = []
         job_index = 0
         stopped = False
+        # States recorded across all per-shard SeenStates tables (each
+        # worker owns its own; only the counters cross the boundary).
+        # Local jobs share the parent explorer's table, counted once at
+        # the end.
+        remote_states_seen = 0
         for slot in slots:
             if stopped:
                 break
@@ -409,6 +414,8 @@ class ShardedExplorer:
                 explorer.engine.stats.merge(result.engine)
                 if result.pruning is not None:
                     explorer._skipped += result.pruning.schedules_skipped
+                if result.subsumption is not None:
+                    remote_states_seen += result.subsumption.states_seen
             job_index += 1
             if result.paths_explored > remaining:
                 result = _trim_to_quota(result, remaining, meta)
@@ -454,11 +461,24 @@ class ShardedExplorer:
         if run_local:
             merged.states_reused = max(
                 0, merged.states_stepped - merged.applied_steps)
+        if explorer._subsumed_notes:
+            # Arms the *parent* subsumed while splitting (local jobs
+            # drain theirs through _finalize): their prefix violations
+            # must survive the prune.
+            merged.violations.extend(
+                note.materialize() for note in explorer._subsumed_notes)
+            explorer._subsumed_notes = []
         merged.engine = explorer.engine.stats.snapshot()
         merged.shards = tuple(shard_stats)
         merged.pruning = PruningStats(
             self.options.prune, classes_explored=merged.paths_explored,
             schedules_skipped=explorer._skipped)
+        parent_seen = explorer._seen
+        merged.subsumption = SubsumptionStats(
+            self.options.subsume,
+            remote_states_seen + (parent_seen.states_seen
+                                  if parent_seen is not None else 0),
+            merged.engine.states_subsumed)
         self._emit({"kind": "merged",
                     "paths_explored": merged.paths_explored,
                     "violations": len(merged.violations),
