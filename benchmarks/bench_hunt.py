@@ -1,0 +1,213 @@
+"""Best-first violation hunting: steps-to-first-violation, mcts vs dfs.
+
+The trajectory point for ``repro.engine.mcts``: on every litmus case
+flagged ``leaks_speculatively`` — the hunting population, including the
+haystack suite whose gadgets hide behind decoy work — run each search
+strategy with ``stop_at_first`` and record the engine's deterministic
+time-to-first-violation counters (frontier pops and applied machine
+steps; wall time is deliberately left out of the record so the JSON is
+byte-stable).
+
+Context for reading the numbers: the single-gadget litmus programs are
+near DFS-optimal by construction — the violating arm is the
+mispredicted one the explorer pushes last, which is exactly what a
+LIFO order pops first, so on most of them the best any strategy can do
+is tie.  The steering signals pay off where there is straw to skip:
+the haystack cases and the handful of classic cases (kocher_05's loop,
+kocher_10's value-dependent branch) whose violating schedule is not
+the depth-first one.
+
+Hard gates (all counters are deterministic, so the gates are exact):
+
+* **completeness** — every strategy finds a violation on every flagged
+  case within the step/path caps (a frontier that loses findings is
+  broken, per Theorem B.20's order-invariance);
+* **findings identity** — run to completion, ``mcts`` flags the
+  identical violation observation set as ``dfs`` on every flagged
+  case;
+* **median** — the mcts median steps-to-first-violation is *strictly
+  below* the dfs median over the flagged population;
+* **haystacks** — mcts strictly beats dfs on every haystack case;
+* **anytime end-to-end** — a budgeted CLI hunt on ``haystack_01``
+  reports ``first_violation`` and ``anytime`` stats through ``--json``.
+
+Running this file as a script (what the CI perf-smoke job does) writes
+``BENCH_hunt.json``.
+
+    PYTHONPATH=src python benchmarks/bench_hunt.py
+"""
+
+import contextlib
+import io
+import json
+import statistics
+import sys
+from pathlib import Path
+
+BOUND = 20
+MAX_PATHS = 20_000
+MAX_STEPS = 200_000
+STRATEGIES = ("dfs", "coverage", "mcts")
+OUT = Path(__file__).resolve().parent.parent / "BENCH_hunt.json"
+
+
+def _options(case, strategy):
+    from repro.pitchfork.explorer import ExplorationOptions
+    return ExplorationOptions(
+        bound=max(BOUND, case.min_bound), max_paths=MAX_PATHS,
+        max_steps=MAX_STEPS, strategy=strategy,
+        fwd_hazards=case.needs_fwd_hazards,
+        explore_aliasing=case.needs_aliasing,
+        jmpi_targets=case.jmpi_targets, rsb_targets=case.rsb_targets)
+
+
+def _explore(case, strategy, stop_at_first):
+    from repro.core.machine import Machine
+    from repro.pitchfork.explorer import Explorer
+    machine = Machine(case.program, rsb_policy=case.rsb_policy)
+    explorer = Explorer(machine, _options(case, strategy))
+    return explorer.explore(case.make_config(), stop_at_first=stop_at_first)
+
+
+def _obs(result):
+    from repro.pitchfork import observation_set
+    return observation_set(result.violations)
+
+
+def run_benchmark():
+    from repro.litmus import all_cases
+
+    flagged = [c for c in all_cases() if c.leaks_speculatively]
+    record = {"bound": BOUND, "strategies": list(STRATEGIES), "cases": {},
+              "mismatches": []}
+    steps = {s: [] for s in STRATEGIES}
+
+    for case in flagged:
+        row = {}
+        for strategy in STRATEGIES:
+            hunt = _explore(case, strategy, stop_at_first=True)
+            row[strategy] = {
+                "steps": hunt.engine.first_violation_steps,
+                "pops": hunt.engine.first_violation_pops,
+            }
+            if hunt.engine.first_violation_steps is None:
+                record["mismatches"].append(
+                    f"{case.name}: {strategy} found no violation within "
+                    f"the caps")
+            else:
+                steps[strategy].append(hunt.engine.first_violation_steps)
+        full_dfs = _explore(case, "dfs", stop_at_first=False)
+        full_mcts = _explore(case, "mcts", stop_at_first=False)
+        if _obs(full_mcts) != _obs(full_dfs):
+            record["mismatches"].append(f"{case.name}: findings diverge")
+        row["full_run_findings_identical"] = \
+            _obs(full_mcts) == _obs(full_dfs)
+        record["cases"][case.name] = row
+
+    record["medians"] = {
+        s: statistics.median(steps[s]) if steps[s] else None
+        for s in STRATEGIES}
+    record["totals"] = {s: sum(steps[s]) for s in STRATEGIES}
+    record["haystack_wins"] = sorted(
+        name for name, row in record["cases"].items()
+        if name.startswith("haystack")
+        and row["mcts"]["steps"] is not None
+        and row["dfs"]["steps"] is not None
+        and row["mcts"]["steps"] < row["dfs"]["steps"])
+    record["findings_identical"] = not any(
+        "findings diverge" in m for m in record["mismatches"])
+
+    # -- the anytime counters survive the CLI round trip --------------------
+    from repro.api.cli import main as cli_main
+    buf = io.StringIO()
+    with contextlib.redirect_stdout(buf):
+        code = cli_main(["analyze", "haystack_01", "--strategy", "mcts",
+                         "--bound", str(BOUND), "--budget-seconds", "600",
+                         "--json"])
+    cli_report = json.loads(buf.getvalue())
+    record["cli_end_to_end"] = {
+        "target": "haystack_01", "exit_code": code,
+        "first_violation_steps":
+            (cli_report.get("first_violation") or {}).get("steps"),
+        "anytime_present": cli_report.get("anytime") is not None,
+        "schema_version": cli_report.get("schema_version"),
+    }
+    return record
+
+
+def check_gates(record):
+    failures = []
+    if record["mismatches"]:
+        failures.append(f"invariants violated: {record['mismatches']}")
+    m = record["medians"]
+    if m["mcts"] is None or m["dfs"] is None or m["mcts"] > m["dfs"]:
+        failures.append(f"mcts median steps-to-first-violation "
+                        f"{m['mcts']} exceeds dfs {m['dfs']}")
+    elif m["mcts"] == m["dfs"]:
+        failures.append(f"mcts median steps-to-first-violation "
+                        f"{m['mcts']} no longer strictly below dfs "
+                        f"{m['dfs']} — the haystack wins eroded")
+    expected_haystacks = sorted(
+        name for name in record["cases"] if name.startswith("haystack"))
+    if record["haystack_wins"] != expected_haystacks:
+        failures.append(f"mcts only beats dfs on {record['haystack_wins']} "
+                        f"of {expected_haystacks}")
+    e2e = record["cli_end_to_end"]
+    if e2e["exit_code"] != 1 or e2e["first_violation_steps"] is None \
+            or not e2e["anytime_present"]:
+        failures.append(f"CLI end-to-end hunt stats missing: {e2e}")
+    return failures
+
+
+def write_record(record, path=OUT):
+    path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+# -- pytest entry point -------------------------------------------------------
+
+def test_hunt_gates(benchmark):
+    from conftest import once
+    record = once(benchmark, run_benchmark)
+    write_record(record)
+    failures = check_gates(record)
+    assert not failures, failures
+
+
+def main() -> int:
+    import os
+    sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+    record = run_benchmark()
+    path = write_record(record)
+    m, t = record["medians"], record["totals"]
+    n = len(record["cases"])
+    print(f"best-first hunting on the {n} flagged litmus cases "
+          f"(bound {BOUND}, steps to first violation):")
+    for s in STRATEGIES:
+        print(f"  {s:<9} median {m[s]:>6}   total {t[s]:>6}")
+    wins = sum(1 for row in record["cases"].values()
+               if row["mcts"]["steps"] is not None
+               and row["dfs"]["steps"] is not None
+               and row["mcts"]["steps"] < row["dfs"]["steps"])
+    losses = sum(1 for row in record["cases"].values()
+                 if row["mcts"]["steps"] is not None
+                 and row["dfs"]["steps"] is not None
+                 and row["mcts"]["steps"] > row["dfs"]["steps"])
+    print(f"  mcts vs dfs: {wins} wins / {n - wins - losses} ties / "
+          f"{losses} losses; haystack wins: "
+          f"{', '.join(record['haystack_wins'])}")
+    e2e = record["cli_end_to_end"]
+    print(f"  CLI round trip: {e2e['target']} hunts in "
+          f"{e2e['first_violation_steps']} steps under a budget "
+          f"(anytime stats present: {e2e['anytime_present']}, "
+          f"schema v{e2e['schema_version']})")
+    print(f"  findings identical: {record['findings_identical']}")
+    print(f"wrote {path}")
+    failures = check_gates(record)
+    for failure in failures:
+        print(f"GATE FAILED: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -148,7 +148,10 @@ def _explore(project: Project, options: AnalysisOptions, *,
                    shards=options.shards,
                    seed=options.seed,
                    prune=options.prune,
-                   subsume=options.subsume)
+                   subsume=options.subsume,
+                   budget_seconds=options.budget_seconds,
+                   mcts_c=options.mcts_c,
+                   mcts_playout=options.mcts_playout)
 
 
 @register
@@ -167,6 +170,11 @@ class PitchforkAnalysis(Analysis):
                    "prune": options.prune, "subsume": options.subsume}
         if options.strategy == "random":
             details["seed"] = options.seed
+        if options.strategy == "mcts":
+            details["mcts_c"] = options.mcts_c
+            details["mcts_playout"] = options.mcts_playout
+        if options.budget_seconds is not None:
+            details["budget_seconds"] = options.budget_seconds
         return from_analysis_report(report, project.name, self.name,
                                     wall_time=time.perf_counter() - t0,
                                     details=details)
@@ -252,6 +260,11 @@ class SymbolicAnalysis(Analysis):
             # the symbolic worlds reaching them, so pruning one would
             # drop satisfiable attacker models.  Ignored, and said so.
             details["subsume_ignored"] = True
+        if options.budget_seconds is not None:
+            # The symbolic replay has no anytime mode: a partial
+            # symbolic sweep cannot report honest coverage the way the
+            # frontier can.  Surfaced, not silently dropped.
+            details["budget_ignored"] = options.budget_seconds
         return Report(
             target=project.name, analysis=self.name,
             status="secure" if result.secure else "insecure",
@@ -400,6 +413,10 @@ class RepairAnalysis(Analysis):
                    "shards": options.shards,
                    "prune": options.prune,
                    "subsume": options.subsume}
+        if options.budget_seconds is not None:
+            # Repair re-verifies to a *certificate*; a wall-clock cut
+            # mid-loop would certify nothing.  Surfaced, not dropped.
+            details["budget_ignored"] = options.budget_seconds
         wall = time.perf_counter() - t0
         # NB: AnalysisReport.__bool__ is "secure" — guard on None, not
         # truthiness, or insecure final reports zero these fields out.

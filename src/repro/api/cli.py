@@ -57,6 +57,9 @@ def _option_overrides(args) -> Dict:
         "seed": args.seed,
         "prune": args.prune,
         "subsume": getattr(args, "subsume", None),
+        "budget_seconds": getattr(args, "budget_seconds", None),
+        "mcts_c": getattr(args, "mcts_c", None),
+        "mcts_playout": getattr(args, "mcts_playout", None),
         # repair-only knobs (absent on other subcommands, ignored when
         # None by AnalysisOptions.with_).
         "policy": getattr(args, "policy", None),
@@ -67,9 +70,18 @@ def _option_overrides(args) -> Dict:
 
 def _warn_truncated(reports) -> None:
     """Surface capped coverage honestly: a truncated report means a
-    max_paths/max_steps/max_schedules/max_worlds cap bit, so "secure"
-    only speaks for the explored fraction."""
-    names = [r.target for r in reports if r.truncated]
+    max_paths/max_steps/max_schedules/max_worlds cap bit (or the
+    wall-clock budget expired), so "secure" only speaks for the explored
+    fraction."""
+    budgeted = [r.target for r in reports if r.truncated
+                and r.anytime is not None and r.anytime.get("deadline_hit")]
+    names = [r.target for r in reports if r.truncated
+             and r.target not in budgeted]
+    if budgeted:
+        shown = ", ".join(budgeted[:6]) + (", …" if len(budgeted) > 6 else "")
+        print(f"warning: wall-clock budget expired for {shown} — "
+              f"coverage is partial (see the anytime stats; raise "
+              f"--budget-seconds to explore further)", file=sys.stderr)
     if not names:
         return
     shown = ", ".join(names[:6]) + (", …" if len(names) > 6 else "")
@@ -127,6 +139,19 @@ def _add_option_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--no-subsume", dest="subsume",
                         action="store_false",
                         help="disable redundant-state subsumption")
+    parser.add_argument("--budget-seconds", type=float, metavar="SECONDS",
+                        help="anytime mode: stop exploring at this "
+                             "wall-clock deadline and report honest "
+                             "coverage stats; a budget-truncated run is "
+                             "never reported as clean coverage "
+                             "(--check exit 2)")
+    parser.add_argument("--mcts-c", type=float, metavar="C",
+                        help="--strategy mcts: UCT exploration constant "
+                             "(default: 0.5)")
+    parser.add_argument("--mcts-playout", type=int, metavar="DEPTH",
+                        help="--strategy mcts: static-playout lookahead "
+                             "depth for the tainted-load prior "
+                             "(default: 8)")
 
 
 def _preset_options(args) -> Optional[AnalysisOptions]:
@@ -202,14 +227,17 @@ def _target_spec(target: str, args) -> Dict:
 
 def cmd_list(args) -> int:
     from ..casestudies import all_case_studies
+    from ..engine import strategy_descriptions
     from ..litmus import all_suites
     suites = {name: [c.name for c in cases]
               for name, cases in all_suites().items()}
     studies = {cs.name: [v.name for v in cs.variants()]
                for cs in all_case_studies()}
+    strategies = strategy_descriptions()
     if args.json:
         print(json.dumps({"analyses": available_analyses(),
                           "aliases": available_aliases(),
+                          "strategies": strategies,
                           "litmus_suites": suites,
                           "case_studies": studies}, indent=2))
         return 0
@@ -222,6 +250,9 @@ def cmd_list(args) -> int:
     print("\naliases:")
     for target, names in sorted(aliases.items()):
         print(f"  {', '.join(names)} -> {target}")
+    print("\nsearch strategies (--strategy):")
+    for name, description in strategies.items():
+        print(f"  {name:<10} {description}")
     print("\nlitmus suites:")
     for name, cases in suites.items():
         print(f"  {name:<10} {len(cases):3} cases: "

@@ -25,8 +25,11 @@ from ..core.machine import Machine
 from ..core.memory import Memory
 from ..core.program import Program
 from ..engine import available_strategies
+from ..engine.mcts import (DEFAULT_EXPLORATION, DEFAULT_PLAYOUT_DEPTH,
+                           validate_mcts)
 from ..engine.por import PRUNE_LEVELS
 from ..engine.subsume import validate_subsume
+from ..pitchfork.explorer import validate_budget
 
 #: Default Table 2 bounds (see ``repro.casestudies.common``): the ported
 #: kernels are smaller than compiled x86, so phase 1 runs at 28 instead
@@ -81,6 +84,17 @@ class AnalysisOptions:
     #: identity is meaningless to the symbolic back end, which ignores
     #: it — see :class:`~repro.api.analyses.SymbolicAnalysis`).
     subsume: bool = False
+    #: Anytime mode: wall-clock budget in seconds (None = no deadline).
+    #: A budgeted run stops at the deadline, is reported truncated
+    #: (``--check`` exit 2, never clean) and carries honest coverage in
+    #: ``report.anytime``.  The symbolic back end ignores (and reports
+    #: ignoring) the budget.
+    budget_seconds: Optional[float] = None
+    #: UCT exploration constant for ``strategy="mcts"``
+    #: (:mod:`repro.engine.mcts`); ignored by other strategies.
+    mcts_c: float = DEFAULT_EXPLORATION
+    #: Static-playout lookahead depth for ``strategy="mcts"``.
+    mcts_playout: int = DEFAULT_PLAYOUT_DEPTH
 
     # -- the symbolic back end ----------------------------------------------
     max_schedules: int = 512        #: tool schedules replayed symbolically
@@ -135,6 +149,8 @@ class AnalysisOptions:
                 f"prune must be one of {list(PRUNE_LEVELS)}, "
                 f"got {self.prune!r}")
         validate_subsume(self.subsume)
+        validate_budget(self.budget_seconds)
+        validate_mcts(self.mcts_c, self.mcts_playout)
         # Normalise sequences so options stay hashable (cache keys).
         object.__setattr__(self, "jmpi_targets", tuple(self.jmpi_targets))
         object.__setattr__(self, "rsb_targets", tuple(self.rsb_targets))

@@ -31,7 +31,12 @@ from typing import Any, Dict, Mapping, Optional, Tuple
 CLEAN_STATUSES = frozenset({"secure", "clean", "ok", "already-secure",
                             "repaired"})
 
-#: Version of the serialised report shape.  5 added the ``subsumption``
+#: Version of the serialised report shape.  6 added the ``anytime``
+#: section (honest coverage stats for wall-clock-budgeted runs:
+#: budget_seconds, budget_consumed, deadline_hit, paths_explored,
+#: frontier_remaining, first_violation_time) and ``first_violation``
+#: (deterministic time-to-first-violation: pops, steps, wall_time);
+#: 5 added the ``subsumption``
 #: section (redundant-state-subsumption stats from
 #: :mod:`repro.engine.subsume`: enabled, states_seen, states_subsumed);
 #: 4 added the ``pruning`` section (partial-order-reduction stats from
@@ -41,7 +46,7 @@ CLEAN_STATUSES = frozenset({"secure", "clean", "ok", "already-secure",
 #: search-strategy fields and per-shard stats; 1 (implicit, no marker)
 #: is the pre-sharding shape.  All older versions are still accepted by
 #: :meth:`Report.from_dict`.
-SCHEMA_VERSION = 5
+SCHEMA_VERSION = 6
 
 
 @dataclass(frozen=True)
@@ -194,6 +199,19 @@ class Report:
     #: ``states_subsumed`` (fork arms pruned as already covered).  None
     #: for analyses without a schedule exploration.
     subsumption: Optional[Mapping[str, Any]] = None
+    #: Honest anytime coverage when the run had a wall-clock budget
+    #: (see :class:`repro.pitchfork.explorer.AnytimeStats`):
+    #: ``budget_seconds``, ``budget_consumed``, ``deadline_hit``,
+    #: ``paths_explored``, ``frontier_remaining``,
+    #: ``first_violation_time``.  None for unbudgeted runs.  A
+    #: deadline-truncated run always also reports ``truncated`` — the
+    #: anytime contract forbids reporting clean coverage it didn't buy.
+    anytime: Optional[Mapping[str, Any]] = None
+    #: Deterministic time-to-first-violation (``pops``, ``steps``,
+    #: ``wall_time``) when the exploration found one; lets strategies
+    #: be compared on the bug-hunting objective without external
+    #: timing.  None on clean runs and non-exploration analyses.
+    first_violation: Optional[Mapping[str, Any]] = None
     details: Mapping[str, Any] = field(default_factory=dict)
 
     def __bool__(self) -> bool:
@@ -235,6 +253,11 @@ class Report:
                         if self.pruning is not None else None),
             "subsumption": (dict(self.subsumption)
                             if self.subsumption is not None else None),
+            "anytime": (dict(self.anytime)
+                        if self.anytime is not None else None),
+            "first_violation": (dict(self.first_violation)
+                                if self.first_violation is not None
+                                else None),
             "details": dict(self.details),
         }
 
@@ -272,6 +295,11 @@ class Report:
                      if data.get("pruning") is not None else None),
             subsumption=(dict(data["subsumption"])
                          if data.get("subsumption") is not None else None),
+            anytime=(dict(data["anytime"])
+                     if data.get("anytime") is not None else None),
+            first_violation=(dict(data["first_violation"])
+                             if data.get("first_violation") is not None
+                             else None),
             details=dict(data.get("details", {})),
         )
 
@@ -302,6 +330,25 @@ class Report:
                 f"{', truncated' if self.truncated else ''}"
                 f"{', VACUOUS' if self.vacuous else ''})")
         lines = [head]
+        if self.anytime is not None:
+            a = self.anytime
+            hit = "deadline hit" if a.get("deadline_hit") else "under budget"
+            first = (f", first violation at "
+                     f"{a['first_violation_time']:.3f}s"
+                     if a.get("first_violation_time") is not None else "")
+            lines.append(
+                f"  anytime: {a.get('budget_consumed', 0.0):.2f}s of "
+                f"{a.get('budget_seconds', 0.0):.2f}s budget ({hit}); "
+                f"{a.get('paths_explored', 0)} paths explored, "
+                f"{a.get('frontier_remaining', 0)} frontier items "
+                f"remaining{first}")
+        if self.first_violation is not None:
+            fv = self.first_violation
+            lines.append(
+                f"  first violation: {fv.get('pops', '?')} pops, "
+                f"{fv.get('steps', '?')} machine steps"
+                + (f", {fv['wall_time']:.3f}s"
+                   if fv.get("wall_time") is not None else ""))
         for phase in self.phases:
             lines.append(f"  phase {phase.name} [bound={phase.bound}]: "
                          f"{'secure' if phase.secure else 'VIOLATIONS'} "
@@ -375,5 +422,10 @@ def from_analysis_report(report, target: str, analysis: str,
         subsumption=(getattr(report, "subsumption", None).to_dict()
                      if getattr(report, "subsumption", None) is not None
                      else None),
+        anytime=(getattr(report, "anytime", None).to_dict()
+                 if getattr(report, "anytime", None) is not None else None),
+        first_violation=(dict(report.first_violation)
+                         if getattr(report, "first_violation", None)
+                         is not None else None),
         details=dict(details or {}),
     )

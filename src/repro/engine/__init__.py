@@ -17,8 +17,13 @@ The supporting structures make forking free:
   re-running every schedule from step 0;
 * :class:`Frontier` — the pending-work set, with the visit order as a
   pluggable :func:`make_frontier` strategy (``dfs``/``bfs``/``random``/
-  ``coverage``); every tree-walking driver pushes fork arms into one
-  instead of hardcoding a stack;
+  ``coverage``/``mcts``); every tree-walking driver pushes fork arms
+  into one instead of hardcoding a stack, and may feed path outcomes
+  back through the ``reward`` hook;
+* :class:`MCTSFrontier` — best-first violation hunting: a UCT bandit
+  over the fork trie with playout priors (speculation-window depth,
+  tainted-load proximity, PC novelty) and back-propagated violation
+  rewards (:mod:`repro.engine.mcts`);
 * :mod:`repro.engine.por` — independence-based partial-order
   reduction: the commutation relation over directive pairs, sleep-set
   entries for covered rollback outcomes, and the ``none``/``sleepset``/
@@ -36,8 +41,10 @@ rationale.
 from .core import EngineStats, ExecutionEngine
 from .frontier import (BreadthFirstFrontier, CoverageFrontier,
                        DepthFirstFrontier, Frontier, RandomFrontier,
-                       available_strategies, make_frontier)
+                       available_strategies, make_frontier,
+                       register_strategy, strategy_descriptions)
 from .journal import EMPTY_LOG, Log
+from .mcts import MCTSFrontier, validate_mcts
 from .por import (PRUNE_LEVELS, Footprint, PruningStats, footprint,
                   hazard_load, independent, validate_prune)
 from .state import MachineState
@@ -47,8 +54,10 @@ from .tree import ScheduleTree, TreeNode
 __all__ = [
     "BreadthFirstFrontier", "CoverageFrontier", "DepthFirstFrontier",
     "EngineStats", "ExecutionEngine", "EMPTY_LOG", "Footprint", "Frontier",
-    "Log", "MachineState", "PRUNE_LEVELS", "PruningStats", "RandomFrontier",
-    "ScheduleTree", "SeenStates", "SubsumptionStats", "TreeNode",
-    "available_strategies", "footprint", "hazard_load", "independent",
-    "make_frontier", "validate_prune", "validate_subsume",
+    "Log", "MCTSFrontier", "MachineState", "PRUNE_LEVELS", "PruningStats",
+    "RandomFrontier", "ScheduleTree", "SeenStates", "SubsumptionStats",
+    "TreeNode", "available_strategies", "footprint", "hazard_load",
+    "independent", "make_frontier", "register_strategy",
+    "strategy_descriptions", "validate_mcts", "validate_prune",
+    "validate_subsume",
 ]

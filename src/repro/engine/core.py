@@ -61,13 +61,36 @@ class EngineStats:
     forks: int = 0          #: fork points the driver took
     reused: int = 0         #: steps resumed from snapshots / shared prefixes
     states_subsumed: int = 0  #: fork arms pruned by the SeenStates table
+    # Time-to-first-violation, recorded once by the driver when the
+    # first violating path completes.  Pops and steps are deterministic
+    # (strategy-comparable without external timing); wall time is the
+    # driver clock's best effort.  None until/unless a violation is hit.
+    first_violation_pops: Optional[int] = None
+    first_violation_steps: Optional[int] = None
+    first_violation_wall: Optional[float] = None
 
     def snapshot(self) -> "EngineStats":
         return EngineStats(self.steps, self.cache_hits, self.stuck_hits,
-                           self.forks, self.reused, self.states_subsumed)
+                           self.forks, self.reused, self.states_subsumed,
+                           self.first_violation_pops,
+                           self.first_violation_steps,
+                           self.first_violation_wall)
+
+    def record_first_violation(self, pops: int, steps: int,
+                               wall: float) -> None:
+        """Latch the first-violation point; later calls are ignored."""
+        if self.first_violation_steps is None:
+            self.first_violation_pops = pops
+            self.first_violation_steps = steps
+            self.first_violation_wall = wall
 
     def merge(self, other: Optional["EngineStats"]) -> "EngineStats":
-        """Counter-wise sum (sharded explorations merge shard engines)."""
+        """Counter-wise sum (sharded explorations merge shard engines).
+
+        The first-violation triple adopts the minimum keyed on machine
+        steps — the deterministic counter — so a sharded merge reports
+        the cheapest shard-local first hit regardless of merge order.
+        """
         if other is None:
             return self
         self.steps += other.steps
@@ -76,6 +99,12 @@ class EngineStats:
         self.forks += other.forks
         self.reused += other.reused
         self.states_subsumed += other.states_subsumed
+        if other.first_violation_steps is not None and (
+                self.first_violation_steps is None
+                or other.first_violation_steps < self.first_violation_steps):
+            self.first_violation_pops = other.first_violation_pops
+            self.first_violation_steps = other.first_violation_steps
+            self.first_violation_wall = other.first_violation_wall
         return self
 
     @property

@@ -23,6 +23,11 @@ state from, with the ordering policy supplied by name:
     among ties).  This is the MCTS-lite flavour of Legion/AFL-style
     schedulers: it pours effort into unvisited program regions first
     instead of exhausting one subtree's speculation interleavings.
+``mcts``
+    Best-first violation hunting: full UCT bandit over the fork trie,
+    re-ranked on every pop, with playout priors and back-propagated
+    violation rewards.  Lives in :mod:`repro.engine.mcts` and registers
+    itself here via :func:`register_strategy`.
 
 Every strategy explores the *same* set when run to completion — only
 the order (and therefore which paths survive a ``max_paths`` cap, and
@@ -32,6 +37,13 @@ over items: the Pitchfork explorer pushes
 pushes ``(tree node, worlds)`` pairs.  Strategies that rank by program
 location receive a ``pc_of`` callable mapping an item to its current
 fetch PC.
+
+Drivers may report path outcomes back through :meth:`Frontier.reward`;
+ordering strategies that learn from outcomes (``mcts``) use it, the
+rest inherit the no-op.  Strategy-specific constructor knobs are
+declared in the class's ``knobs`` tuple and forwarded by
+:func:`make_frontier` only when the caller supplies them, so generic
+drivers need no per-strategy code.
 """
 
 from __future__ import annotations
@@ -44,7 +56,7 @@ from typing import (Any, Callable, Dict, Iterable, List, Optional, Tuple,
 
 __all__ = ["Frontier", "DepthFirstFrontier", "BreadthFirstFrontier",
            "RandomFrontier", "CoverageFrontier", "available_strategies",
-           "make_frontier"]
+           "make_frontier", "register_strategy", "strategy_descriptions"]
 
 
 class Frontier:
@@ -57,6 +69,10 @@ class Frontier:
     """
 
     strategy: str = ""
+    #: One-line summary shown by ``repro list``.
+    description: str = ""
+    #: Extra constructor kwargs :func:`make_frontier` may forward.
+    knobs: Tuple[str, ...] = ()
 
     def __init__(self, seed: int = 0,
                  pc_of: Optional[Callable[[Any], Optional[int]]] = None):
@@ -69,6 +85,11 @@ class Frontier:
     def pop(self) -> Any:
         """The next item to advance; IndexError when empty."""
         raise NotImplementedError
+
+    def reward(self, item: Any, hit: bool) -> None:
+        """Feedback hook: the driver finished exploring a popped item's
+        path; ``hit`` is whether the path produced a violation.  Fixed
+        orderings ignore it; learning strategies back-propagate it."""
 
     def extend(self, items: Iterable[Any]) -> None:
         for item in items:
@@ -88,6 +109,8 @@ class DepthFirstFrontier(Frontier):
     """LIFO — the seed explorer's stack, byte-identical visit order."""
 
     strategy = "dfs"
+    description = ("depth-first (LIFO) — the default; exhausts one "
+                   "speculation subtree before the next")
 
     def __init__(self, seed: int = 0, pc_of=None):
         super().__init__(seed, pc_of)
@@ -107,6 +130,8 @@ class BreadthFirstFrontier(Frontier):
     """FIFO — explore fork levels in generation order."""
 
     strategy = "bfs"
+    description = ("breadth-first (FIFO) — surfaces shallow violations "
+                   "before deep speculation chains")
 
     def __init__(self, seed: int = 0, pc_of=None):
         super().__init__(seed, pc_of)
@@ -126,6 +151,8 @@ class RandomFrontier(Frontier):
     """Seeded uniform random pops (swap-with-last removal, O(1))."""
 
     strategy = "random"
+    description = ("seeded uniform-random pops — deterministic per "
+                   "--seed, decorrelated from program structure")
 
     def __init__(self, seed: int = 0, pc_of=None):
         super().__init__(seed, pc_of)
@@ -160,6 +187,8 @@ class CoverageFrontier(Frontier):
     """
 
     strategy = "coverage"
+    description = ("coverage-guided min-heap — least-visited fetch PC "
+                   "first, ranked once at push time")
 
     def __init__(self, seed: int = 0, pc_of=None):
         super().__init__(seed, pc_of)
@@ -196,19 +225,47 @@ _STRATEGIES: Dict[str, Type[Frontier]] = {
 }
 
 
+def register_strategy(cls: Type[Frontier]) -> Type[Frontier]:
+    """Register a Frontier subclass under its ``strategy`` name.
+
+    Lets strategies living outside this module (``repro.engine.mcts``)
+    plug in without a circular import; importing ``repro.engine``
+    registers everything.  Usable as a class decorator.
+    """
+    if not cls.strategy:
+        raise ValueError(f"{cls.__name__} has no strategy name")
+    _STRATEGIES[cls.strategy] = cls
+    return cls
+
+
 def available_strategies() -> Tuple[str, ...]:
     """Registered search-strategy names, sorted."""
     return tuple(sorted(_STRATEGIES))
 
 
+def strategy_descriptions() -> Dict[str, str]:
+    """``{name: one-line description}`` for every registered strategy,
+    in sorted name order (what ``repro list`` prints)."""
+    return {name: _STRATEGIES[name].description
+            for name in available_strategies()}
+
+
 def make_frontier(strategy: str = "dfs", seed: int = 0,
-                  pc_of: Optional[Callable[[Any], Optional[int]]] = None
-                  ) -> Frontier:
-    """Instantiate a frontier by strategy name."""
+                  pc_of: Optional[Callable[[Any], Optional[int]]] = None,
+                  **extras: Any) -> Frontier:
+    """Instantiate a frontier by strategy name.
+
+    ``extras`` are strategy-specific knobs (``program``, ``exploration``,
+    ``playout_depth`` for ``mcts``); each is forwarded only when the
+    class declares it in ``knobs`` and the value is not None, so callers
+    can pass the full knob set unconditionally.
+    """
     try:
         cls = _STRATEGIES[strategy]
     except KeyError:
         raise ValueError(f"unknown search strategy {strategy!r}; "
                          f"available: {list(available_strategies())}") \
             from None
-    return cls(seed=seed, pc_of=pc_of)
+    kwargs = {name: value for name, value in extras.items()
+              if name in cls.knobs and value is not None}
+    return cls(seed=seed, pc_of=pc_of, **kwargs)

@@ -3,7 +3,8 @@
 Suites: ``kocher`` (the 15 classic v1 variants), ``spec_v1`` (the paper's
 speculative-only v1 suite, Figs 1/8), ``spec_v11`` (Fig 6 family),
 ``spec_v4`` (Fig 7 family), ``spec_rsb`` (v2/ret2spec/retpoline,
-Figs 11-13), and ``aliasing`` (Fig 2).
+Figs 11-13), ``aliasing`` (Fig 2), and ``haystack`` (hunting
+benchmarks: gadgets buried behind decoy work).
 """
 
 from .registry import (LitmusCase, all_cases, all_suites,

@@ -1,0 +1,129 @@
+"""Haystack hunting cases: gadgets surrounded by decoy work.
+
+The classic litmus programs are *detection* tests: single gadgets a few
+instructions long, where depth-first search — which always descends
+into the just-forked mispredicted arm — is within a step or two of the
+structural optimum for *finding* the leak, not just proving it.  A
+best-first strategy cannot beat what has nothing left to skip.
+
+Hunting benchmarks need haystacks: programs where the leak is cheap to
+reach but buried behind work a blind enumeration order wades through
+first.  Each case here wraps the kocher_10 transmitter (a branch whose
+*condition* is a speculatively loaded secret) in a different kind of
+straw, one per steering signal the mcts frontier scores:
+
+* ``haystack_01`` — a long public work tail between the gadget and the
+  transmission; the fast violating schedule lets the reorder buffer
+  drain so the pending tainted branch executes at once, instead of
+  fetching the tail first (the pending-transmitter / drain signal);
+* ``haystack_02`` — decoy public branches ahead of the gadget whose
+  mispredicted arms wander busywork regions before rolling back (the
+  speculation-window and novelty signals);
+* ``haystack_03`` — the architectural (in-bounds) direction holds a
+  chain of *public* loads, a decoy for naive nearest-load steering; the
+  real transmitter sits on the mispredicted arm with the secret already
+  in flight (the taint-resolution part of the proximity signal).
+
+Ground truth mirrors kocher_10: no sequential leak (the bounds check
+holds architecturally), a speculative leak through the comparison
+outcome.  ``benchmarks/bench_hunt.py`` measures steps-to-first-
+violation on exactly these shapes; the full-exploration equivalence
+suites pick the cases up automatically via ``all_cases()``.
+
+Shared memory layout is the Kocher one (see :mod:`.kocher`).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..asm import ProgramBuilder
+from ..core.program import Program
+from .kocher import ARRAY1, ARRAY2, SIZE_CELL, TEMP_CELL, ORDER_BASE, _config
+from .registry import LitmusCase, suite
+
+__all__ = ["haystack_01", "haystack_02", "haystack_03"]
+
+
+def _case(name: str, description: str, prog: Program) -> LitmusCase:
+    return LitmusCase(
+        name=name, variant="hunting", description=description,
+        program=prog, make_config=_config(prog), min_bound=20)
+
+
+def _gadget(b: ProgramBuilder, hit_label: str, oob_label: str,
+            miss_label: str) -> None:
+    """The kocher_10 transmitter: speculatively load a secret, then
+    branch on it — executing the branch leaks the comparison outcome.
+    ``oob_label`` is where the (architecturally taken) bounds check
+    bails to; ``miss_label`` is the secret comparison's false arm."""
+    b.br("ltu", ["rx", "rs"], "cmp", oob_label)
+    b.label("cmp")
+    b.load("rv", [ARRAY1, "rx"])
+    b.br("eq", ["rv", 0x31], hit_label, miss_label)
+
+
+def haystack_01() -> LitmusCase:
+    """Work-tail haystack: the taken direction of the secret-dependent
+    branch runs a long public computation before transmitting.  The
+    fast violating schedule stops fetching and drains the buffer, so
+    the pending tainted branch executes immediately; a depth-first
+    order fetches the whole tail first."""
+    b = ProgramBuilder()
+    b.load("rs", [SIZE_CELL])
+    _gadget(b, "hit", "done", "done")
+    b.label("hit")
+    for i in range(12):
+        b.op("rp", "add", ["ry", i])
+    b.load("rt", [ARRAY2])
+    b.load("rtmp2", [TEMP_CELL])
+    b.op("rtmp2", "and", ["rtmp2", "rt"])
+    b.store("rtmp2", [TEMP_CELL])
+    b.label("done").halt()
+    return _case("haystack_01", haystack_01.__doc__, b.build())
+
+
+def haystack_02() -> LitmusCase:
+    """Decoy-branch haystack: two public branches ahead of the gadget,
+    each guarding a busywork region that is architecturally skipped
+    (``ry = 0``).  Blind orders wander every mispredicted decoy arm
+    before reaching the secret-dependent branch."""
+    b = ProgramBuilder()
+    b.load("rs", [SIZE_CELL])
+    for d in range(2):
+        b.br("eq", ["ry", 1], f"decoy{d}", f"next{d}")
+        b.label(f"decoy{d}")
+        for i in range(6):
+            b.op("rp", "add", ["rp", i])
+        b.label(f"next{d}")
+    _gadget(b, "hit", "done", "done")
+    b.label("hit")
+    b.load("rt", [ARRAY2])
+    b.label("done").halt()
+    return _case("haystack_02", haystack_02.__doc__, b.build())
+
+
+def haystack_03() -> LitmusCase:
+    """Cold-load haystack: the architectural (bounds-check-fails)
+    direction runs a chain of public loads — bait for steering that
+    chases the nearest load without asking what its operands hold.
+    The leak is on the mispredicted arm, where the loaded secret is
+    already in flight."""
+    b = ProgramBuilder()
+    b.load("rs", [SIZE_CELL])
+    _gadget(b, "hit", "cold", "done")
+    b.label("hit")
+    b.load("rt", [ARRAY2])
+    b.label("done").halt()
+    b.label("cold")
+    for _i in range(8):
+        b.load("rc", [ORDER_BASE])
+        b.op("rc", "add", ["rc", 1])
+    b.halt()
+    return _case("haystack_03", haystack_03.__doc__, b.build())
+
+
+@suite("haystack")
+def cases() -> List[LitmusCase]:
+    """The three hunting haystacks."""
+    return [haystack_01(), haystack_02(), haystack_03()]

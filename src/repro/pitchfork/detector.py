@@ -13,15 +13,16 @@ paper's evaluation procedure exactly (§4.2.1):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence, Tuple
+from typing import Callable, Mapping, Optional, Sequence, Tuple
 
 from ..core.config import Config
 from ..core.isa import Evaluator
 from ..core.machine import Machine
 from ..core.program import Program
 from ..engine import PruningStats, SubsumptionStats
-from .explorer import (ExplorationOptions, ExplorationResult, Explorer,
-                       ShardStats, Violation)
+from ..engine.mcts import DEFAULT_EXPLORATION, DEFAULT_PLAYOUT_DEPTH
+from .explorer import (AnytimeStats, ExplorationOptions, ExplorationResult,
+                       Explorer, ShardStats, Violation)
 
 #: The speculation bounds used in the paper's evaluation.
 PAPER_BOUND_NO_FWD = 250
@@ -57,6 +58,15 @@ class AnalysisReport:
     #: producers): whether the SeenStates table was on, states recorded,
     #: fork arms pruned.  See :mod:`repro.engine.subsume`.
     subsumption: Optional[SubsumptionStats] = None
+    #: Anytime coverage accounting; present iff a wall-clock budget was
+    #: set.  A budget-truncated run reports ``truncated=True`` (never
+    #: clean coverage).  See :class:`~repro.pitchfork.explorer.AnytimeStats`.
+    anytime: Optional[AnytimeStats] = None
+    #: Deterministic time-to-first-violation: ``{"pops", "steps",
+    #: "wall_time"}`` when the run found a violation (pops and machine
+    #: steps are strategy-comparable without external timing), None on
+    #: clean runs and for legacy producers.
+    first_violation: Optional[Mapping] = None
 
     def __bool__(self) -> bool:
         return self.secure
@@ -78,7 +88,11 @@ def analyze(program: Program, config: Config,
             shards: int = 1,
             seed: int = 0,
             prune: str = "sleepset",
-            subsume: bool = False) -> AnalysisReport:
+            subsume: bool = False,
+            budget_seconds: Optional[float] = None,
+            mcts_c: float = DEFAULT_EXPLORATION,
+            mcts_playout: int = DEFAULT_PLAYOUT_DEPTH,
+            clock: Optional[Callable[[], float]] = None) -> AnalysisReport:
     """One Pitchfork run: explore DT(bound), flag secret observations.
 
     ``strategy`` selects the frontier's search order (see
@@ -96,6 +110,13 @@ def analyze(program: Program, config: Config,
     (:mod:`repro.engine.subsume`) — same observation set, far fewer
     machine steps on re-convergent (loop-heavy) programs; under
     sharding each shard keeps its own table and the counters merge.
+    ``budget_seconds`` runs in anytime mode: exploration stops at the
+    wall-clock deadline, the report is marked truncated (never clean),
+    and ``report.anytime`` carries honest coverage stats.  ``mcts_c``
+    and ``mcts_playout`` tune ``strategy="mcts"``
+    (:mod:`repro.engine.mcts`).  ``clock`` injects a monotonic clock for
+    deterministic anytime tests (parent process only; shard workers
+    keep the real clock).
     """
     machine = Machine(program, evaluator=evaluator, rsb_policy=rsb_policy)
     options = ExplorationOptions(bound=bound, fwd_hazards=fwd_hazards,
@@ -107,24 +128,35 @@ def analyze(program: Program, config: Config,
                                  strategy=strategy,
                                  seed=seed,
                                  prune=prune,
-                                 subsume=subsume)
+                                 subsume=subsume,
+                                 budget_seconds=budget_seconds,
+                                 mcts_c=mcts_c,
+                                 mcts_playout=mcts_playout)
     if shards > 1 and evaluator is None:
         from .sharding import ShardedExplorer
         result = ShardedExplorer(machine, options, shards=shards,
-                                 keep_paths=False).explore(
+                                 keep_paths=False, clock=clock).explore(
                                      config, stop_at_first=stop_at_first)
     else:
-        result = Explorer(machine, options).explore(
+        result = Explorer(machine, options, clock=clock).explore(
             config, stop_at_first=stop_at_first)
     phase = "v4" if fwd_hazards else "v1/v1.1"
     truncated = result.truncated or result.exhausted_paths > 0
+    engine = result.engine
+    first_violation = None
+    if engine is not None and engine.first_violation_steps is not None:
+        first_violation = {"pops": engine.first_violation_pops,
+                           "steps": engine.first_violation_steps,
+                           "wall_time": engine.first_violation_wall}
     return AnalysisReport(name, result.secure, tuple(result.violations),
                           result.paths_explored, result.applied_steps,
                           truncated, phase, bound,
                           states_reused=result.states_reused,
                           shards=result.shards,
                           pruning=result.pruning,
-                          subsumption=result.subsumption)
+                          subsumption=result.subsumption,
+                          anytime=result.anytime,
+                          first_violation=first_violation)
 
 
 def analyze_two_phase(program: Program, config: Config,

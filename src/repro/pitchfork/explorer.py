@@ -74,8 +74,11 @@ split.
 
 from __future__ import annotations
 
+import math
+import time
 from dataclasses import dataclass, field
-from typing import FrozenSet, List, Optional, Set, Tuple, Union
+from typing import (Any, Callable, FrozenSet, List, Mapping, Optional, Set,
+                    Tuple, Union)
 
 from ..core.config import Config
 from ..core.directives import Directive, Execute, Fetch, Retire, Schedule
@@ -91,8 +94,21 @@ from ..core.values import BOTTOM
 from ..engine import (EngineStats, ExecutionEngine, MachineState,
                       PruningStats, SeenStates, SubsumptionStats,
                       make_frontier)
+from ..engine.mcts import (DEFAULT_EXPLORATION, DEFAULT_PLAYOUT_DEPTH,
+                           validate_mcts)
 from ..engine.por import drop_dead_entries, hazard_load, validate_prune
 from ..engine.subsume import validate_subsume
+
+
+def validate_budget(budget_seconds: Optional[float]) -> None:
+    """Validate a wall-clock budget (shared by every options type)."""
+    if budget_seconds is None:
+        return
+    if not isinstance(budget_seconds, (int, float)) or \
+            isinstance(budget_seconds, bool) or \
+            not math.isfinite(budget_seconds) or budget_seconds <= 0:
+        raise ValueError(f"budget_seconds must be a finite positive "
+                         f"number of seconds, got {budget_seconds!r}")
 
 
 @dataclass(frozen=True)
@@ -139,10 +155,24 @@ class ExplorationOptions:
     #: re-converged *states* — and off by default so the default
     #: enumeration (and its path/schedule identities) is unchanged.
     subsume: bool = False
+    #: Anytime mode: wall-clock budget in seconds.  When set, the
+    #: explorer stops popping at the deadline, marks the result
+    #: ``truncated`` (budget expiry is a coverage failure, never a clean
+    #: verdict) and reports honest coverage in ``result.anytime``.
+    #: None (the default) disables the deadline entirely.
+    budget_seconds: Optional[float] = None
+    #: UCT exploration constant for ``strategy="mcts"`` (see
+    #: :mod:`repro.engine.mcts`); ignored by other strategies.
+    mcts_c: float = DEFAULT_EXPLORATION
+    #: Static-playout lookahead depth for ``strategy="mcts"``; ignored
+    #: by other strategies.
+    mcts_playout: int = DEFAULT_PLAYOUT_DEPTH
 
     def __post_init__(self):
         validate_prune(self.prune)
         validate_subsume(self.subsume)
+        validate_budget(self.budget_seconds)
+        validate_mcts(self.mcts_c, self.mcts_playout)
 
 
 @dataclass(frozen=True)
@@ -186,6 +216,45 @@ class ShardStats:
     wall_time: float
 
 
+@dataclass(frozen=True)
+class AnytimeStats:
+    """Honest coverage accounting for a wall-clock-budgeted run.
+
+    The anytime contract: a budgeted run may stop early, but it must
+    say so — how much of the budget was consumed, whether the deadline
+    actually fired, how many paths completed versus how many frontier
+    items were still pending, and (when a violation was found) how long
+    the first one took.  A deadline-truncated run is *never* reported
+    clean; ``--check`` maps it to the coverage-failure exit (2).
+    """
+
+    budget_seconds: float      #: the configured budget
+    budget_consumed: float     #: wall seconds actually spent
+    deadline_hit: bool         #: did the deadline stop the run?
+    paths_explored: int        #: completed paths within the budget
+    frontier_remaining: int    #: pending fork arms left unexplored
+    first_violation_time: Optional[float] = None  #: seconds to first hit
+
+    def to_dict(self) -> dict:
+        return {
+            "budget_seconds": self.budget_seconds,
+            "budget_consumed": self.budget_consumed,
+            "deadline_hit": self.deadline_hit,
+            "paths_explored": self.paths_explored,
+            "frontier_remaining": self.frontier_remaining,
+            "first_violation_time": self.first_violation_time,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "AnytimeStats":
+        return cls(budget_seconds=data["budget_seconds"],
+                   budget_consumed=data["budget_consumed"],
+                   deadline_hit=data["deadline_hit"],
+                   paths_explored=data["paths_explored"],
+                   frontier_remaining=data["frontier_remaining"],
+                   first_violation_time=data.get("first_violation_time"))
+
+
 @dataclass
 class ExplorationResult:
     """Everything the explorer found."""
@@ -218,6 +287,9 @@ class ExplorationResult:
     #: :mod:`repro.engine.subsume`): states recorded and fork arms
     #: pruned as already-covered.
     subsumption: Optional[SubsumptionStats] = None
+    #: Anytime coverage accounting; present iff ``budget_seconds`` was
+    #: set on the options (honest even when the run beat the deadline).
+    anytime: Optional[AnytimeStats] = None
 
     @property
     def secure(self) -> bool:
@@ -299,12 +371,26 @@ class Explorer:
     engine (with step/fork/reuse counters) of the last run.
     """
 
-    def __init__(self, machine: Machine, options: ExplorationOptions):
+    def __init__(self, machine: Machine, options: ExplorationOptions,
+                 clock: Optional[Callable[[], float]] = None):
         self.machine = machine
         self.options = options
         self.engine: ExecutionEngine = ExecutionEngine(machine)
+        #: Monotonic clock for budget deadlines and first-violation
+        #: wall times; injectable so anytime behaviour is testable with
+        #: a fake clock instead of time.sleep.
+        self._clock = clock if clock is not None else time.monotonic
         self._applied = 0  #: schedule steps applied in the current run
         self._skipped = 0  #: pruned subtree roots (joins + collapsed arms)
+        self._pops = 0     #: frontier pops in the current run
+        #: run start / budget deadline on the injected clock.  Armed
+        #: lazily by explore_from only when unset, so the sharded
+        #: merge can pin one shared deadline across sequential local
+        #: jobs (each job must not restart the budget).
+        self._started: Optional[float] = None
+        self._deadline: Optional[float] = None
+        self._deadline_hit = False
+        self._frontier_remaining = 0
         #: the SeenStates table (see repro.engine.subsume), one per
         #: exploration — shard workers each build their own over their
         #: subtree and only the counters are merged
@@ -323,6 +409,11 @@ class Explorer:
         self.engine = ExecutionEngine(self.machine)
         self._applied = 0
         self._skipped = 0
+        self._pops = 0
+        self._started = None
+        self._deadline = None
+        self._deadline_hit = False
+        self._frontier_remaining = 0
         self._seen = SeenStates() if self.options.subsume else None
         self._subsumed_notes = []
         return self.explore_from([MachineState(initial)], stop_at_first)
@@ -333,15 +424,31 @@ class Explorer:
         replayed subtree root here).  Unlike :meth:`explore` this does
         not reset the engine, so prefix-replay accounting survives."""
         result = ExplorationResult()
+        if self._started is None:
+            self._started = self._clock()
+            if self.options.budget_seconds is not None:
+                self._deadline = self._started + self.options.budget_seconds
         frontier = make_frontier(self.options.strategy,
                                  seed=self.options.seed,
-                                 pc_of=_state_pc)
+                                 pc_of=_state_pc,
+                                 program=self.machine.program,
+                                 exploration=self.options.mcts_c,
+                                 playout_depth=self.options.mcts_playout)
         frontier.extend(states)
         while frontier:
+            # Deadline checks sit at pop boundaries only, so a run with
+            # an injected fake clock is deterministic: the same pops
+            # happen before the same tick regardless of host speed.
+            if self._deadline is not None and \
+                    self._clock() >= self._deadline:
+                result.truncated = True
+                self._deadline_hit = True
+                break
             if result.paths_explored >= self.options.max_paths:
                 result.truncated = True
                 break
             path = frontier.pop()
+            self._pops += 1
             forks = self._run_path(path)
             if forks is None:
                 result.paths_explored += 1
@@ -351,15 +458,25 @@ class Explorer:
                 result.violations.extend(path_result.violations)
                 if not path_result.complete:
                     result.exhausted_paths += 1
-                if stop_at_first and path_result.violations:
+                hit = bool(path_result.violations)
+                frontier.reward(path, hit)
+                if hit:
+                    self.engine.stats.record_first_violation(
+                        self._pops, self._applied,
+                        self._clock() - self._started)
+                if stop_at_first and hit:
                     break
             else:
                 if stop_at_first and self._subsumed_notes:
                     # A subsumed arm carried a pending violation: the
                     # finding exists, stop exactly as a completed
                     # violating path would have.
+                    self.engine.stats.record_first_violation(
+                        self._pops, self._applied,
+                        self._clock() - self._started)
                     break
                 frontier.extend(forks)
+        self._frontier_remaining = len(frontier)
         return self._finalize(result)
 
     def _finalize(self, result: ExplorationResult) -> ExplorationResult:
@@ -380,6 +497,14 @@ class Explorer:
         seen = self._seen
         result.subsumption = (SubsumptionStats(False) if seen is None
                               else seen.stats(True))
+        if self.options.budget_seconds is not None:
+            result.anytime = AnytimeStats(
+                budget_seconds=self.options.budget_seconds,
+                budget_consumed=self._clock() - self._started,
+                deadline_hit=self._deadline_hit,
+                paths_explored=result.paths_explored,
+                frontier_remaining=self._frontier_remaining,
+                first_violation_time=result.engine.first_violation_wall)
         return result
 
     @staticmethod

@@ -25,6 +25,7 @@ from ..core.config import Config
 from ..core.directives import Schedule
 from ..core.machine import Machine
 from ..engine import ScheduleTree
+from ..engine.mcts import DEFAULT_EXPLORATION, DEFAULT_PLAYOUT_DEPTH
 from .explorer import ExplorationOptions, Explorer
 
 
@@ -45,7 +46,9 @@ def enumerate_schedules(machine: Machine, config: Config,
                         assume_unknown_branches: bool = False,
                         strategy: str = "dfs", seed: int = 0,
                         prune: str = "sleepset",
-                        subsume: bool = False) -> List[Schedule]:
+                        subsume: bool = False,
+                        mcts_c: float = DEFAULT_EXPLORATION,
+                        mcts_playout: int = DEFAULT_PLAYOUT_DEPTH) -> List[Schedule]:
     """All complete tool schedules for ``config`` at this bound.
 
     ``strategy``/``seed`` select the frontier's enumeration order (the
@@ -56,12 +59,16 @@ def enumerate_schedules(machine: Machine, config: Config,
     (:mod:`repro.engine.subsume`) — the *materialised* set shrinks, so
     leave it off when the schedules themselves are the product (e.g.
     feeding symbolic replay, where concrete-state identity is not
-    state identity)."""
+    state identity).  ``mcts_c``/``mcts_playout`` tune
+    ``strategy="mcts"`` and are ignored otherwise.  Anytime budgets are
+    deliberately not offered here: a materialised schedule set cut at a
+    wall-clock deadline is not DT(bound)."""
     options = ExplorationOptions(bound=bound, fwd_hazards=fwd_hazards,
                                  max_paths=max_paths,
                                  assume_unknown_branches=assume_unknown_branches,
                                  strategy=strategy, seed=seed, prune=prune,
-                                 subsume=subsume)
+                                 subsume=subsume,
+                                 mcts_c=mcts_c, mcts_playout=mcts_playout)
     result = Explorer(machine, options).explore(config)
     return [p.schedule for p in result.paths if p.complete]
 
@@ -72,7 +79,9 @@ def enumerate_schedule_tree(machine: Machine, config: Config,
                             assume_unknown_branches: bool = False,
                             strategy: str = "dfs", seed: int = 0,
                             prune: str = "sleepset",
-                            subsume: bool = False) -> ScheduleTree:
+                            subsume: bool = False,
+                            mcts_c: float = DEFAULT_EXPLORATION,
+                            mcts_playout: int = DEFAULT_PLAYOUT_DEPTH) -> ScheduleTree:
     """DT(bound) with its DFS fork structure preserved.
 
     The returned tree's ``payloads`` are the explorer's complete
@@ -88,7 +97,8 @@ def enumerate_schedule_tree(machine: Machine, config: Config,
                                  max_paths=max_paths,
                                  assume_unknown_branches=assume_unknown_branches,
                                  strategy=strategy, seed=seed, prune=prune,
-                                 subsume=subsume)
+                                 subsume=subsume,
+                                 mcts_c=mcts_c, mcts_playout=mcts_playout)
     explorer = Explorer(machine, options)
     result = explorer.explore(config)
     complete = [p for p in result.paths if p.complete]

@@ -41,6 +41,24 @@ Workers rebuild the machine from ``(program, rsb_policy)``, so sharding
 requires the default concrete evaluator — callers with a custom
 evaluator fall back to the single-process explorer
 (:func:`repro.pitchfork.detector.analyze` gates this).
+
+Anytime budgets
+---------------
+
+``options.budget_seconds`` composes with sharding through per-worker
+deadlines: the parent arms one deadline at ``explore()`` entry (the
+split counts against the budget), every job submitted to the pool
+carries the budget *remaining at submission* as its own
+``budget_seconds``, and the deterministic merge (a) skips — and counts
+as unexplored frontier — any job it can still cancel once the deadline
+has passed, and (b) sums each shard's honest
+:class:`~repro.pitchfork.explorer.AnytimeStats` into one merged record.
+A job already running at the deadline is awaited, not killed: it
+self-limits by its own remaining budget, so the worst-case overshoot is
+bounded by one worker budget (grace ≤ ~2× the configured budget, in
+exchange for never discarding a shard whose results already exist).
+Deadline expiry marks the merged result truncated — budgeted coverage
+is never reported as complete.
 """
 
 from __future__ import annotations
@@ -49,14 +67,14 @@ import threading
 import time
 from concurrent.futures import Executor, ProcessPoolExecutor
 from contextlib import contextmanager
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
 from ..core.config import Config
 from ..core.machine import Machine
 from ..engine import MachineState, PruningStats, SubsumptionStats
-from .explorer import (ExplorationOptions, ExplorationResult, Explorer,
-                       PathResult, ShardStats, _Action)
+from .explorer import (AnytimeStats, ExplorationOptions, ExplorationResult,
+                       Explorer, PathResult, ShardStats, _Action)
 
 __all__ = ["ShardedExplorer", "OVERPARTITION", "MAX_SPLIT_LEVELS",
            "shard_context", "ambient_pool", "ambient_progress"]
@@ -244,7 +262,7 @@ class ShardedExplorer:
                  shards: int = 2, pool: Optional[Executor] = None,
                  keep_paths: bool = True,
                  progress: Optional[Callable[[Dict[str, Any]], None]]
-                 = None):
+                 = None, clock: Optional[Callable[[], float]] = None):
         if shards < 1:
             raise ValueError("shards must be >= 1")
         from ..core.isa import ConcreteEvaluator
@@ -267,20 +285,40 @@ class ShardedExplorer:
         self.keep_paths = keep_paths
         self.progress = progress if progress is not None \
             else ambient_progress()
+        #: Parent-side monotonic clock (injectable for deterministic
+        #: anytime tests); workers always use the real clock — a fake
+        #: clock does not cross the process boundary.
+        self._clock = clock if clock is not None else time.monotonic
+        self._t0: Optional[float] = None
+        self._deadline: Optional[float] = None
 
     # -- the three phases ----------------------------------------------------
 
     def explore(self, initial: Config,
                 stop_at_first: bool = False) -> ExplorationResult:
-        explorer = Explorer(self.machine, self.options)
+        explorer = Explorer(self.machine, self.options, clock=self._clock)
+        # One deadline for the whole sharded run, armed before the split
+        # (splitting counts against the budget) and pinned onto the
+        # parent explorer so sequential local jobs share it instead of
+        # each restarting the budget in explore_from.
+        self._t0 = self._clock()
+        self._deadline = None
+        explorer._started = self._t0
+        if self.options.budget_seconds is not None:
+            self._deadline = self._t0 + self.options.budget_seconds
+            explorer._deadline = self._deadline
         slots = self._split(explorer, MachineState(initial))
         jobs = [slot for slot in slots if isinstance(slot, _Pending)]
         self._emit({"kind": "split", "jobs": len(jobs),
                     "leaves": len(slots) - len(jobs),
                     "shards": self.shards})
-        if len(jobs) <= 1 or self.shards == 1:
-            # Nothing worth forking a pool for: finish the (at most one)
-            # pending subtree in-process and merge locally.
+        if len(jobs) <= 1 or self.shards == 1 or (
+                self._deadline is not None
+                and self._clock() >= self._deadline):
+            # Nothing worth forking a pool for — or the budget is
+            # already gone, in which case the local merge charges each
+            # skipped job to the unexplored frontier instead of paying
+            # pool start-up for workers that would break immediately.
             return self._merge(explorer, slots, [], stop_at_first,
                                run_local=True)
         if self.pool is not None:
@@ -350,8 +388,18 @@ class ShardedExplorer:
         for slot in slots:
             if not isinstance(slot, _Pending):
                 continue
+            options = self.options
+            if self._deadline is not None:
+                # Ship the budget *remaining at submission* as the
+                # worker's own deadline (a clock reading can't cross the
+                # process boundary; a duration can).  Clamped positive:
+                # a worker handed an expired budget arms an immediate
+                # deadline and reports one honest unexplored-frontier
+                # slot instead of exploring.
+                remaining = max(self._deadline - self._clock(), 1e-9)
+                options = replace(options, budget_seconds=remaining)
             futures.append(pool.submit(
-                _run_shard, self.machine.program, initial, self.options,
+                _run_shard, self.machine.program, initial, options,
                 self.machine.rsb_policy, slot.actions, stop_at_first,
                 self.keep_paths))
         return futures
@@ -365,6 +413,12 @@ class ShardedExplorer:
         shard_stats: List[ShardStats] = []
         job_index = 0
         stopped = False
+        deadline = self._deadline
+        #: Pending jobs never run: cancelled past the deadline, or cut
+        #: off by the local-mode deadline check.  Each is at least one
+        #: unexplored frontier item in the merged anytime accounting.
+        skipped_jobs = 0
+        anytime_parts: List[AnytimeStats] = []
         # States recorded across all per-shard SeenStates tables (each
         # worker owns its own; only the counters cross the boundary).
         # Local jobs share the parent explorer's table, counted once at
@@ -391,10 +445,27 @@ class ShardedExplorer:
                 merged.violations.extend(slot.path.violations)
                 if not slot.path.complete:
                     merged.exhausted_paths += 1
+                if slot.path.violations:
+                    # Paths that completed *during the split* never pass
+                    # through explore_from, so latch their first-violation
+                    # stats here (attributed to the whole split's applied
+                    # steps — the work that existed when the leaf was
+                    # found).  merge() below still adopts any shard's
+                    # earlier (fewer-steps) hit.
+                    explorer.engine.stats.record_first_violation(
+                        merged.paths_explored, explorer._applied,
+                        self._clock() - self._t0)
                 if stop_at_first and slot.path.violations:
                     stopped = True
                 continue
             if run_local:
+                if deadline is not None and self._clock() >= deadline:
+                    # Budget gone: this subtree root stays unexplored
+                    # (counted as remaining frontier), deterministically
+                    # — no partial job output to merge.
+                    skipped_jobs += 1
+                    merged.truncated = True
+                    continue
                 # Explorer._finalize reports *cumulative* counters per
                 # explorer, so sequential local jobs are accounted via
                 # deltas of the shared parent explorer instead.
@@ -407,7 +478,18 @@ class ShardedExplorer:
                 prefix_len = len(slot.actions)
                 shard_applied = explorer._applied - applied_before
             else:
-                result, meta, prefix_len, wall = futures[job_index].result()
+                future = futures[job_index]
+                if deadline is not None and self._clock() >= deadline \
+                        and future.cancel():
+                    # Deadline passed and the job never started: skip it
+                    # (an already-running job is awaited instead — its
+                    # own remaining budget bounds the overshoot, and
+                    # results that exist are never discarded).
+                    job_index += 1
+                    skipped_jobs += 1
+                    merged.truncated = True
+                    continue
+                result, meta, prefix_len, wall = future.result()
                 shard_applied = result.applied_steps
                 merged.applied_steps += result.applied_steps
                 merged.states_reused += result.states_reused
@@ -417,6 +499,8 @@ class ShardedExplorer:
                 if result.subsumption is not None:
                     remote_states_seen += result.subsumption.states_seen
             job_index += 1
+            if result.anytime is not None:
+                anytime_parts.append(result.anytime)
             if result.paths_explored > remaining:
                 result = _trim_to_quota(result, remaining, meta)
             merged.paths.extend(result.paths)
@@ -479,6 +563,19 @@ class ShardedExplorer:
             remote_states_seen + (parent_seen.states_seen
                                   if parent_seen is not None else 0),
             merged.engine.states_subsumed)
+        if self.options.budget_seconds is not None:
+            deadline_hit = (skipped_jobs > 0 or explorer._deadline_hit
+                            or any(a.deadline_hit for a in anytime_parts))
+            merged.anytime = AnytimeStats(
+                budget_seconds=self.options.budget_seconds,
+                budget_consumed=self._clock() - self._t0,
+                deadline_hit=deadline_hit,
+                paths_explored=merged.paths_explored,
+                frontier_remaining=(
+                    skipped_jobs
+                    + sum(a.frontier_remaining for a in anytime_parts)),
+                first_violation_time=merged.engine.first_violation_wall)
+            merged.truncated = merged.truncated or deadline_hit
         self._emit({"kind": "merged",
                     "paths_explored": merged.paths_explored,
                     "violations": len(merged.violations),

@@ -107,7 +107,13 @@ def effective_options(project: Project,
                       overrides: Mapping[str, Any]) -> AnalysisOptions:
     """The options the analysis will actually run under — the project's
     defaults with the submitted overrides applied.  This is what cache
-    keys are computed from."""
+    keys are computed from.
+
+    Every :class:`AnalysisOptions` field is overridable, including the
+    anytime ``budget_seconds`` and the ``mcts_c``/``mcts_playout`` knobs
+    — a budgeted job caches under a distinct store key (budget is part
+    of the canonical options), so a truncated anytime result never
+    shadows a complete run of the same target."""
     return project.options.with_(**dict(overrides))
 
 

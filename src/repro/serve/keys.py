@@ -115,7 +115,8 @@ def strip_volatile(report_dict: Mapping[str, Any]) -> Dict[str, Any]:
     """A deep copy with run-to-run noise removed, for byte-identity
     comparisons between daemon-computed and in-process reports.
 
-    Zeroes every ``wall_time`` (top level, per phase, per shard) and
+    Zeroes every wall-clock reading (top level, per phase, per shard,
+    the first-violation latch, and the anytime consumption stats) and
     drops the serve layer's ``details.cache`` annotation.  Everything
     else — statuses, violations, counters, shard/pruning accounting —
     must match exactly.
@@ -126,6 +127,14 @@ def strip_volatile(report_dict: Mapping[str, Any]) -> Dict[str, Any]:
         phase["wall_time"] = 0.0
     for shard in out.get("shard_stats", ()):
         shard["wall_time"] = 0.0
+    first_violation = out.get("first_violation")
+    if isinstance(first_violation, dict):
+        first_violation["wall_time"] = 0.0
+    anytime = out.get("anytime")
+    if isinstance(anytime, dict):
+        anytime["budget_consumed"] = 0.0
+        if anytime.get("first_violation_time") is not None:
+            anytime["first_violation_time"] = 0.0
     details = out.get("details")
     if isinstance(details, dict):
         details.pop("cache", None)

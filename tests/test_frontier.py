@@ -34,7 +34,8 @@ def _violation_set(result):
 
 class TestFrontierOrdering:
     def test_registry(self):
-        assert available_strategies() == ("bfs", "coverage", "dfs", "random")
+        assert available_strategies() == (
+            "bfs", "coverage", "dfs", "mcts", "random")
 
     def test_unknown_strategy_raises(self):
         with pytest.raises(ValueError, match="unknown search strategy"):
@@ -100,7 +101,8 @@ class TestExplorerStrategies:
     CASES = ("kocher_01", "kocher_05", "kocher_13", "v1_fig1")
 
     @pytest.mark.parametrize("name", CASES)
-    @pytest.mark.parametrize("strategy", ("bfs", "random", "coverage"))
+    @pytest.mark.parametrize("strategy", ("bfs", "random", "coverage",
+                                          "mcts"))
     def test_same_violation_and_path_sets_as_dfs(self, name, strategy):
         case = find_case(name)
         dfs = _explore(case, strategy="dfs")

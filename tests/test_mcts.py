@@ -1,0 +1,267 @@
+"""The mcts frontier (repro.engine.mcts): UCT ordering, reward
+back-propagation, playout priors, knob validation, and run-to-completion
+equivalence with the seed DFS explorer.
+
+The strict bar is the same as every other strategy's (Theorem B.20: the
+explored *set* is order-invariant): run to completion, ``mcts`` must
+flag the identical violation observation set as ``dfs`` on the full
+litmus registry and on randomized programs, serial and sharded.  The
+shard/subsume/por equivalence suites additionally pick ``mcts`` up
+automatically via ``available_strategies()``; the registry cases here
+pin the serial path with this module's own seeds.
+"""
+
+import random
+
+import pytest
+
+from repro.core.machine import Machine
+from repro.engine import MCTSFrontier, make_frontier, validate_mcts
+from repro.engine.mcts import DEFAULT_EXPLORATION, DEFAULT_PLAYOUT_DEPTH
+from repro.litmus import all_cases, find_case
+from repro.pitchfork import (ExplorationOptions, Explorer, ShardedExplorer,
+                             violation_set)
+from repro.verify.generators import random_config, random_program
+
+
+def _case_options(case, **kw):
+    kw.setdefault("strategy", "mcts")
+    kw.setdefault("bound", case.min_bound)
+    kw.setdefault("fwd_hazards", case.needs_fwd_hazards)
+    kw.setdefault("explore_aliasing", case.needs_aliasing)
+    kw.setdefault("jmpi_targets", case.jmpi_targets)
+    kw.setdefault("rsb_targets", case.rsb_targets)
+    return ExplorationOptions(**kw)
+
+
+def _run(case, options, shards=1):
+    machine = Machine(case.program, rsb_policy=case.rsb_policy)
+    if shards == 1:
+        explorer = Explorer(machine, options)
+    else:
+        explorer = ShardedExplorer(machine, options, shards=shards)
+    return explorer.explore(case.make_config(), stop_at_first=False)
+
+
+class TestUCTOrdering:
+    """Pure frontier-protocol tests: no explorer, plain items."""
+
+    def test_pops_every_item_exactly_once(self):
+        f = MCTSFrontier()
+        f.extend(["a", "b", "c"])
+        out = [f.pop() for _ in range(3)]
+        assert sorted(out) == ["a", "b", "c"]
+        assert len(f) == 0 and not f
+
+    def test_empty_pop_raises(self):
+        with pytest.raises(IndexError):
+            MCTSFrontier().pop()
+
+    def test_sibling_tie_breaks_to_latest_push(self):
+        # Equal priors and no rewards: the UCT scores tie and the seq
+        # tiebreak must prefer the most recent push — the explorer
+        # pushes the mispredicted arm second, so this matches the DFS
+        # preference for descending into fresh speculation first.
+        f = MCTSFrontier()
+        f.extend(["arch", "spec"])
+        assert f.pop() == "spec"
+
+    def test_trie_structure_follows_push_pop_protocol(self):
+        # Pushes between two pops are children of the last popped node:
+        # r's children are a and b; popping b then pushing b1/b2 hangs
+        # them under b.
+        f = MCTSFrontier()
+        f.push("r")
+        assert f.pop() == "r"
+        f.extend(["a", "b"])
+        assert f.pop() == "b"
+        f.extend(["b1", "b2"])
+        root = f._root
+        (r,) = root.children
+        assert [c.item for c in r.children] == ["a", None]
+        b = r.children[1]
+        assert [c.item for c in b.children] == ["b1", "b2"]
+
+    def test_completed_miss_decays_the_subtree(self):
+        # Walking a subtree costs nothing — with no evidence the order
+        # stays depth-first (b, then b's child).  A path *completing
+        # clean* adds visits up its chain, so the untouched sibling's
+        # score overtakes the decayed subtree — the bandit trade-off,
+        # driven by outcomes rather than by mere traversal.
+        f = MCTSFrontier()
+        f.push("root")
+        f.pop()
+        f.extend(["a", "b"])
+        assert f.pop() == "b"           # tie → latest push
+        f.extend(["b1", "b2"])
+        assert f.pop() == "b2"          # still evidence-free: depth-first
+        f.reward("b2", hit=False)       # b2's path completed, no violation
+        assert f.pop() == "a"           # b's chain decayed; a overtakes
+        assert f.pop() == "b1"
+
+    def test_reward_backpropagates_to_ancestors(self):
+        f = MCTSFrontier(exploration=0.0)
+        f.push("root")
+        root_item = f.pop()
+        f.extend(["left", "right"])
+        first = f.pop()                 # "right" (tie → latest)
+        assert first == "right"
+        f.reward(first, hit=True)
+        trie_root = f._root
+        (root_node,) = trie_root.children
+        right_node = root_node.children[1]
+        assert right_node.hits == 1.0
+        assert root_node.hits == 1.0    # credited up the chain
+        assert trie_root.hits == 1.0
+        assert f.reward(root_item, hit=True) is None  # stale item: no-op
+        assert right_node.hits == 1.0
+
+    def test_reward_steers_selection_with_zero_exploration(self):
+        # With c=0 the score is pure exploitation: a rewarded subtree's
+        # children outrank an unrewarded sibling pushed later.
+        f = MCTSFrontier(exploration=0.0)
+        f.push("root")
+        f.pop()
+        f.extend(["cold", "hot"])
+        hot = f.pop()
+        assert hot == "hot"
+        f.reward(hot, hit=True)
+        f.extend(["hot_child"])
+        assert f.pop() == "hot_child"   # q = (0+1)/1 via parent's hits
+        assert f.pop() == "cold"
+
+    def test_miss_adds_visits_not_reward_mass(self):
+        f = MCTSFrontier()
+        f.push("x")
+        item = f.pop()
+        f.reward(item, hit=False)
+        assert f._root.hits == 0.0
+        assert f._root.visits == 1
+
+
+class TestPriors:
+    def test_items_without_config_degrade_to_novelty(self):
+        f = MCTSFrontier(pc_of=lambda item: item[0])
+        assert f._prior((7, "payload")) == 1.0
+        f.push((7, "payload"))
+        f.pop()
+        assert f._prior((7, "again")) == pytest.approx(0.5)
+
+    def test_no_pc_of_still_works(self):
+        f = MCTSFrontier()
+        f.extend([object(), object()])
+        f.pop()
+        f.pop()
+
+    def test_taint_proximity_on_real_program(self):
+        # kocher_01's speculative gadget loads through a secret-derived
+        # index; an arm whose fetch PC sits at the gadget entry must
+        # out-score one far from any load.
+        case = find_case("kocher_01")
+        machine = Machine(case.program, rsb_policy=case.rsb_policy)
+        options = _case_options(case)
+        explorer = Explorer(machine, options)
+        result = explorer.explore(case.make_config(), stop_at_first=False)
+        assert result.paths_explored > 0
+        # The playout cache filled during the run: some PC saw a load.
+        # (Reconstruct a frontier the way explore_from does.)
+        f = MCTSFrontier(program=case.program)
+        distances = [f._nearest_load(pc)[0] for pc in range(len(case.program))
+                     if f._nearest_load(pc)[0] is not None]
+        assert distances and min(distances) == 0
+
+    def test_playout_depth_bounds_the_walk(self):
+        case = find_case("kocher_01")
+        shallow = MCTSFrontier(program=case.program, playout_depth=0)
+        deep = MCTSFrontier(program=case.program,
+                            playout_depth=DEFAULT_PLAYOUT_DEPTH)
+        hits_shallow = sum(1 for pc in range(len(case.program))
+                           if shallow._nearest_load(pc)[0] is not None)
+        hits_deep = sum(1 for pc in range(len(case.program))
+                        if deep._nearest_load(pc)[0] is not None)
+        assert hits_shallow <= hits_deep
+
+
+class TestKnobValidation:
+    def test_defaults_are_valid(self):
+        validate_mcts(DEFAULT_EXPLORATION, DEFAULT_PLAYOUT_DEPTH)
+
+    @pytest.mark.parametrize("c", (-1.0, float("nan"), float("inf"), True,
+                                   "0.5"))
+    def test_bad_exploration(self, c):
+        with pytest.raises(ValueError, match="mcts_c"):
+            validate_mcts(c, DEFAULT_PLAYOUT_DEPTH)
+
+    @pytest.mark.parametrize("depth", (-1, 2.5, True, "8"))
+    def test_bad_playout(self, depth):
+        with pytest.raises(ValueError, match="mcts_playout"):
+            validate_mcts(DEFAULT_EXPLORATION, depth)
+
+    def test_make_frontier_forwards_knobs(self):
+        f = make_frontier("mcts", exploration=1.25, playout_depth=3)
+        assert f.exploration == 1.25 and f.playout_depth == 3
+        with pytest.raises(ValueError, match="mcts_playout"):
+            make_frontier("mcts", playout_depth=2.5)
+
+    def test_other_strategies_ignore_mcts_knobs(self):
+        # make_frontier filters by cls.knobs, so the explorer can pass
+        # the mcts extras unconditionally.
+        f = make_frontier("dfs", program=None, exploration=9.0,
+                          playout_depth=1)
+        f.push(1)
+        assert f.pop() == 1
+
+    def test_options_validate_knobs(self):
+        from repro.api import AnalysisOptions
+        with pytest.raises(ValueError, match="mcts_c"):
+            AnalysisOptions(mcts_c=-2.0)
+        with pytest.raises(ValueError, match="mcts_playout"):
+            ExplorationOptions(mcts_playout=-3)
+
+
+class TestRegistryEquivalence:
+    """Run to completion, mcts flags the identical observation set."""
+
+    def test_full_litmus_registry_serial(self):
+        mismatches = []
+        for case in all_cases():
+            dfs = _run(case, _case_options(case, strategy="dfs"))
+            mcts = _run(case, _case_options(case))
+            if violation_set(mcts.violations) != violation_set(dfs.violations):
+                mismatches.append(case.name)
+            elif sorted(repr(p.schedule) for p in mcts.paths) != \
+                    sorted(repr(p.schedule) for p in dfs.paths):
+                mismatches.append(f"{case.name} (path set)")
+        assert not mismatches, f"mcts diverged from seed DFS on: {mismatches}"
+
+    @pytest.mark.parametrize("name", ("kocher_01", "kocher_05", "v1_fig1"))
+    def test_sharded_equivalence(self, name):
+        case = find_case(name)
+        dfs = _run(case, _case_options(case, strategy="dfs"))
+        sharded = _run(case, _case_options(case), shards=2)
+        assert violation_set(sharded.violations) == \
+            violation_set(dfs.violations)
+
+    def test_random_programs(self):
+        rng = random.Random(1234)
+        for _ in range(15):
+            program = random_program(rng)
+            config = random_config(rng)
+            machine = Machine(program)
+            dfs = Explorer(machine, ExplorationOptions(
+                bound=6, max_paths=400)).explore(config, stop_at_first=False)
+            mcts = Explorer(machine, ExplorationOptions(
+                bound=6, max_paths=400, strategy="mcts")).explore(
+                    config, stop_at_first=False)
+            assert violation_set(mcts.violations) == \
+                violation_set(dfs.violations)
+            assert mcts.paths_explored == dfs.paths_explored
+
+    def test_nondefault_knobs_preserve_equivalence(self):
+        case = find_case("kocher_03")
+        dfs = _run(case, _case_options(case, strategy="dfs"))
+        for c, depth in ((0.0, 0), (2.0, 16)):
+            mcts = _run(case, _case_options(case, mcts_c=c,
+                                            mcts_playout=depth))
+            assert violation_set(mcts.violations) == \
+                violation_set(dfs.violations)
