@@ -1,0 +1,45 @@
+"""Shared wall-clock measurement for the benchmark scripts.
+
+Every BENCH record is built from deterministic counters so the JSON is
+byte-stable and the gates are exact; wall time is still worth *having*
+(it is what a human reading the perf-smoke log wants first), it just
+must not leak into anything a gate compares.  ``measure`` is the one
+sanctioned way to put wall time in a record: monotonic clock, warm-up
+runs discarded, min-of-N best (the minimum is the standard noise floor
+estimator — scheduling jitter only ever adds time), all runs reported
+so a reader can judge the spread.  Callers stash the result under a
+``timing`` key that no gate inspects.
+"""
+
+import time
+from typing import Any, Callable, Dict
+
+__all__ = ["measure"]
+
+
+def measure(fn: Callable[[], Any], repeats: int = 3,
+            warmup: int = 1) -> Dict[str, Any]:
+    """Min-of-N wall-clock timing of ``fn`` on the monotonic clock.
+
+        timing = measure(lambda: explorer.explore(config))
+        record["timing"] = timing        # {"best": …, "runs": […], …}
+
+    ``warmup`` runs execute first and are discarded (import caches,
+    allocator warm-up); then ``repeats`` timed runs.  Returns a
+    JSON-ready dict: ``clock`` ("perf_counter"), ``warmup``,
+    ``repeats``, ``runs`` (each wall time, seconds, rounded to 6
+    places) and ``best`` (their minimum).
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    if warmup < 0:
+        raise ValueError("warmup must be >= 0")
+    for _ in range(warmup):
+        fn()
+    runs = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        runs.append(round(time.perf_counter() - t0, 6))
+    return {"clock": "perf_counter", "warmup": warmup,
+            "repeats": repeats, "runs": runs, "best": min(runs)}

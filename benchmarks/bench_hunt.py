@@ -5,8 +5,9 @@ flagged ``leaks_speculatively`` — the hunting population, including the
 haystack suite whose gadgets hide behind decoy work — run each search
 strategy with ``stop_at_first`` and record the engine's deterministic
 time-to-first-violation counters (frontier pops and applied machine
-steps; wall time is deliberately left out of the record so the JSON is
-byte-stable).
+steps).  Wall time lives only in the record's ``timing`` block
+(min-of-N via :mod:`_timing`); every gate compares counters, so the
+gated content stays byte-stable run to run.
 
 Context for reading the numbers: the single-gadget litmus programs are
 near DFS-optimal by construction — the violating arm is the
@@ -116,6 +117,17 @@ def run_benchmark():
         and row["mcts"]["steps"] < row["dfs"]["steps"])
     record["findings_identical"] = not any(
         "findings diverge" in m for m in record["mismatches"])
+
+    # -- wall time (informational only; no gate reads it) -------------------
+    # Every gate above compares deterministic counters; this timing
+    # block is the record's only wall-clock content.  Min-of-N on the
+    # mcts haystack hunt — the workload this benchmark exists for.
+    from _timing import measure
+    haystack = next(c for c in flagged if c.name == "haystack_01")
+    record["timing"] = {
+        "mcts_haystack_hunt": measure(
+            lambda: _explore(haystack, "mcts", stop_at_first=True)),
+    }
 
     # -- the anytime counters survive the CLI round trip --------------------
     from repro.api.cli import main as cli_main

@@ -151,7 +151,8 @@ def _explore(project: Project, options: AnalysisOptions, *,
                    subsume=options.subsume,
                    budget_seconds=options.budget_seconds,
                    mcts_c=options.mcts_c,
-                   mcts_playout=options.mcts_playout)
+                   mcts_playout=options.mcts_playout,
+                   telemetry=options.telemetry)
 
 
 @register
@@ -265,6 +266,10 @@ class SymbolicAnalysis(Analysis):
             # symbolic sweep cannot report honest coverage the way the
             # frontier can.  Surfaced, not silently dropped.
             details["budget_ignored"] = options.budget_seconds
+        if options.telemetry:
+            # Search telemetry instruments the frontier pop loop, which
+            # the symbolic replay does not drive.  Surfaced, not dropped.
+            details["telemetry_ignored"] = True
         return Report(
             target=project.name, analysis=self.name,
             status="secure" if result.secure else "insecure",
@@ -322,7 +327,9 @@ class SCTAnalysis(Analysis):
             vacuous=result.vacuous,
             wall_time=time.perf_counter() - t0,
             details={"pairs_checked": result.pairs_checked,
-                     "schedules": len(schedules)},
+                     "schedules": len(schedules),
+                     **({"telemetry_ignored": True}
+                        if options.telemetry else {})},
         )
 
 
@@ -417,6 +424,10 @@ class RepairAnalysis(Analysis):
             # Repair re-verifies to a *certificate*; a wall-clock cut
             # mid-loop would certify nothing.  Surfaced, not dropped.
             details["budget_ignored"] = options.budget_seconds
+        if options.telemetry:
+            # The repair loop runs many re-verifications; a single
+            # heatmap over all of them would be misleading.  Surfaced.
+            details["telemetry_ignored"] = True
         wall = time.perf_counter() - t0
         # NB: AnalysisReport.__bool__ is "secure" — guard on None, not
         # truthiness, or insecure final reports zero these fields out.

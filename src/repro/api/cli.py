@@ -32,7 +32,8 @@ import json
 import os
 import sys
 import time
-from typing import Dict, List, Optional
+from contextlib import contextmanager
+from typing import Any, Dict, List, Optional
 
 from .analyses import available_aliases, available_analyses
 from .manager import AnalysisManager
@@ -57,6 +58,7 @@ def _option_overrides(args) -> Dict:
         "seed": args.seed,
         "prune": args.prune,
         "subsume": getattr(args, "subsume", None),
+        "telemetry": getattr(args, "telemetry", None),
         "budget_seconds": getattr(args, "budget_seconds", None),
         "mcts_c": getattr(args, "mcts_c", None),
         "mcts_playout": getattr(args, "mcts_playout", None),
@@ -139,6 +141,15 @@ def _add_option_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--no-subsume", dest="subsume",
                         action="store_false",
                         help="disable redundant-state subsumption")
+    parser.add_argument("--telemetry", action="store_true", default=None,
+                        help="record search telemetry (per-fetch-PC "
+                             "heatmap + fork-level histogram) onto the "
+                             "report's telemetry section; pure "
+                             "observation, the explored set is unchanged")
+    parser.add_argument("--no-telemetry", dest="telemetry",
+                        action="store_false",
+                        help="disable search telemetry (overrides the "
+                             "--trace implication)")
     parser.add_argument("--budget-seconds", type=float, metavar="SECONDS",
                         help="anytime mode: stop exploring at this "
                              "wall-clock deadline and report honest "
@@ -222,6 +233,38 @@ def _target_spec(target: str, args) -> Dict:
     return spec_for_name(target, preset=preset)
 
 
+@contextmanager
+def _traced(args, header: Dict[str, Any]):
+    """Scope an ambient tracer over a command when ``--trace FILE`` was
+    given; write the span capture (JSONL, ``repro trace`` readable) on
+    the way out.  Yields the tracer (None when tracing is off) so
+    commands can add their own spans.  ``header`` may be filled in
+    *inside* the block (e.g. with the report's telemetry section) —
+    it is serialised at exit.  All notices go to stderr, never stdout.
+    """
+    path = getattr(args, "trace", None)
+    if not path:
+        yield None
+        return
+    from ..obs import Tracer, tracing_context, write_capture
+    tracer = Tracer()
+    with tracing_context(tracer):
+        yield tracer
+    spans = tracer.export()
+    write_capture(path, spans, header=header)
+    print(f"trace: {len(spans)} span(s) written to {path} "
+          f"(inspect with `repro trace summary {path}`)", file=sys.stderr)
+
+
+def _imply_telemetry(args, overrides: Dict) -> Dict:
+    """``--trace`` implies ``--telemetry`` (a capture without the search
+    heatmap is half a trace) unless the user said ``--no-telemetry``."""
+    if getattr(args, "trace", None) and overrides.get("telemetry") is None:
+        overrides = dict(overrides)
+        overrides["telemetry"] = True
+    return overrides
+
+
 # -- subcommands ------------------------------------------------------------
 
 
@@ -265,7 +308,13 @@ def cmd_list(args) -> int:
 
 def cmd_analyze(args) -> int:
     project = _resolve_target(args.target, args)
-    report = project.run(args.analysis, **_option_overrides(args))
+    overrides = _imply_telemetry(args, _option_overrides(args))
+    header = {"command": "analyze", "target": args.target,
+              "analysis": args.analysis}
+    with _traced(args, header):
+        report = project.run(args.analysis, **overrides)
+        header["telemetry"] = (dict(report.telemetry)
+                               if report.telemetry is not None else None)
     if args.json:
         print(report.to_json(indent=2))
     else:
@@ -305,26 +354,36 @@ def cmd_litmus(args) -> int:
     if unknown:
         raise SystemExit(f"unknown suite(s) {unknown}; available: {known}")
     manager = AnalysisManager("pitchfork", workers=args.workers)
+    overrides = _imply_telemetry(args, _option_overrides(args))
     out: Dict[str, Dict] = {}
     mismatches = []
     truncated = []
     flagged_any = vacuous_any = False
     t0 = time.time()
-    for suite in names:
-        projects = [Project.from_litmus(case) for case in load_suite(suite)]
-        reports = manager.run(projects, **_option_overrides(args))
-        truncated.extend(r for r in reports if r.truncated)
-        vacuous_any = vacuous_any or any(r.vacuous for r in reports)
-        rows = {}
-        for project, report in zip(projects, reports):
-            flagged = not report.ok
-            flagged_any = flagged_any or flagged
-            expected = project.expected == "flagged"
-            rows[project.name] = {"flagged": flagged, "expected": expected,
-                                  "wall_time": round(report.wall_time, 3)}
-            if flagged != expected:
-                mismatches.append(project.name)
-        out[suite] = rows
+    # NB: with --workers > 1 the per-case exploration happens in pool
+    # processes the ambient tracer does not reach; the capture then
+    # carries the parent-side manager.run spans only.
+    header = {"command": "litmus", "suites": names,
+              "workers": args.workers}
+    with _traced(args, header):
+        for suite in names:
+            projects = [Project.from_litmus(case)
+                        for case in load_suite(suite)]
+            reports = manager.run(projects, **overrides)
+            truncated.extend(r for r in reports if r.truncated)
+            vacuous_any = vacuous_any or any(r.vacuous for r in reports)
+            rows = {}
+            for project, report in zip(projects, reports):
+                flagged = not report.ok
+                flagged_any = flagged_any or flagged
+                expected = project.expected == "flagged"
+                rows[project.name] = {"flagged": flagged,
+                                      "expected": expected,
+                                      "wall_time": round(report.wall_time,
+                                                         3)}
+                if flagged != expected:
+                    mismatches.append(project.name)
+            out[suite] = rows
     elapsed = time.time() - t0
     if args.json:
         print(json.dumps({"suites": out, "mismatches": mismatches,
@@ -391,8 +450,15 @@ def cmd_serve(args) -> int:
         try:
             with ServeClient(socket_path=args.socket, host=args.host,
                              port=args.port or None) as client:
-                out = (client.shutdown(drain=not args.no_drain)
-                       if args.stop else client.stats())
+                if args.stop:
+                    out = client.shutdown(drain=not args.no_drain)
+                else:
+                    out = client.stats().to_dict()
+                    try:
+                        out["metrics"] = client.metrics().get("metrics")
+                    except ServeError:
+                        # Daemon predates the metrics RPC.
+                        out["metrics"] = None
         except (ConnectionError, ServeError) as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 3
@@ -433,7 +499,8 @@ def cmd_submit(args) -> int:
     from ..serve import ServeClient, ServeError
     spec = _target_spec(args.target, args)
     overrides = {name: value
-                 for name, value in _option_overrides(args).items()
+                 for name, value
+                 in _imply_telemetry(args, _option_overrides(args)).items()
                  if value is not None}
 
     def echo(event):
@@ -449,14 +516,33 @@ def cmd_submit(args) -> int:
             print(f"  split into {event['jobs']} jobs "
                   f"({event['shards']} shards)", file=sys.stderr)
 
+    # The analysis runs in the daemon's processes, out of the ambient
+    # tracer's reach — the capture records the client-side RPC phases
+    # (submit, wait) and carries the report's telemetry section in its
+    # header.
+    header = {"command": "submit", "target": args.target,
+              "analysis": args.analysis}
     try:
-        with ServeClient(socket_path=args.socket, host=args.host,
-                         port=args.port or None,
-                         timeout=args.timeout) as client:
+        with _traced(args, header) as tracer, \
+                ServeClient(socket_path=args.socket, host=args.host,
+                            port=args.port or None,
+                            timeout=args.timeout) as client:
+            ts = tracer.start() if tracer is not None else 0.0
             job = client.submit(spec, analysis=args.analysis,
                                 options=overrides)
+            if tracer is not None:
+                tracer.add("submit", "client", ts,
+                           {"job": job.get("job"),
+                            "cached": bool(job.get("cached"))})
+            ts = tracer.start() if tracer is not None else 0.0
             report, cache = client.wait(job["job"], timeout=args.timeout,
                                         on_event=echo)
+            if tracer is not None:
+                tracer.add("wait", "client", ts,
+                           {"source": cache.get("source")})
+            header["telemetry"] = (
+                dict(report.telemetry)
+                if report.telemetry is not None else None)
     except (ConnectionError, ServeError, TimeoutError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 3
@@ -476,6 +562,66 @@ def cmd_submit(args) -> int:
         return 1
     if args.check and (report.truncated or report.vacuous):
         return 2
+    return 0
+
+
+def cmd_trace(args) -> int:
+    """``repro trace``: inspect a ``--trace`` span capture.
+
+    ``summary`` aggregates the capture (span counts and wall time per
+    (category, name) series, processes, shards, the header's telemetry
+    digest); ``export --format chrome`` converts it to Chrome
+    ``trace_event`` JSON loadable in Perfetto / ``chrome://tracing``.
+    """
+    from ..obs import (chrome_trace, read_capture, sort_spans,
+                       summarize_spans)
+    try:
+        header, spans = read_capture(args.file)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 3
+    if args.trace_command == "summary":
+        summary = summarize_spans(spans)
+        if header is not None:
+            summary["header"] = {k: v for k, v in header.items()
+                                 if k not in ("kind", "version")}
+        if args.json:
+            print(json.dumps(summary, indent=2, sort_keys=True))
+            return 0
+        head = summary.get("header", {})
+        what = " ".join(str(head[k]) for k in ("command", "target")
+                        if head.get(k))
+        print(f"capture: {summary['spans']} span(s), "
+              f"{summary['processes']} process(es), "
+              f"shards {summary['shards'] or '[]'}"
+              + (f" — {what}" if what else ""))
+        for series in summary["series"]:
+            print(f"  {series['cat'] + '/' + series['name']:<24} "
+                  f"×{series['count']:<6} {series['wall']:.4f}s")
+        telemetry = head.get("telemetry")
+        if telemetry:
+            heatmap = telemetry.get("heatmap", {})
+            hottest = sorted(heatmap.items(),
+                             key=lambda kv: (-kv[1], int(kv[0])))[:5]
+            print(f"  telemetry: {telemetry.get('pops', 0)} pops over "
+                  f"{len(heatmap)} fetch PCs; hottest: "
+                  + ", ".join(f"pc {pc} ×{n}" for pc, n in hottest))
+        return 0
+    # export
+    spans = sort_spans(spans)
+    if args.format == "chrome":
+        payload = json.dumps(chrome_trace(spans), indent=2,
+                             sort_keys=True)
+    else:
+        payload = "\n".join(json.dumps({"kind": "span", **span},
+                                       sort_keys=True) for span in spans)
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(payload + "\n")
+        print(f"wrote {len(spans)} span(s) to {args.output}",
+              file=sys.stderr)
+    else:
+        print(payload)
     return 0
 
 
@@ -559,6 +705,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_analyze.add_argument("--check", action="store_true",
                            help="CI gate: exit nonzero on any violation, "
                                 "truncated coverage, or a vacuous pass")
+    p_analyze.add_argument("--trace", metavar="FILE",
+                           help="capture a span trace of the run (implies "
+                                "--telemetry; inspect with `repro trace`)")
     _add_preset_flag(p_analyze)
     _add_option_flags(p_analyze)
     p_analyze.set_defaults(func=cmd_analyze)
@@ -600,6 +749,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_litmus.add_argument("--check", action="store_true",
                           help="CI gate: exit nonzero on any violation, "
                                "truncated coverage, or a vacuous pass")
+    p_litmus.add_argument("--trace", metavar="FILE",
+                          help="capture a span trace of the sweep "
+                               "(in-process explorations only; inspect "
+                               "with `repro trace`)")
     _add_option_flags(p_litmus)
     p_litmus.set_defaults(func=cmd_litmus)
 
@@ -657,10 +810,33 @@ def build_parser() -> argparse.ArgumentParser:
                           help="stream per-shard progress to stderr")
     p_submit.add_argument("--timeout", type=float, default=600.0,
                           help="give up after this many seconds (exit 3)")
+    p_submit.add_argument("--trace", metavar="FILE",
+                          help="capture the client-side RPC phases plus "
+                               "the report's telemetry section (implies "
+                               "--telemetry)")
     add_endpoint_flags(p_submit)
     _add_preset_flag(p_submit)
     _add_option_flags(p_submit)
     p_submit.set_defaults(func=cmd_submit)
+
+    p_trace = sub.add_parser(
+        "trace", help="inspect a --trace span capture")
+    trace_sub = p_trace.add_subparsers(dest="trace_command", required=True)
+    p_tsummary = trace_sub.add_parser(
+        "summary", help="aggregate span counts/wall time per series")
+    p_tsummary.add_argument("file", help="a --trace capture (JSONL)")
+    p_tsummary.add_argument("--json", action="store_true")
+    p_tsummary.set_defaults(func=cmd_trace)
+    p_texport = trace_sub.add_parser(
+        "export", help="convert a capture (chrome trace_event or JSONL)")
+    p_texport.add_argument("file", help="a --trace capture (JSONL)")
+    p_texport.add_argument("--format", choices=("chrome", "jsonl"),
+                           default="chrome",
+                           help="chrome: Perfetto/chrome://tracing "
+                                "loadable JSON (default)")
+    p_texport.add_argument("-o", "--output", metavar="FILE",
+                           help="write here instead of stdout")
+    p_texport.set_defaults(func=cmd_trace)
 
     p_results = sub.add_parser(
         "results", help="list / GC stored analysis results")

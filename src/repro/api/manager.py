@@ -30,6 +30,7 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
+from ..obs import ambient_tracer
 from .analyses import get_analysis
 from .project import AnalysisOptions, Project
 from .report import Report
@@ -115,6 +116,10 @@ class AnalysisManager:
         shared override) or keyword overrides are given.
         """
         projects = list(projects)
+        tracer = ambient_tracer()
+        run_ts = tracer.start() if tracer.enabled else 0.0
+        hits_before = self._info.hits
+        disk_before = self._info.disk_hits
         payloads = []
         for project in projects:
             opts = (options if options is not None
@@ -150,6 +155,16 @@ class AnalysisManager:
                     self._cache[keys[i]] = report
                 self._to_store(keys[i], report)
         self._info.size = len(self._cache)
+        if tracer.enabled:
+            # One span per batch: which tier answered how many targets
+            # (computed = cold misses actually executed this call).
+            tracer.add("manager.run", "manager", run_ts, {
+                "analysis": self.analysis,
+                "projects": len(projects),
+                "computed": len(pending),
+                "memory_hits": self._info.hits - hits_before,
+                "disk_hits": self._info.disk_hits - disk_before,
+                "workers": self.workers or 1})
         return [results[i] for i in range(len(projects))]
 
     def run_one(self, project: Project, **overrides) -> Report:

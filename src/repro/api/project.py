@@ -29,6 +29,7 @@ from ..engine.mcts import (DEFAULT_EXPLORATION, DEFAULT_PLAYOUT_DEPTH,
                            validate_mcts)
 from ..engine.por import PRUNE_LEVELS
 from ..engine.subsume import validate_subsume
+from ..obs import validate_telemetry
 from ..pitchfork.explorer import validate_budget
 
 #: Default Table 2 bounds (see ``repro.casestudies.common``): the ported
@@ -95,6 +96,12 @@ class AnalysisOptions:
     mcts_c: float = DEFAULT_EXPLORATION
     #: Static-playout lookahead depth for ``strategy="mcts"``.
     mcts_playout: int = DEFAULT_PLAYOUT_DEPTH
+    #: Record search telemetry (per-fetch-PC heatmap, fork-level
+    #: schedule histogram — see :mod:`repro.obs.telemetry`) onto the
+    #: report's ``telemetry`` section.  Pure observation: the explored
+    #: schedule set and every violation are unchanged.  Off by default
+    #: so defaulted options keep their pre-existing store keys.
+    telemetry: bool = False
 
     # -- the symbolic back end ----------------------------------------------
     max_schedules: int = 512        #: tool schedules replayed symbolically
@@ -151,6 +158,7 @@ class AnalysisOptions:
         validate_subsume(self.subsume)
         validate_budget(self.budget_seconds)
         validate_mcts(self.mcts_c, self.mcts_playout)
+        validate_telemetry(self.telemetry)
         # Normalise sequences so options stay hashable (cache keys).
         object.__setattr__(self, "jmpi_targets", tuple(self.jmpi_targets))
         object.__setattr__(self, "rsb_targets", tuple(self.rsb_targets))

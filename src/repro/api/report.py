@@ -31,7 +31,12 @@ from typing import Any, Dict, Mapping, Optional, Tuple
 CLEAN_STATUSES = frozenset({"secure", "clean", "ok", "already-secure",
                             "repaired"})
 
-#: Version of the serialised report shape.  6 added the ``anytime``
+#: Version of the serialised report shape.  7 added the ``telemetry``
+#: section (search telemetry from :mod:`repro.obs.telemetry`: the
+#: per-fetch-PC exploration ``heatmap``, the per-fork-level completed
+#: schedule histogram ``fork_levels``, ``pops``, and ``wall_time`` —
+#: the only volatile field, zeroed by the store's ``strip_volatile``);
+#: 6 added the ``anytime``
 #: section (honest coverage stats for wall-clock-budgeted runs:
 #: budget_seconds, budget_consumed, deadline_hit, paths_explored,
 #: frontier_remaining, first_violation_time) and ``first_violation``
@@ -46,7 +51,7 @@ CLEAN_STATUSES = frozenset({"secure", "clean", "ok", "already-secure",
 #: search-strategy fields and per-shard stats; 1 (implicit, no marker)
 #: is the pre-sharding shape.  All older versions are still accepted by
 #: :meth:`Report.from_dict`.
-SCHEMA_VERSION = 6
+SCHEMA_VERSION = 7
 
 
 @dataclass(frozen=True)
@@ -212,6 +217,14 @@ class Report:
     #: be compared on the bug-hunting objective without external
     #: timing.  None on clean runs and non-exploration analyses.
     first_violation: Optional[Mapping[str, Any]] = None
+    #: Search telemetry when the run was asked for it
+    #: (``telemetry=True``; see :mod:`repro.obs.telemetry`):
+    #: ``heatmap`` (pops per fetch PC, stringified-int keys),
+    #: ``fork_levels`` (completed schedules per fork depth, same key
+    #: convention), ``pops``, ``wall_time``.  Everything except
+    #: ``wall_time`` is deterministic for a fixed configuration
+    #: (including the shard count).  None when telemetry was off.
+    telemetry: Optional[Mapping[str, Any]] = None
     details: Mapping[str, Any] = field(default_factory=dict)
 
     def __bool__(self) -> bool:
@@ -258,6 +271,8 @@ class Report:
             "first_violation": (dict(self.first_violation)
                                 if self.first_violation is not None
                                 else None),
+            "telemetry": (dict(self.telemetry)
+                          if self.telemetry is not None else None),
             "details": dict(self.details),
         }
 
@@ -300,6 +315,8 @@ class Report:
             first_violation=(dict(data["first_violation"])
                              if data.get("first_violation") is not None
                              else None),
+            telemetry=(dict(data["telemetry"])
+                       if data.get("telemetry") is not None else None),
             details=dict(data.get("details", {})),
         )
 
@@ -349,6 +366,17 @@ class Report:
                 f"{fv.get('steps', '?')} machine steps"
                 + (f", {fv['wall_time']:.3f}s"
                    if fv.get("wall_time") is not None else ""))
+        if self.telemetry is not None:
+            t = self.telemetry
+            heatmap = t.get("heatmap", {})
+            hottest = max(heatmap.items(), key=lambda kv: kv[1],
+                          default=None)
+            hot = (f", hottest pc {hottest[0]} ×{hottest[1]}"
+                   if hottest is not None else "")
+            lines.append(
+                f"  telemetry: {t.get('pops', 0)} pops over "
+                f"{len(heatmap)} fetch PCs, "
+                f"{len(t.get('fork_levels', {}))} fork levels{hot}")
         for phase in self.phases:
             lines.append(f"  phase {phase.name} [bound={phase.bound}]: "
                          f"{'secure' if phase.secure else 'VIOLATIONS'} "
@@ -427,5 +455,8 @@ def from_analysis_report(report, target: str, analysis: str,
         first_violation=(dict(report.first_violation)
                          if getattr(report, "first_violation", None)
                          is not None else None),
+        telemetry=(dict(report.telemetry)
+                   if getattr(report, "telemetry", None) is not None
+                   else None),
         details=dict(details or {}),
     )

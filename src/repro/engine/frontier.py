@@ -73,6 +73,11 @@ class Frontier:
     description: str = ""
     #: Extra constructor kwargs :func:`make_frontier` may forward.
     knobs: Tuple[str, ...] = ()
+    #: Why the most recent :meth:`pop` chose its item, as a small dict
+    #: of scores — ``None`` for fixed orderings.  Ranking strategies
+    #: (``mcts``) fill it; a tracing driver attaches it to the pop's
+    #: span.  Valid until the next pop.
+    last_pop_info: Optional[Dict[str, float]] = None
 
     def __init__(self, seed: int = 0,
                  pc_of: Optional[Callable[[Any], Optional[int]]] = None):

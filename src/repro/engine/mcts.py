@@ -193,6 +193,11 @@ class MCTSFrontier(Frontier):
             node = max((c for c in node.children if c.pending_desc > 0),
                        key=self._selection_key)
         item = node.item
+        # Why this leaf won, for tracing drivers: its playout prior and
+        # its full UCT score at selection time (the root is never
+        # pending, so every popped node has a parent for the score).
+        self.last_pop_info = {"prior": node.prior,
+                              "uct": self._selection_key(node)[0]}
         node.item = None
         node.pending = False
         walk = node

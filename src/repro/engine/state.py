@@ -32,7 +32,7 @@ class MachineState:
 
     __slots__ = ("config", "schedule", "trace", "notes", "delayed",
                  "deferred", "sleep", "fetches", "steps", "exhausted",
-                 "finished")
+                 "finished", "depth")
 
     def __init__(self, config: Config,
                  schedule: Log = EMPTY_LOG,
@@ -41,7 +41,8 @@ class MachineState:
                  delayed: Optional[Set[int]] = None,
                  fetches: int = 0, steps: int = 0,
                  deferred: Optional[Set[int]] = None,
-                 sleep: Optional[Set[tuple]] = None):
+                 sleep: Optional[Set[tuple]] = None,
+                 depth: int = 0):
         self.config = config
         self.schedule = schedule      #: Log of Directive
         self.trace = trace            #: Log of Observation
@@ -58,13 +59,18 @@ class MachineState:
         self.steps = steps
         self.exhausted = False        #: a per-path budget was hit
         self.finished = False         #: cleanly pruned by the driver
+        #: fork-tree depth (number of choice points above this arm) —
+        #: driver bookkeeping for the search-telemetry fork-level
+        #: histogram, never consulted by the semantics
+        self.depth = depth
 
     def fork(self) -> "MachineState":
         """An independent state sharing all history with this one."""
         return MachineState(self.config, self.schedule, self.trace,
                             self.notes, set(self.delayed),
                             self.fetches, self.steps,
-                            set(self.deferred), set(self.sleep))
+                            set(self.deferred), set(self.sleep),
+                            self.depth)
 
     def residual_obligations(self):
         """What this state still owes the exploration, beyond its

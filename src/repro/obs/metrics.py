@@ -1,0 +1,175 @@
+"""Aggregated counters, gauges and fixed-bucket histograms.
+
+Spans (:mod:`repro.obs.tracer`) answer "what happened in this run";
+metrics answer "what is this *process* doing over time" — the resident
+daemon's question.  A :class:`MetricsRegistry` is a named bag of three
+instrument kinds, all zero-dependency and thread-safe:
+
+* :class:`Counter` — monotonically increasing totals (jobs computed,
+  store hits);
+* :class:`Gauge` — last-write-wins samples of a level (pool workers
+  live, jobs in flight, store hit ratio);
+* :class:`Histogram` — fixed cumulative buckets over observations
+  (job wall seconds).  Buckets are fixed at construction so two
+  registries (or two scrapes of one) are always comparable; the
+  default :data:`DEFAULT_BUCKETS` ladder spans 1 ms to 60 s.
+
+Rendering is either a JSON-ready dict (:meth:`MetricsRegistry.to_dict`
+— what the daemon's ``metrics`` RPC returns) or a flat text exposition
+(:meth:`MetricsRegistry.render_text`, one ``name value`` line per
+series in sorted order, histogram buckets as cumulative ``le=`` series
+— the conventional scrape format, greppable in CI logs).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
+           "DEFAULT_BUCKETS"]
+
+#: Default histogram ladder (seconds): sub-millisecond work up to the
+#: one-minute jobs the daemon's batch sweeps submit.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0, 10.0, 30.0, 60.0)
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    __slots__ = ("name", "value", "_lock")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease "
+                             f"(inc by {amount})")
+        with self._lock:
+            self.value += amount
+
+
+class Gauge:
+    """A last-write-wins level sample."""
+
+    __slots__ = ("name", "value", "_lock")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self.value = value
+
+
+class Histogram:
+    """Cumulative fixed-bucket distribution of observations.
+
+    ``counts[i]`` tallies observations ``<= buckets[i]``; the implicit
+    final ``+Inf`` bucket catches the rest.  ``sum``/``count`` give the
+    mean without storing observations.
+    """
+
+    __slots__ = ("name", "buckets", "counts", "sum", "count", "_lock")
+
+    def __init__(self, name: str,
+                 buckets: Tuple[float, ...] = DEFAULT_BUCKETS):
+        if not buckets or list(buckets) != sorted(buckets):
+            raise ValueError(f"histogram {name} needs ascending "
+                             f"buckets, got {buckets!r}")
+        self.name = name
+        self.buckets = tuple(float(b) for b in buckets)
+        self.counts = [0] * (len(self.buckets) + 1)
+        self.sum = 0.0
+        self.count = 0
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            self.sum += value
+            self.count += 1
+            for i, bound in enumerate(self.buckets):
+                if value <= bound:
+                    self.counts[i] += 1
+                    return
+            self.counts[-1] += 1
+
+    def to_dict(self) -> Dict[str, Any]:
+        cumulative: Dict[str, int] = {}
+        running = 0
+        for bound, n in zip(self.buckets, self.counts):
+            running += n
+            cumulative[repr(bound)] = running
+        cumulative["+Inf"] = running + self.counts[-1]
+        return {"buckets": cumulative, "sum": self.sum,
+                "count": self.count}
+
+
+class MetricsRegistry:
+    """Named instruments, created on first use, rendered in sorted
+    order so two scrapes diff cleanly."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            instrument = self._counters.get(name)
+            if instrument is None:
+                instrument = self._counters[name] = Counter(name)
+            return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            instrument = self._gauges.get(name)
+            if instrument is None:
+                instrument = self._gauges[name] = Gauge(name)
+            return instrument
+
+    def histogram(self, name: str,
+                  buckets: Optional[Tuple[float, ...]] = None) -> Histogram:
+        with self._lock:
+            instrument = self._histograms.get(name)
+            if instrument is None:
+                instrument = self._histograms[name] = Histogram(
+                    name, buckets if buckets is not None
+                    else DEFAULT_BUCKETS)
+            return instrument
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready snapshot: ``{"counters": {...}, "gauges": {...},
+        "histograms": {...}}`` with sorted names."""
+        with self._lock:
+            return {
+                "counters": {name: c.value for name, c
+                             in sorted(self._counters.items())},
+                "gauges": {name: g.value for name, g
+                           in sorted(self._gauges.items())},
+                "histograms": {name: h.to_dict() for name, h
+                               in sorted(self._histograms.items())},
+            }
+
+    def render_text(self) -> str:
+        """Flat ``name value`` exposition, one line per series."""
+        snapshot = self.to_dict()
+        lines: List[str] = []
+        for name, value in snapshot["counters"].items():
+            lines.append(f"{name} {value}")
+        for name, value in snapshot["gauges"].items():
+            lines.append(f"{name} {value:g}")
+        for name, hist in snapshot["histograms"].items():
+            for bound, running in hist["buckets"].items():
+                lines.append(f'{name}_bucket{{le="{bound}"}} {running}')
+            lines.append(f"{name}_sum {hist['sum']:g}")
+            lines.append(f"{name}_count {hist['count']}")
+        return "\n".join(lines) + ("\n" if lines else "")

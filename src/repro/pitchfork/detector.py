@@ -67,6 +67,10 @@ class AnalysisReport:
     #: steps are strategy-comparable without external timing), None on
     #: clean runs and for legacy producers.
     first_violation: Optional[Mapping] = None
+    #: Search telemetry (``{"heatmap", "fork_levels", "pops",
+    #: "wall_time"}``, see :mod:`repro.obs.telemetry`); present iff the
+    #: run was asked for it (``telemetry=True``), None otherwise.
+    telemetry: Optional[Mapping] = None
 
     def __bool__(self) -> bool:
         return self.secure
@@ -92,6 +96,7 @@ def analyze(program: Program, config: Config,
             budget_seconds: Optional[float] = None,
             mcts_c: float = DEFAULT_EXPLORATION,
             mcts_playout: int = DEFAULT_PLAYOUT_DEPTH,
+            telemetry: bool = False,
             clock: Optional[Callable[[], float]] = None) -> AnalysisReport:
     """One Pitchfork run: explore DT(bound), flag secret observations.
 
@@ -114,9 +119,12 @@ def analyze(program: Program, config: Config,
     wall-clock deadline, the report is marked truncated (never clean),
     and ``report.anytime`` carries honest coverage stats.  ``mcts_c``
     and ``mcts_playout`` tune ``strategy="mcts"``
-    (:mod:`repro.engine.mcts`).  ``clock`` injects a monotonic clock for
-    deterministic anytime tests (parent process only; shard workers
-    keep the real clock).
+    (:mod:`repro.engine.mcts`).  ``telemetry`` records the search's
+    per-fetch-PC heatmap and fork-level schedule histogram onto the
+    report (:mod:`repro.obs.telemetry`) — pure observation, the
+    explored schedule set is unchanged.  ``clock`` injects a monotonic
+    clock for deterministic anytime tests (parent process only; shard
+    workers keep the real clock).
     """
     machine = Machine(program, evaluator=evaluator, rsb_policy=rsb_policy)
     options = ExplorationOptions(bound=bound, fwd_hazards=fwd_hazards,
@@ -131,7 +139,8 @@ def analyze(program: Program, config: Config,
                                  subsume=subsume,
                                  budget_seconds=budget_seconds,
                                  mcts_c=mcts_c,
-                                 mcts_playout=mcts_playout)
+                                 mcts_playout=mcts_playout,
+                                 telemetry=telemetry)
     if shards > 1 and evaluator is None:
         from .sharding import ShardedExplorer
         result = ShardedExplorer(machine, options, shards=shards,
@@ -156,7 +165,8 @@ def analyze(program: Program, config: Config,
                           pruning=result.pruning,
                           subsumption=result.subsumption,
                           anytime=result.anytime,
-                          first_violation=first_violation)
+                          first_violation=first_violation,
+                          telemetry=result.telemetry)
 
 
 def analyze_two_phase(program: Program, config: Config,

@@ -77,8 +77,8 @@ from __future__ import annotations
 import math
 import time
 from dataclasses import dataclass, field
-from typing import (Any, Callable, FrozenSet, List, Mapping, Optional, Set,
-                    Tuple, Union)
+from typing import (Any, Callable, Dict, FrozenSet, List, Mapping, Optional,
+                    Set, Tuple, Union)
 
 from ..core.config import Config
 from ..core.directives import Directive, Execute, Fetch, Retire, Schedule
@@ -98,6 +98,7 @@ from ..engine.mcts import (DEFAULT_EXPLORATION, DEFAULT_PLAYOUT_DEPTH,
                            validate_mcts)
 from ..engine.por import drop_dead_entries, hazard_load, validate_prune
 from ..engine.subsume import validate_subsume
+from ..obs import SearchTelemetry, ambient_tracer, validate_telemetry
 
 
 def validate_budget(budget_seconds: Optional[float]) -> None:
@@ -167,12 +168,20 @@ class ExplorationOptions:
     #: Static-playout lookahead depth for ``strategy="mcts"``; ignored
     #: by other strategies.
     mcts_playout: int = DEFAULT_PLAYOUT_DEPTH
+    #: Search telemetry (see :mod:`repro.obs.telemetry`): accumulate
+    #: the per-fetch-PC pop heatmap and per-fork-level schedule
+    #: histogram and attach them to the result.  Pure counters over
+    #: the run the explorer performs anyway — never changes which
+    #: schedules are explored — and off by default so defaulted store
+    #: keys are unchanged.
+    telemetry: bool = False
 
     def __post_init__(self):
         validate_prune(self.prune)
         validate_subsume(self.subsume)
         validate_budget(self.budget_seconds)
         validate_mcts(self.mcts_c, self.mcts_playout)
+        validate_telemetry(self.telemetry)
 
 
 @dataclass(frozen=True)
@@ -290,6 +299,11 @@ class ExplorationResult:
     #: Anytime coverage accounting; present iff ``budget_seconds`` was
     #: set on the options (honest even when the run beat the deadline).
     anytime: Optional[AnytimeStats] = None
+    #: Search-telemetry section (see :mod:`repro.obs.telemetry`);
+    #: present iff ``options.telemetry`` was set.  Already serialised
+    #: (string keys) — it crosses the shard boundary and lands in the
+    #: report verbatim.
+    telemetry: Optional[Dict[str, Any]] = None
 
     @property
     def secure(self) -> bool:
@@ -380,6 +394,13 @@ class Explorer:
         #: wall times; injectable so anytime behaviour is testable with
         #: a fake clock instead of time.sleep.
         self._clock = clock if clock is not None else time.monotonic
+        #: The ambient span recorder (NULL_TRACER unless a
+        #: tracing_context encloses this construction).  Checked once
+        #: per frontier pop — never inside the step loop.
+        self._tracer = ambient_tracer()
+        #: Search-telemetry accumulator (None when the knob is off).
+        self._telemetry: Optional[SearchTelemetry] = \
+            SearchTelemetry() if options.telemetry else None
         self._applied = 0  #: schedule steps applied in the current run
         self._skipped = 0  #: pruned subtree roots (joins + collapsed arms)
         self._pops = 0     #: frontier pops in the current run
@@ -416,6 +437,8 @@ class Explorer:
         self._frontier_remaining = 0
         self._seen = SeenStates() if self.options.subsume else None
         self._subsumed_notes = []
+        self._telemetry = SearchTelemetry() if self.options.telemetry \
+            else None
         return self.explore_from([MachineState(initial)], stop_at_first)
 
     def explore_from(self, states: List[MachineState],
@@ -435,6 +458,9 @@ class Explorer:
                                  exploration=self.options.mcts_c,
                                  playout_depth=self.options.mcts_playout)
         frontier.extend(states)
+        tracer = self._tracer
+        telemetry = self._telemetry
+        run_started = tracer.start() if tracer.enabled else 0.0
         while frontier:
             # Deadline checks sit at pop boundaries only, so a run with
             # an injected fake clock is deterministic: the same pops
@@ -449,8 +475,15 @@ class Explorer:
                 break
             path = frontier.pop()
             self._pops += 1
-            forks = self._run_path(path)
+            if telemetry is not None:
+                telemetry.record_pop(path.config.pc)
+            if tracer.enabled:
+                forks = self._run_path_traced(path, frontier)
+            else:
+                forks = self._run_path(path)
             if forks is None:
+                if telemetry is not None:
+                    telemetry.record_schedule(path.depth)
                 result.paths_explored += 1
                 result.states_stepped += path.steps
                 path_result = self._materialize(path)
@@ -477,7 +510,16 @@ class Explorer:
                     break
                 frontier.extend(forks)
         self._frontier_remaining = len(frontier)
-        return self._finalize(result)
+        result = self._finalize(result)
+        if tracer.enabled:
+            tracer.add("explore", "explore", run_started, {
+                "strategy": self.options.strategy,
+                "pops": self._pops,
+                "paths": result.paths_explored,
+                "applied_steps": result.applied_steps,
+                "violations": len(result.violations),
+                "truncated": result.truncated})
+        return result
 
     def _finalize(self, result: ExplorationResult) -> ExplorationResult:
         result.applied_steps = self._applied
@@ -505,6 +547,12 @@ class Explorer:
                 paths_explored=result.paths_explored,
                 frontier_remaining=self._frontier_remaining,
                 first_violation_time=result.engine.first_violation_wall)
+        if self._telemetry is not None:
+            # Cumulative per explorer, like the engine counters: a
+            # sharded run's sequential local jobs share this
+            # accumulator and the merge rebuilds the section once.
+            result.telemetry = self._telemetry.to_section(
+                self._clock() - self._started)
         return result
 
     @staticmethod
@@ -524,6 +572,35 @@ class Explorer:
         self.engine.count_fork(len(arms))
         return [clone for clone, _actions in self.expand(path, arms)]
 
+    def _run_path_traced(self, path: MachineState,
+                         frontier) -> Optional[List[MachineState]]:
+        """:meth:`_run_path` under a span: one per frontier pop, its
+        args the engine-counter *deltas* this segment caused — step
+        batches, trial-cache hits, POR skips, subsumption probes —
+        plus the frontier's scores for the pop when the strategy ranks
+        (mcts prior/UCT).  Instrumenting here, at the pop seam, keeps
+        the per-machine-step path untouched."""
+        tracer = self._tracer
+        stats = self.engine.stats
+        ts = tracer.start()
+        pc = path.config.pc
+        steps0 = stats.steps
+        hits0 = stats.cache_hits + stats.stuck_hits
+        skips0 = self._skipped
+        subsumed0 = stats.states_subsumed
+        forks = self._run_path(path)
+        args = {"pop": self._pops, "pc": pc, "depth": path.depth,
+                "steps": stats.steps - steps0,
+                "cache_hits": stats.cache_hits + stats.stuck_hits - hits0,
+                "por_skips": self._skipped - skips0,
+                "subsumed": stats.states_subsumed - subsumed0,
+                "arms": 0 if forks is None else len(forks)}
+        info = getattr(frontier, "last_pop_info", None)
+        if info is not None:
+            args.update(info)
+        tracer.add("path", "explore", ts, args)
+        return forks
+
     def expand(self, path: MachineState, arms: List[List[_Action]]
                ) -> List[Tuple[MachineState, Tuple[_Action, ...]]]:
         """Apply each fork arm to a fork of ``path``.
@@ -540,6 +617,7 @@ class Explorer:
         expanded = []
         for arm in arms:
             clone = path.fork()
+            clone.depth = path.depth + 1
             applied: List[_Action] = []
             for action in arm:
                 if not self._apply(clone, action):

@@ -73,6 +73,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 from ..core.config import Config
 from ..core.machine import Machine
 from ..engine import MachineState, PruningStats, SubsumptionStats
+from ..obs import SearchTelemetry, Tracer, tracing_context
 from .explorer import (AnytimeStats, ExplorationOptions, ExplorationResult,
                        Explorer, PathResult, ShardStats, _Action)
 
@@ -175,40 +176,50 @@ _Slot = Union[_Leaf, _Pending]
 
 def _run_shard(program, config: Config, options: ExplorationOptions,
                rsb_policy: str, actions: Tuple[_Action, ...],
-               stop_at_first: bool, keep_paths: bool
-               ) -> Tuple[ExplorationResult, Optional[Tuple], int, float]:
+               stop_at_first: bool, keep_paths: bool, trace: bool = False
+               ) -> Tuple[ExplorationResult, Optional[Tuple], int, float,
+                          Optional[List[Dict[str, Any]]]]:
     """Worker entry point: replay the prefix, explore the subtree.
 
     Module-level (not a closure) so it pickles under every
     multiprocessing start method.  Returns (result, path metadata,
-    prefix steps actually replayed, wall seconds).  ``keep_paths=False``
-    strips the per-path records before the result crosses the process
-    boundary — a clean-at-bound-28 donna exploration ships ~20 MiB of
-    paths otherwise, and detector callers only consume violations +
-    counters — replacing them with compact per-path (steps, violations,
-    complete) triples so the merge's global-budget trim stays exact.
+    prefix steps actually replayed, wall seconds, exported spans).
+    ``keep_paths=False`` strips the per-path records before the result
+    crosses the process boundary — a clean-at-bound-28 donna
+    exploration ships ~20 MiB of paths otherwise, and detector callers
+    only consume violations + counters — replacing them with compact
+    per-path (steps, violations, complete) triples so the merge's
+    global-budget trim stays exact.  ``trace`` (the parent's ambient
+    tracer does not cross the process boundary) records the subtree
+    exploration into a worker-local tracer whose spans ride home in
+    the return value for the parent to adopt under this job's merge
+    slot.
     """
     t0 = time.perf_counter()
-    machine = Machine(program, rsb_policy=rsb_policy)
-    explorer = Explorer(machine, options)
-    state = MachineState(config)
-    for action in actions:
-        if not explorer._apply(state, action):  # pragma: no cover - guard
-            raise RuntimeError(
-                f"shard prefix failed to replay at {action!r}: the "
-                f"machine is not deterministic for this evaluator")
-    # Joins fired *inside* the prefix were already counted by the
-    # parent when the splitter applied these actions — without this
-    # reset a job whose root is a join-finished state would report the
-    # same pruned schedule twice after the merge sums shard counters.
-    explorer._skipped = 0
-    result = explorer.explore_from([state], stop_at_first=stop_at_first)
+    tracer = Tracer() if trace else None
+    with tracing_context(tracer):
+        machine = Machine(program, rsb_policy=rsb_policy)
+        explorer = Explorer(machine, options)
+        state = MachineState(config)
+        for action in actions:
+            if not explorer._apply(state, action):  # pragma: no cover
+                raise RuntimeError(
+                    f"shard prefix failed to replay at {action!r}: the "
+                    f"machine is not deterministic for this evaluator")
+        # Joins fired *inside* the prefix were already counted by the
+        # parent when the splitter applied these actions — without this
+        # reset a job whose root is a join-finished state would report
+        # the same pruned schedule twice after the merge sums shard
+        # counters.
+        explorer._skipped = 0
+        result = explorer.explore_from([state], stop_at_first=stop_at_first)
     meta = None
     if not keep_paths:
         meta = tuple((len(p.schedule), len(p.violations), p.complete)
                      for p in result.paths)
         result.paths = []
-    return result, meta, len(actions), time.perf_counter() - t0
+    spans = tracer.export() if tracer is not None else None
+    return result, meta, len(actions), time.perf_counter() - t0, spans
 
 
 def _trim_to_quota(result: ExplorationResult, quota: int,
@@ -297,6 +308,11 @@ class ShardedExplorer:
     def explore(self, initial: Config,
                 stop_at_first: bool = False) -> ExplorationResult:
         explorer = Explorer(self.machine, self.options, clock=self._clock)
+        # The explorer captured the ambient tracer at construction;
+        # the split/merge phases record onto the same stream, and the
+        # submit path forwards its enabled flag to the workers (the
+        # ambient itself cannot cross the process boundary).
+        tracer = explorer._tracer
         # One deadline for the whole sharded run, armed before the split
         # (splitting counts against the budget) and pinned onto the
         # parent explorer so sequential local jobs share it instead of
@@ -307,8 +323,13 @@ class ShardedExplorer:
         if self.options.budget_seconds is not None:
             self._deadline = self._t0 + self.options.budget_seconds
             explorer._deadline = self._deadline
+        split_ts = tracer.start() if tracer.enabled else 0.0
         slots = self._split(explorer, MachineState(initial))
         jobs = [slot for slot in slots if isinstance(slot, _Pending)]
+        if tracer.enabled:
+            tracer.add("split", "shard", split_ts, {
+                "jobs": len(jobs), "leaves": len(slots) - len(jobs),
+                "shards": self.shards})
         self._emit({"kind": "split", "jobs": len(jobs),
                     "leaves": len(slots) - len(jobs),
                     "shards": self.shards})
@@ -324,12 +345,14 @@ class ShardedExplorer:
         if self.pool is not None:
             return self._merge(
                 explorer, slots,
-                self._submit(self.pool, initial, slots, stop_at_first),
+                self._submit(self.pool, initial, slots, stop_at_first,
+                             trace=tracer.enabled),
                 stop_at_first)
         with ProcessPoolExecutor(max_workers=self.shards) as pool:
             return self._merge(
                 explorer, slots,
-                self._submit(pool, initial, slots, stop_at_first),
+                self._submit(pool, initial, slots, stop_at_first,
+                             trace=tracer.enabled),
                 stop_at_first)
 
     def _emit(self, event: Dict[str, Any]) -> None:
@@ -360,6 +383,13 @@ class ShardedExplorer:
                 arms = explorer.advance_to_fork(slot.state, record)
                 actions = slot.actions + tuple(record)
                 if arms is None:
+                    if explorer._telemetry is not None:
+                        # Split-phase leaves never pass through
+                        # explore_from, so their completed schedules are
+                        # latched here — every schedule counts exactly
+                        # once, whichever phase finishes it.
+                        explorer._telemetry.record_schedule(
+                            slot.state.depth)
                     new_slots.append(_Leaf(explorer._materialize(slot.state),
                                            slot.state.steps))
                     continue
@@ -383,7 +413,7 @@ class ShardedExplorer:
         return slots
 
     def _submit(self, pool: Executor, initial: Config, slots: List[_Slot],
-                stop_at_first: bool) -> List:
+                stop_at_first: bool, trace: bool = False) -> List:
         futures = []
         for slot in slots:
             if not isinstance(slot, _Pending):
@@ -401,7 +431,7 @@ class ShardedExplorer:
             futures.append(pool.submit(
                 _run_shard, self.machine.program, initial, options,
                 self.machine.rsb_policy, slot.actions, stop_at_first,
-                self.keep_paths))
+                self.keep_paths, trace))
         return futures
 
     # -- deterministic merge -------------------------------------------------
@@ -410,7 +440,13 @@ class ShardedExplorer:
                stop_at_first: bool, run_local: bool = False
                ) -> ExplorationResult:
         merged = ExplorationResult()
+        tracer = explorer._tracer
+        merge_ts = tracer.start() if tracer.enabled else 0.0
         shard_stats: List[ShardStats] = []
+        #: Remote shards' serialised telemetry sections, merged (with
+        #: the parent explorer's own accumulator, which local jobs
+        #: share) into one section at the end.
+        telemetry_parts: List[Dict[str, Any]] = []
         job_index = 0
         stopped = False
         deadline = self._deadline
@@ -489,7 +525,15 @@ class ShardedExplorer:
                     skipped_jobs += 1
                     merged.truncated = True
                     continue
-                result, meta, prefix_len, wall = future.result()
+                result, meta, prefix_len, wall, spans = future.result()
+                if spans:
+                    # Worker span streams land under this job's merge
+                    # slot; (shard, seq) keys make the combined export
+                    # deterministic even though worker clocks are
+                    # unrelated monotonic bases.
+                    tracer.adopt(spans, shard=len(shard_stats))
+                if result.telemetry is not None:
+                    telemetry_parts.append(result.telemetry)
                 shard_applied = result.applied_steps
                 merged.applied_steps += result.applied_steps
                 merged.states_reused += result.states_reused
@@ -576,6 +620,25 @@ class ShardedExplorer:
                     + sum(a.frontier_remaining for a in anytime_parts)),
                 first_violation_time=merged.engine.first_violation_wall)
             merged.truncated = merged.truncated or deadline_hit
+        if self.options.telemetry:
+            # One merged section: the parent explorer's accumulator
+            # (split-time leaves plus every local job, which share it)
+            # plus each remote shard's serialised part.  Rebuilt from
+            # scratch so remote sections are summed once regardless of
+            # how many cumulative snapshots the workers reported.
+            telemetry = SearchTelemetry()
+            if explorer._telemetry is not None:
+                telemetry.merge(explorer._telemetry)
+            for part in telemetry_parts:
+                telemetry.merge_section(part)
+            merged.telemetry = telemetry.to_section(
+                self._clock() - self._t0)
+        if tracer.enabled:
+            tracer.add("merge", "shard", merge_ts, {
+                "jobs_merged": len(shard_stats),
+                "paths": merged.paths_explored,
+                "violations": len(merged.violations),
+                "truncated": merged.truncated})
         self._emit({"kind": "merged",
                     "paths_explored": merged.paths_explored,
                     "violations": len(merged.violations),

@@ -17,13 +17,53 @@ from __future__ import annotations
 
 import socket
 import time
-from typing import Any, Callable, Dict, Mapping, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, Mapping, Optional, Tuple
 
 from ..api.report import Report
 from . import protocol
 from .protocol import ServeError
 
-__all__ = ["ServeClient", "ServeError"]
+__all__ = ["ServeClient", "ServeError", "ServeStats"]
+
+
+@dataclass(frozen=True)
+class ServeStats(Mapping):
+    """The daemon's ``stats`` reply with the lifetime fields typed.
+
+    Mapping-compatible with the raw reply dict (``stats["pool"]``,
+    ``stats.get("jobs")`` keep working), plus typed accessors for the
+    fields every monitoring consumer wants: when the daemon started
+    (``started_at``, epoch seconds) and how long it has been up
+    (``uptime_s``).  Older daemons that only report ``uptime`` still
+    populate ``uptime_s``; their ``started_at`` is reconstructed from
+    the reply's arrival time.
+    """
+
+    raw: Dict[str, Any] = field(default_factory=dict)
+    started_at: float = 0.0
+    uptime_s: float = 0.0
+
+    @classmethod
+    def from_reply(cls, reply: Mapping[str, Any]) -> "ServeStats":
+        raw = dict(reply)
+        uptime = float(raw.get("uptime_s", raw.get("uptime", 0.0)))
+        started = raw.get("started_at")
+        if started is None:
+            started = time.time() - uptime
+        return cls(raw=raw, started_at=float(started), uptime_s=uptime)
+
+    def __getitem__(self, key: str) -> Any:
+        return self.raw[key]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.raw)
+
+    def __len__(self) -> int:
+        return len(self.raw)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return dict(self.raw)
 
 
 class ServeClient:
@@ -115,8 +155,16 @@ class ServeClient:
     def cancel(self, job_id: str) -> Dict[str, Any]:
         return self.call("cancel", job=job_id)
 
-    def stats(self) -> Dict[str, Any]:
-        return self.call("stats")
+    def stats(self) -> ServeStats:
+        """Daemon stats, mapping-compatible with the raw reply and with
+        ``started_at``/``uptime_s`` typed (see :class:`ServeStats`)."""
+        return ServeStats.from_reply(self.call("stats"))
+
+    def metrics(self, render: bool = False) -> Dict[str, Any]:
+        """The daemon's aggregated metrics registry
+        (``{"metrics": {counters, gauges, histograms}, "interval"}``;
+        ``render=True`` adds a flat text exposition)."""
+        return self.call("metrics", render=render)
 
     def results(self, limit: int = 50) -> Dict[str, Any]:
         return self.call("results", limit=limit)

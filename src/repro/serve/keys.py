@@ -135,6 +135,11 @@ def strip_volatile(report_dict: Mapping[str, Any]) -> Dict[str, Any]:
         anytime["budget_consumed"] = 0.0
         if anytime.get("first_violation_time") is not None:
             anytime["first_violation_time"] = 0.0
+    telemetry = out.get("telemetry")
+    if isinstance(telemetry, dict):
+        # The heatmap/fork-level counters are deterministic for a fixed
+        # configuration; wall_time is the section's only volatile field.
+        telemetry["wall_time"] = 0.0
     details = out.get("details")
     if isinstance(details, dict):
         details.pop("cache", None)

@@ -47,7 +47,7 @@ class WarmPool:
         pool.shutdown()                     # the one owned teardown
     """
 
-    def __init__(self, workers: Optional[int] = None):
+    def __init__(self, workers: Optional[int] = None, metrics=None):
         if workers is not None and workers < 1:
             raise ValueError("workers must be >= 1")
         self.workers = workers or os.cpu_count() or 1
@@ -59,6 +59,10 @@ class WarmPool:
         self.tasks_completed = 0
         self.tasks_failed = 0
         self.restarts = 0
+        #: Optional :class:`repro.obs.MetricsRegistry` mirror — every
+        #: submit/settle also bumps registry counters so the daemon's
+        #: ``metrics`` RPC sees pool traffic without polling stats().
+        self.metrics = metrics
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -158,6 +162,8 @@ class WarmPool:
                 future = self._executor.submit(fn, *args, **kw)
             self.tasks_submitted += 1
             self._inflight.add(future)
+        if self.metrics is not None:
+            self.metrics.counter("pool_tasks_submitted_total").inc()
         future.add_done_callback(self._settle)
         return future
 
@@ -166,8 +172,12 @@ class WarmPool:
             self._inflight.discard(future)
         if future.cancelled() or future.exception() is not None:
             self.tasks_failed += 1
+            if self.metrics is not None:
+                self.metrics.counter("pool_tasks_failed_total").inc()
         else:
             self.tasks_completed += 1
+            if self.metrics is not None:
+                self.metrics.counter("pool_tasks_completed_total").inc()
 
     @property
     def inflight(self) -> int:

@@ -20,7 +20,13 @@ owned resources:
 
 RPC surface (JSON-RPC 2.0, newline-delimited; see
 :mod:`repro.serve.protocol`): ``ping``, ``submit``, ``status``,
-``result``, ``cancel``, ``stats``, ``results``, ``shutdown``.
+``result``, ``cancel``, ``stats``, ``metrics``, ``results``,
+``shutdown``.
+
+The daemon also keeps a :class:`~repro.obs.MetricsRegistry`: cache-tier
+and job counters, a job wall-time histogram, and gauges (pool size,
+in-flight jobs, warm-hit ratio) sampled periodically and refreshed
+on-demand by the ``metrics`` RPC — ``repro serve --stats`` renders it.
 
 Shutdown is a *drain*: new submissions are refused, in-flight jobs run
 to completion (and are persisted), then the pool is shut down and the
@@ -41,6 +47,7 @@ from typing import Any, Dict, List, Optional
 from ..api.analyses import get_analysis
 from ..api.project import AnalysisOptions, Project
 from ..api.report import Report
+from ..obs import MetricsRegistry
 from ..pitchfork.sharding import shard_context
 from . import protocol
 from .jobs import effective_options, resolve_project, run_job
@@ -129,7 +136,8 @@ class ReproServer:
     def __init__(self, socket_path: Optional[str] = None,
                  host: Optional[str] = None, port: int = 0,
                  store: Optional[object] = None,
-                 workers: Optional[int] = None):
+                 workers: Optional[int] = None,
+                 metrics_interval: float = 5.0):
         if socket_path is None and host is None:
             socket_path = default_socket_path()
         self.socket_path = socket_path
@@ -137,7 +145,13 @@ class ReproServer:
         if isinstance(store, str):
             store = ResultStore(store)
         self.store: Optional[ResultStore] = store
-        self.pool = WarmPool(workers)
+        #: Aggregated counters/gauges/histograms for the ``metrics``
+        #: RPC; gauges are sampled every ``metrics_interval`` seconds
+        #: and refreshed on-demand per request.  Created before the
+        #: pool so pool traffic mirrors into the same registry.
+        self.metrics = MetricsRegistry()
+        self.metrics_interval = metrics_interval
+        self.pool = WarmPool(workers, metrics=self.metrics)
         self._jobs: Dict[str, Job] = {}
         self._active_by_key: Dict[str, str] = {}
         self._memory: Dict[str, Dict[str, Any]] = {}
@@ -156,6 +170,7 @@ class ReproServer:
         self.store_hits = 0
         self.jobs_computed = 0
         self.jobs_coalesced = 0
+        self._sampler_task: Optional[asyncio.Task] = None
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -173,6 +188,8 @@ class ReproServer:
             self._server = await asyncio.start_server(
                 self._handle_client, host=self.host, port=self.port)
             self.port = self._server.sockets[0].getsockname()[1]
+        self._sampler_task = self._loop.create_task(
+            self._sample_periodically())
 
     @property
     def address(self) -> Dict[str, Any]:
@@ -196,6 +213,8 @@ class ReproServer:
                                timeout: Optional[float] = None) -> None:
         """Stop accepting, drain in-flight jobs, stop the pool, exit."""
         self._draining = True
+        if self._sampler_task is not None:
+            self._sampler_task.cancel()
         if self._server is not None:
             self._server.close()
         if drain and self._tasks:
@@ -300,6 +319,7 @@ class ReproServer:
             raise protocol.ServeError(protocol.INVALID_PARAMS,
                                       str(exc)) from None
         key = store_key(analysis, fingerprint_digest(project), options)
+        self.metrics.counter("serve_jobs_submitted_total").inc()
 
         # Warm tiers first: the in-process memory cache, then the disk
         # store.  Either answers without touching the pool at all.
@@ -312,8 +332,10 @@ class ReproServer:
                 self._memory[key] = cached
                 source = SOURCE_STORE
                 self.store_hits += 1
+                self.metrics.counter("serve_store_hits_total").inc()
         elif cached is not None:
             self.memory_hits += 1
+            self.metrics.counter("serve_memory_hits_total").inc()
         if cached is not None:
             job = self._new_job(key, project.name, analysis, spec, overrides)
             job.state = DONE
@@ -330,6 +352,7 @@ class ReproServer:
             active = self._jobs.get(active_id)
             if active is not None and active.state in (QUEUED, RUNNING):
                 self.jobs_coalesced += 1
+                self.metrics.counter("serve_jobs_coalesced_total").inc()
                 return {**active.public_state(), "cached": False,
                         "coalesced": True}
 
@@ -383,10 +406,15 @@ class ReproServer:
         states: Dict[str, int] = {}
         for job in self._jobs.values():
             states[job.state] = states.get(job.state, 0) + 1
+        uptime = time.time() - self._started_at
         return {
             "protocol": protocol.PROTOCOL_VERSION,
             "pid": os.getpid(),
-            "uptime": time.time() - self._started_at,
+            # "uptime" predates started_at/uptime_s and is kept for
+            # older clients; new consumers read the typed pair.
+            "uptime": uptime,
+            "started_at": self._started_at,
+            "uptime_s": uptime,
             "draining": self._draining,
             "jobs": states,
             "cache": self._cache_counters(None),
@@ -396,6 +424,17 @@ class ReproServer:
                        "entries": len(self.store),
                        **self.store.stats.to_dict()}),
         }
+
+    def rpc_metrics(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        """The aggregated registry, with gauges refreshed on demand
+        (the periodic sampler covers pull-less consumers like dashboards
+        scraping ``repro serve --stats``)."""
+        self._sample_gauges()
+        result: Dict[str, Any] = {"metrics": self.metrics.to_dict(),
+                                  "interval": self.metrics_interval}
+        if params.get("render"):
+            result["rendered"] = self.metrics.render_text()
+        return result
 
     def rpc_results(self, params: Dict[str, Any]) -> Dict[str, Any]:
         if self.store is None:
@@ -416,6 +455,30 @@ class ReproServer:
         # those, and a task awaiting itself deadlocks the drain).
         self._shutdown_task = task
         return {"draining": True, "drain": drain, "jobs_inflight": inflight}
+
+    # -- gauge sampling ------------------------------------------------------
+
+    def _sample_gauges(self) -> None:
+        """One gauge snapshot: pool occupancy, job table, hit ratio."""
+        pool = self.pool.stats()
+        self.metrics.gauge("serve_pool_workers").set(pool.get("workers", 0))
+        self.metrics.gauge("serve_pool_inflight").set(
+            pool.get("inflight", 0))
+        self.metrics.gauge("serve_jobs_inflight").set(
+            sum(1 for j in self._jobs.values()
+                if j.state in (QUEUED, RUNNING)))
+        warm = self.memory_hits + self.store_hits
+        answered = warm + self.jobs_computed
+        self.metrics.gauge("serve_cache_hit_ratio").set(
+            warm / answered if answered else 0.0)
+
+    async def _sample_periodically(self) -> None:
+        try:
+            while not self._draining:
+                self._sample_gauges()
+                await asyncio.sleep(self.metrics_interval)
+        except asyncio.CancelledError:  # pragma: no cover - shutdown
+            pass
 
     # -- job execution -------------------------------------------------------
 
@@ -473,6 +536,8 @@ class ReproServer:
             return
         except Exception as exc:
             job.state = CANCELLED if job.cancel_requested else FAILED
+            if job.state == FAILED:
+                self.metrics.counter("serve_jobs_failed_total").inc()
             job.error = f"{type(exc).__name__}: {exc}"
             job.finished = time.time()
             job.add_event({"kind": "state", "state": job.state,
@@ -494,6 +559,9 @@ class ReproServer:
             job.report = report_dict
             job.violations_so_far = len(report_dict.get("violations", ()))
         self.jobs_computed += 1
+        self.metrics.counter("serve_jobs_computed_total").inc()
+        self.metrics.histogram("serve_job_wall_seconds").observe(
+            job.finished - job.started)
         self._memory[job.key] = report_dict
         if self.store is not None:
             self.store.put(job.key, report, target=job.target,

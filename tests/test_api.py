@@ -317,7 +317,7 @@ class TestReportSchema:
     def test_schema_version_serialised(self):
         report = fig1_project().analyses.pitchfork(bound=12)
         data = json.loads(report.to_json())
-        assert data["schema_version"] == 6
+        assert data["schema_version"] == 7
 
     def test_round_trip_plain(self):
         report = fig1_project().analyses.pitchfork(bound=12,

@@ -297,7 +297,7 @@ class TestRepairAnalysis:
     def test_report_round_trip_covers_mitigation(self):
         report = Project.from_litmus("kocher_01").analyses.repair()
         data = json.loads(report.to_json())
-        assert data["schema_version"] == 6
+        assert data["schema_version"] == 7
         assert data["mitigation"]["steps"]
         assert Report.from_json(report.to_json()) == report
 

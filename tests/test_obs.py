@@ -1,0 +1,414 @@
+"""repro.obs: tracer/metrics/export units, telemetry round trips, and
+the tier-1 overhead guard.
+
+The guard is the subsystem's core promise: observability must be
+*free when off and inert when on*.  Tracing and telemetry may add wall
+time, but they may never change what the exploration observes — so the
+guard runs the litmus registry with tracing+telemetry on and off, at
+shards 1 and 4, and requires the violation sets and the deterministic
+step counters to be identical.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from concurrent.futures import ProcessPoolExecutor
+
+import pytest
+
+from repro.core.machine import Machine
+from repro.litmus import all_cases, find_case
+from repro.obs import (CAPTURE_VERSION, DEFAULT_BUCKETS, MetricsRegistry,
+                       NULL_TRACER, NullTracer, SearchTelemetry, Span,
+                       Tracer, ambient_tracer, chrome_trace, read_capture,
+                       sort_spans, summarize_spans, tracing_context,
+                       validate_telemetry, write_capture)
+from repro.pitchfork import (ExplorationOptions, Explorer, ShardedExplorer,
+                             violation_set)
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+# -- tracer -------------------------------------------------------------------
+
+class TestTracer:
+    def test_records_spans_with_dense_seq(self):
+        tracer = Tracer()
+        ts = tracer.start()
+        tracer.add("a", "cat", ts, {"n": 1})
+        with tracer.span("b", "cat", k=2):
+            pass
+        tracer.instant("c")
+        spans = tracer.export()
+        assert [s["name"] for s in spans] == ["a", "b", "c"]
+        assert [s["seq"] for s in spans] == [0, 1, 2]
+        assert all(s["shard"] is None for s in spans)
+        assert all(s["dur"] >= 0.0 for s in spans)
+        assert spans[0]["args"] == {"n": 1}
+        assert spans[1]["args"] == {"k": 2}
+        assert spans[0]["pid"] == os.getpid()
+
+    def test_adopt_tags_shard_and_keeps_worker_identity(self):
+        worker = Tracer()
+        worker.instant("w0")
+        worker.instant("w1")
+        parent = Tracer()
+        parent.instant("p0")
+        parent.adopt(worker.export(), shard=3)
+        spans = parent.export()
+        adopted = [s for s in spans if s["shard"] == 3]
+        assert [s["seq"] for s in adopted] == [0, 1]
+        assert [s["name"] for s in adopted] == ["w0", "w1"]
+
+    def test_null_tracer_is_disabled_and_inert(self):
+        assert NULL_TRACER.enabled is False
+        assert Tracer.enabled is True
+        NULL_TRACER.add("x", "y", 0.0)
+        NULL_TRACER.instant("x")
+        with NULL_TRACER.span("x"):
+            pass
+        assert NULL_TRACER.export() == []
+        assert len(NULL_TRACER) == 0
+
+    def test_ambient_defaults_to_null_and_scopes(self):
+        assert ambient_tracer() is NULL_TRACER
+        tracer = Tracer()
+        with tracing_context(tracer):
+            assert ambient_tracer() is tracer
+            with tracing_context(None):
+                assert ambient_tracer() is NULL_TRACER
+            assert ambient_tracer() is tracer
+        assert ambient_tracer() is NULL_TRACER
+
+    def test_span_dict_round_trip(self):
+        span = Span("n", "c", 1.5, 0.25, 7, 8, 2, 9, {"a": 1})
+        again = Span.from_dict(span.to_dict())
+        assert again.to_dict() == span.to_dict()
+
+
+# -- metrics ------------------------------------------------------------------
+
+class TestMetrics:
+    def test_counter_monotonic(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("jobs_total")
+        counter.inc()
+        counter.inc(4)
+        assert registry.counter("jobs_total") is counter
+        assert registry.to_dict()["counters"] == {"jobs_total": 5}
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_gauge_last_write_wins(self):
+        registry = MetricsRegistry()
+        registry.gauge("level").set(3.0)
+        registry.gauge("level").set(1.5)
+        assert registry.to_dict()["gauges"] == {"level": 1.5}
+
+    def test_histogram_cumulative_buckets(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("wall", buckets=(0.1, 1.0))
+        for value in (0.05, 0.5, 0.5, 5.0):
+            hist.observe(value)
+        data = registry.to_dict()["histograms"]["wall"]
+        assert data["buckets"] == {"0.1": 1, "1.0": 3, "+Inf": 4}
+        assert data["count"] == 4
+        assert data["sum"] == pytest.approx(6.05)
+        with pytest.raises(ValueError):
+            registry.histogram("bad", buckets=(2.0, 1.0))
+
+    def test_render_text_is_greppable(self):
+        registry = MetricsRegistry()
+        registry.counter("a_total").inc(2)
+        registry.gauge("b").set(0.5)
+        registry.histogram("h", buckets=(1.0,)).observe(0.2)
+        text = registry.render_text()
+        assert "a_total 2" in text
+        assert "b 0.5" in text
+        assert 'h_bucket{le="1.0"} 1' in text
+        assert "h_count 1" in text
+
+    def test_default_buckets_ascending(self):
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+
+
+# -- export -------------------------------------------------------------------
+
+def _span(name, shard, seq, pid=1, ts=10.0):
+    return {"name": name, "cat": "c", "ts": ts, "dur": 0.5, "pid": pid,
+            "tid": 1, "shard": shard, "seq": seq, "args": {}}
+
+
+class TestExport:
+    def test_sort_is_shard_then_seq_parent_first(self):
+        spans = [_span("w1b", 1, 1), _span("p0", None, 0),
+                 _span("w0a", 0, 0), _span("w1a", 1, 0),
+                 _span("p1", None, 1)]
+        assert [s["name"] for s in sort_spans(spans)] == \
+            ["p0", "p1", "w0a", "w1a", "w1b"]
+
+    def test_chrome_trace_shape_and_rebasing(self):
+        spans = [_span("p", None, 0, pid=1, ts=100.0),
+                 _span("w", 0, 0, pid=2, ts=5000.0)]
+        doc = chrome_trace(spans)
+        assert set(doc) == {"traceEvents", "displayTimeUnit"}
+        events = doc["traceEvents"]
+        assert all(e["ph"] == "X" for e in events)
+        # Each (pid, shard) stream is rebased to its own origin.
+        assert [e["ts"] for e in events] == [0.0, 0.0]
+        assert events[0]["dur"] == pytest.approx(0.5e6)
+        assert events[0]["tid"] == 1
+        assert events[1]["tid"] == "shard-0"
+
+    def test_capture_round_trip(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        spans = [_span("b", 0, 0), _span("a", None, 0)]
+        write_capture(path, spans, header={"command": "test"})
+        header, again = read_capture(path)
+        assert header["version"] == CAPTURE_VERSION
+        assert header["command"] == "test"
+        assert [s["name"] for s in again] == ["a", "b"]  # sorted on write
+        assert again == sort_spans(spans)
+
+    def test_read_capture_rejects_non_jsonl(self, tmp_path):
+        path = tmp_path / "junk.txt"
+        path.write_text("this is not json\n")
+        with pytest.raises(ValueError):
+            read_capture(path)
+
+    def test_summarize_spans(self):
+        spans = [_span("a", None, 0), _span("a", 0, 0), _span("b", 1, 0)]
+        summary = summarize_spans(spans)
+        assert summary["spans"] == 3
+        assert summary["shards"] == [0, 1]
+        rows = {(r["cat"], r["name"]): r for r in summary["series"]}
+        assert rows[("c", "a")]["count"] == 2
+        assert rows[("c", "a")]["wall"] == pytest.approx(1.0)
+
+
+# -- telemetry ----------------------------------------------------------------
+
+class TestSearchTelemetry:
+    def test_validate(self):
+        validate_telemetry(True)
+        with pytest.raises(ValueError):
+            validate_telemetry("yes")
+
+    def test_counters_and_section(self):
+        telemetry = SearchTelemetry()
+        telemetry.record_pop(4)
+        telemetry.record_pop(4)
+        telemetry.record_pop(None)  # ran off the program: pops only
+        telemetry.record_schedule(0)
+        telemetry.record_schedule(2)
+        section = telemetry.to_section(1.25)
+        assert section == {"heatmap": {"4": 2},
+                           "fork_levels": {"0": 1, "2": 1},
+                           "pops": 3, "wall_time": 1.25}
+
+    def test_merge_and_merge_section_agree(self):
+        a = SearchTelemetry()
+        a.record_pop(1)
+        a.record_schedule(0)
+        b = SearchTelemetry()
+        b.record_pop(1)
+        b.record_pop(2)
+        b.record_schedule(0)
+        via_merge = SearchTelemetry()
+        via_merge.merge(a)
+        via_merge.merge(b)
+        via_section = SearchTelemetry()
+        via_section.merge_section(a.to_section(9.0))
+        via_section.merge_section(b.to_section(9.0))
+        assert via_merge.to_section(0.0) == via_section.to_section(0.0)
+
+
+# -- schema v7 / store keys ---------------------------------------------------
+
+class TestReportTelemetry:
+    def test_schema_v7_round_trips_telemetry_exactly(self):
+        from repro.pitchfork import analyze
+        from repro.api.report import Report, from_analysis_report
+        case = find_case("kocher_01")
+        report = from_analysis_report(
+            analyze(case.program, case.make_config(), bound=case.min_bound,
+                    rsb_policy=case.rsb_policy, telemetry=True),
+            target=case.name, analysis="pitchfork")
+        assert report.telemetry is not None
+        assert report.telemetry["pops"] > 0
+        data = json.loads(report.to_json())
+        assert data["schema_version"] == 7
+        again = Report.from_dict(data)
+        assert again.telemetry == report.telemetry
+        assert json.loads(again.to_json()) == data
+
+    def test_defaulted_telemetry_keeps_store_keys(self):
+        """The store-key invariant: an options object that never names
+        telemetry and one that sets it to its default produce the keys
+        a pre-telemetry build produced (defaulted fields are skipped by
+        canonical_options, so the new knob is invisible)."""
+        from repro.api.project import AnalysisOptions
+        from repro.serve.keys import canonical_options, store_key
+        plain = AnalysisOptions(bound=8)
+        defaulted = AnalysisOptions(bound=8, telemetry=False)
+        assert canonical_options(plain) == canonical_options(defaulted)
+        assert not any(name == "telemetry"
+                       for name, _ in canonical_options(plain))
+        assert store_key("pitchfork", "f" * 64, plain) == \
+            store_key("pitchfork", "f" * 64, defaulted)
+        enabled = AnalysisOptions(bound=8, telemetry=True)
+        assert store_key("pitchfork", "f" * 64, enabled) != \
+            store_key("pitchfork", "f" * 64, plain)
+
+    def test_strip_volatile_zeroes_telemetry_wall_time_only(self):
+        from repro.serve.keys import strip_volatile
+        doc = {"wall_time": 3.0,
+               "telemetry": {"heatmap": {"1": 2}, "fork_levels": {"0": 1},
+                             "pops": 2, "wall_time": 0.125}}
+        stripped = strip_volatile(doc)
+        assert stripped["telemetry"]["wall_time"] == 0.0
+        assert stripped["telemetry"]["heatmap"] == {"1": 2}
+        assert stripped["telemetry"]["pops"] == 2
+
+
+# -- serve stats --------------------------------------------------------------
+
+class TestServeStats:
+    def test_typed_fields_and_mapping_compat(self):
+        from repro.serve.client import ServeStats
+        stats = ServeStats.from_reply(
+            {"started_at": 100.0, "uptime_s": 7.5, "pool": {"workers": 2}})
+        assert stats.started_at == 100.0
+        assert stats.uptime_s == 7.5
+        assert stats["pool"] == {"workers": 2}
+        assert dict(stats) == stats.to_dict()
+
+    def test_old_daemon_reply_reconstructs_started_at(self):
+        import time
+        from repro.serve.client import ServeStats
+        before = time.time()
+        stats = ServeStats.from_reply({"uptime": 10.0})
+        assert stats.uptime_s == 10.0
+        assert before - 10.0 - 1.0 <= stats.started_at <= time.time() - 9.0
+
+
+# -- the overhead guard (tier-1) ----------------------------------------------
+
+def _case_options(case, telemetry=False):
+    return ExplorationOptions(
+        bound=case.min_bound, fwd_hazards=case.needs_fwd_hazards,
+        explore_aliasing=case.needs_aliasing,
+        jmpi_targets=case.jmpi_targets, rsb_targets=case.rsb_targets,
+        telemetry=telemetry)
+
+
+def _run(case, telemetry=False, traced=False, shards=1, pool=None):
+    machine = Machine(case.program, rsb_policy=case.rsb_policy)
+    options = _case_options(case, telemetry=telemetry)
+    tracer = Tracer() if traced else None
+    with tracing_context(tracer):
+        if shards == 1:
+            explorer = Explorer(machine, options)
+        else:
+            explorer = ShardedExplorer(machine, options, shards=shards,
+                                       pool=pool)
+        result = explorer.explore(case.make_config())
+    return result, (tracer.export() if tracer else [])
+
+
+class TestOverheadGuard:
+    """Observability may cost wall time, never observations or steps."""
+
+    def test_registry_identical_with_tracing_and_telemetry_on(self):
+        mismatches = []
+        for case in all_cases():
+            off, _ = _run(case)
+            on, spans = _run(case, telemetry=True, traced=True)
+            if violation_set(on.violations) != violation_set(off.violations):
+                mismatches.append(f"{case.name}: observations diverge")
+            if on.applied_steps != off.applied_steps:
+                mismatches.append(f"{case.name}: step counts diverge "
+                                  f"({on.applied_steps} vs "
+                                  f"{off.applied_steps})")
+            if on.paths_explored != off.paths_explored:
+                mismatches.append(f"{case.name}: path counts diverge")
+            assert on.telemetry is not None and on.telemetry["pops"] > 0, \
+                case.name
+            assert off.telemetry is None, case.name
+            assert spans, case.name
+        assert not mismatches, mismatches
+
+    def test_sharded_runs_identical_with_tracing_on(self):
+        with ProcessPoolExecutor(max_workers=4) as pool:
+            for name in ("kocher_05", "haystack_01", "v1_fig1"):
+                case = find_case(name)
+                off, _ = _run(case, shards=4, pool=pool)
+                on, spans = _run(case, telemetry=True, traced=True,
+                                 shards=4, pool=pool)
+                assert violation_set(on.violations) == \
+                    violation_set(off.violations), name
+                assert on.applied_steps == off.applied_steps, name
+                assert on.paths_explored == off.paths_explored, name
+                assert spans, name
+
+    def test_traced_sharded_run_merges_worker_streams(self):
+        """kocher_05 splits into >= 2 pool jobs: the capture must carry
+        >= 2 worker streams, and the merged order must be the
+        deterministic (shard, seq) key, independent of interleaving."""
+        case = find_case("kocher_05")
+        with ProcessPoolExecutor(max_workers=2) as pool:
+            _result, spans = _run(case, telemetry=True, traced=True,
+                                  shards=2, pool=pool)
+        shards = {s["shard"] for s in spans if s["shard"] is not None}
+        assert len(shards) >= 2, shards
+        ordered = sort_spans(spans)
+        keys = [(-1 if s["shard"] is None else s["shard"], s["seq"])
+                for s in ordered]
+        assert keys == sorted(keys)
+        # Per-stream seqs are dense from 0.
+        for shard in shards:
+            seqs = [s["seq"] for s in ordered if s["shard"] == shard]
+            assert seqs == list(range(len(seqs)))
+        doc = chrome_trace(spans)
+        assert {e["tid"] for e in doc["traceEvents"]} >= \
+            {f"shard-{s}" for s in shards}
+
+    def test_telemetry_section_matches_sharded_sum(self):
+        """The merged section's pops equal parent + per-shard pops."""
+        case = find_case("kocher_05")
+        single, _ = _run(case, telemetry=True)
+        with ProcessPoolExecutor(max_workers=2) as pool:
+            sharded, _ = _run(case, telemetry=True, shards=2, pool=pool)
+        assert sharded.telemetry is not None
+        # Split-level roots are advanced without popping and workers
+        # re-pop their replayed roots, so equality with the
+        # single-process distribution is not expected — but both count
+        # every completed schedule exactly once.
+        assert (sum(sharded.telemetry["fork_levels"].values())
+                == sum(single.telemetry["fork_levels"].values())
+                == sharded.paths_explored == single.paths_explored)
+
+
+# -- CLI: --json stdout purity (tier-1) ---------------------------------------
+
+class TestCliJsonStdout:
+    def test_json_stdout_is_one_document_with_trace_on(self, tmp_path):
+        """Every progress/trace notice goes to stderr; --json stdout
+        must parse as exactly one JSON document even with --trace."""
+        capture = tmp_path / "t.jsonl"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.join(REPO, "src") + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "analyze", "kocher_01",
+             "--json", "--trace", str(capture)],
+            capture_output=True, text=True, env=env, cwd=str(tmp_path),
+            timeout=120)
+        assert proc.returncode == 1, proc.stderr  # INSECURE, by design
+        report = json.loads(proc.stdout)  # raises if interleaved
+        assert report["schema_version"] == 7
+        assert report["telemetry"]["pops"] > 0  # --trace implied it
+        assert "trace:" in proc.stderr
+        header, spans = read_capture(capture)
+        assert spans and header["command"] == "analyze"
