@@ -47,6 +47,8 @@ _ALIASES = {
     "cache_attack": "cache-attack",
     "mitigate": "repair",
     "mitigation": "repair",
+    "speculation-passing": "sps",
+    "speculation_passing": "sps",
 }
 
 
@@ -176,6 +178,65 @@ class PitchforkAnalysis(Analysis):
             details["mcts_playout"] = options.mcts_playout
         if options.budget_seconds is not None:
             details["budget_seconds"] = options.budget_seconds
+        return from_analysis_report(report, project.name, self.name,
+                                    wall_time=time.perf_counter() - t0,
+                                    details=details)
+
+
+@register
+class SpsAnalysis(Analysis):
+    """Speculation-passing second opinion (:mod:`repro.sps`).
+
+    Compiles the speculative directives into the program as explicit
+    nondeterminism and decides speculative constant time by a plain
+    sequential check of the product — no reorder buffer, no schedules.
+    Shares no engine code with ``pitchfork``, so agreement between the
+    two is strong evidence (see ``repro analyze --cross-check`` and the
+    :mod:`repro.sps.diff` harness).
+    """
+
+    name = "sps"
+    description = ("speculation-passing second opinion: sequential CT "
+                   "check of the speculative product program (repro.sps)")
+
+    def _run(self, project: Project, options: AnalysisOptions) -> Report:
+        from ..pitchfork.detector import AnalysisReport
+        from ..sps import explore_sps
+        t0 = time.perf_counter()
+        result = explore_sps(
+            project.program, project.config(), bound=options.bound,
+            fwd_hazards=options.fwd_hazards,
+            explore_aliasing=options.explore_aliasing,
+            jmpi_targets=options.jmpi_targets,
+            rsb_targets=options.rsb_targets,
+            rsb_policy=options.rsb_policy,
+            max_paths=options.max_paths,
+            max_steps=options.max_steps,
+            stop_at_first=options.stop_at_first)
+        details = {"speculation_sites": dict(result.sites),
+                   "exhausted_paths": result.exhausted_paths}
+        # The sequential check has no schedule search, so the search
+        # knobs have nothing to act on.  Surfaced, never silently
+        # dropped (the ``*_ignored`` convention).
+        if options.strategy != "dfs":
+            details["strategy_ignored"] = options.strategy
+        if options.shards > 1:
+            details["shards_ignored"] = options.shards
+        if options.prune != "sleepset":
+            details["prune_ignored"] = options.prune
+        if options.subsume:
+            details["subsume_ignored"] = True
+        if options.budget_seconds is not None:
+            details["budget_ignored"] = options.budget_seconds
+        if options.telemetry:
+            details["telemetry_ignored"] = True
+        report = AnalysisReport(
+            name=project.name, secure=result.secure,
+            violations=tuple(result.violations),
+            paths_explored=result.paths_explored,
+            states_stepped=result.states_stepped,
+            truncated=not result.complete,
+            phase="sps", bound=options.bound)
         return from_analysis_report(report, project.name, self.name,
                                     wall_time=time.perf_counter() - t0,
                                     details=details)

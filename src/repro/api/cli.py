@@ -22,7 +22,9 @@ Exit codes (CI contract)::
     1   a violation was found (or a ground-truth mismatch in `litmus`)
     2   --check only: "secure" earned with truncated coverage or a
         vacuous quantifier — coverage, not security, failed
-    3   usage errors (unknown target/analysis/option values)
+    3   usage errors (unknown target/analysis/option values), and
+        --cross-check backend disagreement — nothing about the target
+        can be concluded when the oracle is wrong
 """
 
 from __future__ import annotations
@@ -311,15 +313,38 @@ def cmd_analyze(args) -> int:
     overrides = _imply_telemetry(args, _option_overrides(args))
     header = {"command": "analyze", "target": args.target,
               "analysis": args.analysis}
+    record = None
     with _traced(args, header):
         report = project.run(args.analysis, **overrides)
         header["telemetry"] = (dict(report.telemetry)
                                if report.telemetry is not None else None)
+        if getattr(args, "cross_check", False):
+            # Run *both* backends on the full question (never
+            # first-violation mode: agreement is on the complete
+            # flagged-observation sets) and attach the verdict.
+            from ..sps.diff import compare
+            options = project.options.with_(
+                **{k: v for k, v in overrides.items() if v is not None})
+            record = compare(project.program, project.config(),
+                             options.with_(stop_at_first=False),
+                             name=project.name)
+            report = report.with_(cross_check=record.section())
     if args.json:
         print(report.to_json(indent=2))
     else:
         print(report.render())
     _warn_truncated([report])
+    if record is not None and record.disagree:
+        # Both backends ran to completion and flagged different
+        # observation sets: one of them is wrong.  A distinct exit code
+        # (the usage-error one — nothing about the *target* can be
+        # concluded) keeps oracle bugs from masquerading as verdicts.
+        print(f"error: backends disagree on {project.name}: "
+              f"pitchfork={list(record.pf_obs)} "
+              f"sps={list(record.sps_obs)} "
+              f"(minimise with `python -m repro.sps.diff`)",
+              file=sys.stderr)
+        return 3
     if not report.ok:
         return 1
     # --check: a gate for CI scripts — "secure" earned with capped
@@ -327,6 +352,11 @@ def cmd_analyze(args) -> int:
     # pass silently.  Exit 2 distinguishes a *coverage* failure from a
     # found violation (exit 1), so pipelines can escalate differently.
     if args.check and (report.truncated or report.vacuous):
+        return 2
+    if args.check and record is not None and not record.agree:
+        # explained-budget: the sets differ but a budget truncated at
+        # least one side — agreement was not established, which is a
+        # coverage failure, not a violation.
         return 2
     return 0
 
@@ -705,6 +735,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_analyze.add_argument("--check", action="store_true",
                            help="CI gate: exit nonzero on any violation, "
                                 "truncated coverage, or a vacuous pass")
+    p_analyze.add_argument("--cross-check", action="store_true",
+                           help="also run the speculation-passing second "
+                                "opinion (repro.sps) and the pitchfork "
+                                "explorer on the full question and attach "
+                                "the agreement verdict; exit 3 if the two "
+                                "complete runs flag different observation "
+                                "sets")
     p_analyze.add_argument("--trace", metavar="FILE",
                            help="capture a span trace of the run (implies "
                                 "--telemetry; inspect with `repro trace`)")

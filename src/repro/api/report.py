@@ -31,7 +31,14 @@ from typing import Any, Dict, Mapping, Optional, Tuple
 CLEAN_STATUSES = frozenset({"secure", "clean", "ok", "already-secure",
                             "repaired"})
 
-#: Version of the serialised report shape.  7 added the ``telemetry``
+#: Version of the serialised report shape.  8 added the ``cross_check``
+#: section (backend agreement from ``repro analyze --cross-check``:
+#: ``backends``, per-backend sorted flagged-observation lists and
+#: completeness flags, the ``agree`` verdict and its ``classification``
+#: — ``agree`` / ``explained-budget`` / ``disagree`` — plus per-backend
+#: wall times, the only volatile fields, zeroed by the store's
+#: ``strip_volatile``);
+#: 7 added the ``telemetry``
 #: section (search telemetry from :mod:`repro.obs.telemetry`: the
 #: per-fetch-PC exploration ``heatmap``, the per-fork-level completed
 #: schedule histogram ``fork_levels``, ``pops``, and ``wall_time`` —
@@ -51,7 +58,7 @@ CLEAN_STATUSES = frozenset({"secure", "clean", "ok", "already-secure",
 #: search-strategy fields and per-shard stats; 1 (implicit, no marker)
 #: is the pre-sharding shape.  All older versions are still accepted by
 #: :meth:`Report.from_dict`.
-SCHEMA_VERSION = 7
+SCHEMA_VERSION = 8
 
 
 @dataclass(frozen=True)
@@ -225,6 +232,17 @@ class Report:
     #: ``wall_time`` is deterministic for a fixed configuration
     #: (including the shard count).  None when telemetry was off.
     telemetry: Optional[Mapping[str, Any]] = None
+    #: Backend agreement when the run was cross-checked
+    #: (``repro analyze --cross-check``; see :mod:`repro.sps.diff`):
+    #: ``backends`` (the pair compared), per-backend
+    #: ``<name>_observations`` (sorted flagged-observation reprs) and
+    #: ``<name>_complete`` (no budget interfered), the ``agree``
+    #: verdict, and its ``classification`` — ``"agree"``,
+    #: ``"explained-budget"`` (sets differ but a budget truncated at
+    #: least one side) or ``"disagree"`` (both complete yet different:
+    #: a real bug in one backend).  Per-backend wall times are the only
+    #: volatile fields.  None when no cross-check ran.
+    cross_check: Optional[Mapping[str, Any]] = None
     details: Mapping[str, Any] = field(default_factory=dict)
 
     def __bool__(self) -> bool:
@@ -273,6 +291,8 @@ class Report:
                                 else None),
             "telemetry": (dict(self.telemetry)
                           if self.telemetry is not None else None),
+            "cross_check": (dict(self.cross_check)
+                            if self.cross_check is not None else None),
             "details": dict(self.details),
         }
 
@@ -317,6 +337,8 @@ class Report:
                              else None),
             telemetry=(dict(data["telemetry"])
                        if data.get("telemetry") is not None else None),
+            cross_check=(dict(data["cross_check"])
+                         if data.get("cross_check") is not None else None),
             details=dict(data.get("details", {})),
         )
 
@@ -377,6 +399,16 @@ class Report:
                 f"  telemetry: {t.get('pops', 0)} pops over "
                 f"{len(heatmap)} fetch PCs, "
                 f"{len(t.get('fork_levels', {}))} fork levels{hot}")
+        if self.cross_check is not None:
+            cc = self.cross_check
+            backends = cc.get("backends", ())
+            verdict = cc.get("classification", "?")
+            counts = ", ".join(
+                f"{b}: {len(cc.get(f'{b}_observations', ()))} obs"
+                f"{'' if cc.get(f'{b}_complete', True) else ' (truncated)'}"
+                for b in backends)
+            lines.append(f"  cross-check [{' vs '.join(backends)}]: "
+                         f"{verdict.upper()} ({counts})")
         for phase in self.phases:
             lines.append(f"  phase {phase.name} [bound={phase.bound}]: "
                          f"{'secure' if phase.secure else 'VIOLATIONS'} "

@@ -1,0 +1,198 @@
+"""Differential-sweep regressions (``repro.sps.diff`` findings).
+
+Every program here is a minimised disagreement between the two
+speculative constant-time backends — the out-of-order
+:mod:`repro.pitchfork` explorer and the sequential speculation-passing
+check (:mod:`repro.sps`) — found by the differential harness and landed
+permanently *after* the underlying bug was fixed.  The agreement tests
+sweep the whole registry, so each case keeps guarding the exact
+semantic rule whose violation it once witnessed:
+
+* ``diffregress_store_addr_transient`` / ``_chain`` — the explorer's
+  sleepset reduction deferred *every* store-address resolution under
+  forwarding-hazard mode.  When the address reads an in-flight
+  (possibly transient) value, the resolution observation leaks that
+  value and deferring it past the producer's hazard squash silently
+  dropped the leak.  Fixed by restoring the resolve-now/defer timing
+  fork for exactly those stores.
+* ``diffregress_ret_smash_transient`` — a store smashes the just-pushed
+  return-address slot; the return's load can still wrong-forward the
+  *original* return address and transiently run the caller's
+  continuation into a secret-indexed load.  (Also the shape that
+  exposed SPS's path-starvation bug: its per-path budgets now mirror
+  the explorer's ``max_fetches``/``max_steps``.)
+* ``diffregress_alias_secret_addr`` — a top-level aliasing guess
+  (§3.5) validates only when the load's own address resolves, by which
+  time the guessed-from store has retired: the machine validates
+  against *memory* and emits a ``read`` at the load's true address,
+  never a ``fwd``.  SPS once emitted the ``fwd`` at guess time.
+
+The nested-aliasing squash rule (a guess inside an enclosing excursion
+is rolled back before it validates, so nothing is emitted) is guarded
+by ``aliasing_fig2`` in the aliasing suite.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..core.config import Config
+from ..core.isa import Call, Load, Ret, Store
+from ..core.lattice import PUBLIC, SECRET
+from ..core.memory import Memory, Region
+from ..core.program import Program
+from ..core.values import Reg, Value, operands
+from .registry import LitmusCase, suite
+
+
+def _arena(cells=()) -> Memory:
+    mem = Memory().with_region(Region("arena", 0x40, 8, PUBLIC), None)
+    return mem.write_all(list(cells))
+
+
+def _case_store_addr_transient() -> LitmusCase:
+    # Minimised from random-plain-0-24: store5's address reads r0, a
+    # value a stale (Spectre v4) load may have fetched from secret
+    # memory — resolving that address leaks it (fwd 69_secret), and the
+    # un-fixed sleepset reduction never resolved it before the squash.
+    prog = Program({
+        1: Store(Reg("r1"), operands(64, "r1"), 3),
+        3: Load(Reg("r0"), operands(64, "r3"), 5),
+        5: Store(Value(2), operands(64, "r0"), 11),
+    }, entry=1)
+
+    def config() -> Config:
+        return Config.initial(
+            {"r0": Value(3), "r1": Value(3), "r2": Value(2),
+             "r3": Value(3, SECRET)},
+            _arena([(0x43, Value(5, SECRET))]), pc=1)
+
+    return LitmusCase(
+        name="diffregress_store_addr_transient",
+        variant="v4-diffregress",
+        description="A younger store whose address reads a transiently "
+                    "loaded secret: the address resolution itself is "
+                    "the leak the sleepset deferral used to drop.",
+        program=prog,
+        make_config=config,
+        leaks_sequentially=True,
+        leaks_speculatively=True,
+        needs_fwd_hazards=True,
+    )
+
+
+def _case_store_addr_transient_chain() -> LitmusCase:
+    # Minimised from random-aliasing-0-37: same deferral bug reached
+    # through a chain — the stale load feeds the *last* store's address
+    # (fwd 71_secret) with an unrelated store pinning the buffer open.
+    prog = Program({
+        1: Store(Value(0), operands(69), 2),
+        2: Store(Reg("r3"), operands(64, "r3"), 3),
+        3: Load(Reg("r0"), operands(65), 5),
+        5: Store(Reg("r0"), operands(64, "r0"), 9),
+    }, entry=1)
+
+    def config() -> Config:
+        return Config.initial(
+            {"r0": Value(0), "r1": Value(1), "r2": Value(2),
+             "r3": Value(0, SECRET)},
+            _arena([(0x41, Value(7, SECRET))]), pc=1)
+
+    return LitmusCase(
+        name="diffregress_store_addr_transient_chain",
+        variant="v4-diffregress",
+        description="Store-address leak of a stale-loaded secret behind "
+                    "an unrelated pending store, under the aliasing "
+                    "extension.",
+        program=prog,
+        make_config=config,
+        leaks_sequentially=True,
+        leaks_speculatively=True,
+        needs_fwd_hazards=True,
+        needs_aliasing=True,
+        min_bound=12,
+    )
+
+
+def _case_ret_smash_transient() -> LitmusCase:
+    # From random-callret sweeps (seed-3080 class), made terminating:
+    # the callee smashes the return-address slot with a halt point, so
+    # the architectural return leaves the program — but the return's
+    # load can wrong-forward the call's *original* return address and
+    # transiently run the caller's continuation into a secret-indexed
+    # load (read 64_secret).  The smash target must stay a halt point
+    # even after hardening passes splice in fresh instructions, so it
+    # is 5 — referenced by pp4 but unmapped, which the pass allocator
+    # (``_first_unreferenced_point``) never hands out.
+    prog = Program({
+        1: Load(Reg("r2"), operands(68), 2),
+        2: Call(6, 3),
+        3: Load(Reg("r0"), operands(64, "r3"), 4),
+        4: Load(Reg("r2"), operands(64, "r1"), 5),
+        6: Store(Value(5), operands("rsp"), 7),
+        7: Ret(),
+    }, entry=1)
+
+    def config() -> Config:
+        mem = Memory()
+        mem = mem.with_region(Region("stack", 0x20, 8, PUBLIC), None)
+        mem = mem.with_region(Region("arena", 0x40, 8, PUBLIC), None)
+        return Config.initial(
+            {"r0": Value(4), "r1": Value(0, SECRET), "r2": Value(6),
+             "r3": Value(0), "rsp": Value(0x27)},
+            mem, pc=1)
+
+    return LitmusCase(
+        name="diffregress_ret_smash_transient",
+        variant="ret2spec-diffregress",
+        description="Smashed return-address slot: the wrong-forward arm "
+                    "of the return's load transiently resumes the "
+                    "caller and hits a secret-indexed load.",
+        program=prog,
+        make_config=config,
+        leaks_sequentially=False,
+        leaks_speculatively=True,
+        needs_fwd_hazards=True,
+        min_bound=8,
+    )
+
+
+def _case_alias_secret_addr() -> LitmusCase:
+    # Seed-2058 class: a top-level aliasing guess on a load whose own
+    # address is secret.  The machine emits the validation *read* at
+    # the true address; a backend that emits a fwd at guess time
+    # diverges here.
+    prog = Program({
+        1: Store(Value(3), operands(70), 2),
+        2: Load(Reg("r0"), operands(64, "r3"), 3),
+    }, entry=1)
+
+    def config() -> Config:
+        return Config.initial(
+            {"r0": Value(0), "r1": Value(1), "r2": Value(2),
+             "r3": Value(7, SECRET)},
+            _arena(), pc=1)
+
+    return LitmusCase(
+        name="diffregress_alias_secret_addr",
+        variant="aliasing-diffregress",
+        description="Aliasing guess on a secret-addressed load: the "
+                    "guess surfaces only as the validation read at the "
+                    "load's true address, never as a fwd.",
+        program=prog,
+        make_config=config,
+        leaks_sequentially=True,
+        leaks_speculatively=True,
+        needs_fwd_hazards=True,
+        needs_aliasing=True,
+        min_bound=8,
+    )
+
+
+@suite("diffregress")
+def cases() -> List[LitmusCase]:
+    """Minimised differential-sweep findings, kept as regressions."""
+    return [_case_store_addr_transient(),
+            _case_store_addr_transient_chain(),
+            _case_ret_smash_transient(),
+            _case_alias_secret_addr()]

@@ -69,14 +69,14 @@ def suite(name: str):
 def load_suite(name: str) -> List[LitmusCase]:
     """Instantiate a registered suite by name."""
     # Import side effects register the suites on first use.
-    from . import aliasing, haystack, kocher, spec_rsb, spec_v1, spec_v11, \
-        spec_v4  # noqa: F401
+    from . import aliasing, diffregress, haystack, kocher, spec_rsb, \
+        spec_v1, spec_v11, spec_v4  # noqa: F401
     return _SUITES[name]()
 
 
 def all_suites() -> Dict[str, List[LitmusCase]]:
-    from . import aliasing, haystack, kocher, spec_rsb, spec_v1, spec_v11, \
-        spec_v4  # noqa: F401
+    from . import aliasing, diffregress, haystack, kocher, spec_rsb, \
+        spec_v1, spec_v11, spec_v4  # noqa: F401
     return {name: factory() for name, factory in sorted(_SUITES.items())}
 
 

@@ -42,6 +42,7 @@ from typing import Dict, List, Optional, Set, Tuple
 
 from ..asm import assemble, to_source
 from ..core.config import Config
+from ..core.errors import ReproError
 from ..core.machine import Machine
 from ..core.observations import secret_observations
 from ..core.program import Program
@@ -98,6 +99,11 @@ class RepairResult:
     #: sequentially constant-time programs).
     sequential_leaks: Tuple[str, ...] = ()
     semantics_preserved: bool = True
+    #: Why each equivalence check failed (one line per rejected SLH
+    #: proposal or semantics-breaking accepted fence).  Empty iff
+    #: every proposal replayed cleanly; ``semantics_preserved`` is
+    #: False exactly when an *accepted* mitigation appears here.
+    semantics_failures: Tuple[str, ...] = ()
     wall_time: float = 0.0
     #: Verifier machine-step accounting summed over every re-run.
     states_stepped: int = 0
@@ -132,6 +138,7 @@ class RepairResult:
             "overhead_steps": self.overhead_steps,
             "sequential_leaks": list(self.sequential_leaks),
             "semantics_preserved": self.semantics_preserved,
+            "semantics_failures": list(self.semantics_failures),
             "verifications": self.verifications,
         }
 
@@ -166,23 +173,33 @@ def _sequential_profile(program: Program, config: Config, rsb_policy: str,
 
 
 def _preserves_semantics(base_result, candidate: Program, config: Config,
-                         rsb_policy: str, max_retires: int) -> bool:
+                         rsb_policy: str,
+                         max_retires: int) -> Optional[str]:
     """Sequential equivalence: same observation trace, same final
-    architectural state (original registers and all of memory)."""
+    architectural state (original registers and all of memory).
+
+    Returns None when the candidate is equivalent, else a short reason
+    string.  Only the machine's own failures (:class:`ReproError` —
+    a stuck candidate, an ill-formed splice) count as "not
+    equivalent"; anything else is a synthesizer bug and propagates.
+    """
     machine = Machine(candidate, rsb_policy=rsb_policy)
     try:
         cand = run_sequential(machine, config.with_(pc=candidate.entry),
                               max_retires=max_retires)
-    except Exception:
-        return False
+    except ReproError as exc:
+        return f"candidate does not run sequentially: {exc}"
     if cand.trace != base_result.trace:
-        return False
+        return "observation trace diverges"
     a, b = base_result.final, cand.final
     for reg, value in a.regs.items():
         if b.regs.get(reg) != value:
-            return False
+            return f"final value of register {reg.name} diverges"
     addrs = set(a.mem.addresses()) | set(b.mem.addresses())
-    return all(a.mem.read(addr) == b.mem.read(addr) for addr in addrs)
+    for addr in addrs:
+        if a.mem.read(addr) != b.mem.read(addr):
+            return f"final memory at {addr:#x} diverges"
+    return None
 
 
 class MitigationSynthesizer:
@@ -205,6 +222,7 @@ class MitigationSynthesizer:
         self._reused = 0
         self._shrunk = 0
         self._slh_done: Set[int] = set()
+        self._semantics_failures: List[str] = []
 
     # -- the verifier --------------------------------------------------------
 
@@ -252,17 +270,24 @@ class MitigationSynthesizer:
                     candidate, applied = apply_slh(program, site, load_pp)
                 except MitigationError:
                     continue
-                if _preserves_semantics(base_seq, candidate, self.config,
-                                        self.rsb_policy, opts.max_retires):
+                why = _preserves_semantics(base_seq, candidate, self.config,
+                                           self.rsb_policy, opts.max_retires)
+                if why is None:
                     self._slh_done.add(load_pp)
                     return candidate, applied, True
+                self._semantics_failures.append(
+                    f"slh at point {load_pp} (site {site.leak_pp}, "
+                    f"rejected): {why}")
         try:
             candidate, applied = apply_fence(program, site.leak_pp)
         except MitigationError:
             return None
-        ok = _preserves_semantics(base_seq, candidate, self.config,
-                                  self.rsb_policy, opts.max_retires)
-        return candidate, applied, ok
+        why = _preserves_semantics(base_seq, candidate, self.config,
+                                   self.rsb_policy, opts.max_retires)
+        if why is not None:
+            self._semantics_failures.append(
+                f"fence at point {site.leak_pp} (accepted): {why}")
+        return candidate, applied, why is None
 
     # -- the loop ------------------------------------------------------------
 
@@ -348,6 +373,7 @@ class MitigationSynthesizer:
             repaired_sequential_steps=repaired_steps,
             sequential_leaks=tuple(sorted(seq_leaks)),
             semantics_preserved=semantics_ok,
+            semantics_failures=tuple(self._semantics_failures),
             wall_time=time.perf_counter() - t0,
             states_stepped=self._stepped, states_reused=self._reused)
 
@@ -428,7 +454,7 @@ def verify_certificate(certificate: Dict[str, object], config: Config, *,
         machine = Machine(original, rsb_policy=rsb_policy)
         base = run_sequential(machine, config.with_(pc=original.entry),
                               max_retires=max_retires)
-        if not _preserves_semantics(base, program, config, rsb_policy,
-                                    max_retires):
+        if _preserves_semantics(base, program, config, rsb_policy,
+                                max_retires) is not None:
             return False
     return True

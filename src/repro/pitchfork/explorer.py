@@ -89,8 +89,8 @@ from ..core.observations import (Observation, Rollback, Trace,
                                  is_secret_dependent)
 from ..core.rob import resolve_operands
 from ..core.transient import (TBr, TCallMarker, TFence, TJmpi, TJump, TLoad,
-                              TOp, TRetMarker, TStore, TValue)
-from ..core.values import BOTTOM
+                              TOp, TRetMarker, TStore, TValue, assigns)
+from ..core.values import BOTTOM, Value
 from ..engine import (EngineStats, ExecutionEngine, MachineState,
                       PruningStats, SeenStates, SubsumptionStats,
                       make_frontier)
@@ -910,6 +910,24 @@ class Explorer:
                             i not in path.deferred and \
                             self._can(config, Execute(i, "addr")):
                         return [[Execute(i, "addr")], [_Defer(i)]]
+                    # Reduced levels rest on an independence argument:
+                    # deferring a store's address resolution commutes
+                    # with every other action, so only the aliasing
+                    # choice points (the load-site arms) need forks.
+                    # That argument breaks when the address *reads an
+                    # in-flight value*: the resolution observation then
+                    # leaks a possibly-transient value, and deferring
+                    # it past the producer's hazard squash silently
+                    # drops the leak (surfaced by the repro.sps.diff
+                    # differential sweep) — so the timing fork comes
+                    # back for exactly those stores.
+                    if self.options.fwd_hazards and \
+                            self.options.prune != "none" and \
+                            i not in path.deferred and \
+                            self._addr_reads_inflight(config, i,
+                                                      entry.args) and \
+                            self._can(config, Execute(i, "addr")):
+                        return [[Execute(i, "addr")], [_Defer(i)]]
             elif isinstance(entry, TBr):
                 if self.options.assume_unknown_branches:
                     continue  # all branches delayed in symbolic mode
@@ -1017,6 +1035,21 @@ class Explorer:
                 return False
             current = stepped[0]
         return True
+
+    def _addr_reads_inflight(self, config: Config, i: int, args) -> bool:
+        """Does entry ``i``'s address read a register whose youngest
+        assignment is still in flight?  Such a value may be transient
+        (a speculatively forwarded load, or computation on one), so the
+        timing of the address resolution — and hence whether its
+        ``fwd`` observation happens before a rollback squashes the
+        entry — is not schedule-independent."""
+        for rv in args:
+            if isinstance(rv, Value):
+                continue
+            for j in reversed(config.buf.indices()):
+                if j < i and assigns(config.buf[j], rv):
+                    return True
+        return False
 
     def _eventual_address(self, config: Config, i: int,
                           args) -> Optional[int]:

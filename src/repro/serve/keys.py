@@ -140,6 +140,14 @@ def strip_volatile(report_dict: Mapping[str, Any]) -> Dict[str, Any]:
         # The heatmap/fork-level counters are deterministic for a fixed
         # configuration; wall_time is the section's only volatile field.
         telemetry["wall_time"] = 0.0
+    cross_check = out.get("cross_check")
+    if isinstance(cross_check, dict):
+        # Observation sets and completeness flags are deterministic;
+        # the per-backend wall times are the section's only volatile
+        # fields.
+        for key in list(cross_check):
+            if key.endswith("_wall_time"):
+                cross_check[key] = 0.0
     details = out.get("details")
     if isinstance(details, dict):
         details.pop("cache", None)

@@ -40,6 +40,7 @@ import itertools
 import os
 import threading
 import time
+import traceback
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
@@ -91,6 +92,11 @@ class Job:
     source: str = SOURCE_COMPUTED
     report: Optional[Dict[str, Any]] = None
     error: Optional[str] = None
+    #: Exception class name and formatted traceback of a FAILED job —
+    #: the one-line ``error`` is for humans, these are for tooling
+    #: (both ride on the failure state event and ``public_state()``).
+    error_type: Optional[str] = None
+    error_traceback: Optional[str] = None
     created: float = field(default_factory=time.time)
     started: Optional[float] = None
     finished: Optional[float] = None
@@ -121,6 +127,8 @@ class Job:
                 "target": self.target, "analysis": self.analysis,
                 "key": self.key, "created": self.created,
                 "wall_time": wall, "error": self.error,
+                "error_type": self.error_type,
+                "error_traceback": self.error_traceback,
                 "violations_so_far": self.violations_so_far,
                 "events_available": len(self.events)}
 
@@ -535,13 +543,21 @@ class ReproServer:
             job.add_event({"kind": "state", "state": CANCELLED})
             return
         except Exception as exc:
+            # Boundary handler: a bad job must never take the daemon
+            # down, whatever it raises — but the failure travels to the
+            # client with its class name and full traceback, never as a
+            # bare message.
             job.state = CANCELLED if job.cancel_requested else FAILED
             if job.state == FAILED:
                 self.metrics.counter("serve_jobs_failed_total").inc()
             job.error = f"{type(exc).__name__}: {exc}"
+            job.error_type = type(exc).__name__
+            job.error_traceback = traceback.format_exc()
             job.finished = time.time()
             job.add_event({"kind": "state", "state": job.state,
-                           "error": job.error})
+                           "error": job.error,
+                           "error_type": job.error_type,
+                           "error_traceback": job.error_traceback})
             return
         finally:
             if self._active_by_key.get(job.key) == job.id:

@@ -1,0 +1,34 @@
+"""Speculation-passing second-opinion backend (``repro.sps``).
+
+An independent decision procedure for speculative constant time: the
+speculation-passing transformation materialises the paper's speculative
+directives — branch misprediction, store-to-load forwarding hazards,
+speculation-window rollback — as *explicit program-level nondeterminism*
+(:mod:`repro.sps.transform`), and a plain **sequential** labelled
+interpreter (:mod:`repro.sps.interp`) then checks ordinary constant time
+over every resolved arm of the product program.  No reorder buffer, no
+schedules: a wrong speculative choice becomes a bounded in-order
+*excursion* whose length is the speculation window, and rollback is the
+end of the excursion path (the architectural continuation is the sibling
+arm that made the correct choice).
+
+Because it shares no code with the :mod:`repro.pitchfork` explorer —
+different state representation, different search, different rollback
+model — agreement between the two backends on the flagged
+secret-dependent observation set is strong evidence that neither is
+wrong, and every disagreement is a bug in one of them.
+:mod:`repro.sps.diff` is the differential harness that hunts for those
+disagreements over the litmus registry and seeded random programs, and
+delta-debugs each one into a minimal deterministic repro.
+"""
+
+from .interp import SpsResult, explore_sps
+from .transform import SpecSite, site_counts, speculation_sites
+
+__all__ = [
+    "SpecSite",
+    "SpsResult",
+    "explore_sps",
+    "site_counts",
+    "speculation_sites",
+]

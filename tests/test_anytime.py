@@ -204,8 +204,8 @@ class TestShardedBudget:
 
 
 class TestRoundTrip:
-    def test_schema_version_is_7(self):
-        assert SCHEMA_VERSION == 7
+    def test_schema_version_is_8(self):
+        assert SCHEMA_VERSION == 8
 
     def test_anytime_stats_exact_round_trip(self):
         stats = AnytimeStats(budget_seconds=2.5, budget_consumed=1.25,
@@ -222,7 +222,7 @@ class TestRoundTrip:
         assert main(["analyze", "kocher_01", "--budget-seconds", "600",
                      "--json"]) == 1
         data = json.loads(capsys.readouterr().out)
-        assert data["schema_version"] == 7
+        assert data["schema_version"] == 8
         assert data["anytime"]["budget_seconds"] == 600.0
         assert data["anytime"]["deadline_hit"] is False
         assert data["first_violation"]["steps"] >= 1

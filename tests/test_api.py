@@ -123,10 +123,10 @@ class TestProject:
 
 
 class TestRegistry:
-    def test_all_seven_registered(self):
+    def test_all_eight_registered(self):
         assert set(available_analyses()) == {
             "pitchfork", "two-phase", "sct", "cache-attack", "metatheory",
-            "symbolic", "repair"}
+            "symbolic", "repair", "sps"}
 
     def test_aliases_and_unknown(self):
         assert get_analysis("two_phase").name == "two-phase"
@@ -317,7 +317,7 @@ class TestReportSchema:
     def test_schema_version_serialised(self):
         report = fig1_project().analyses.pitchfork(bound=12)
         data = json.loads(report.to_json())
-        assert data["schema_version"] == 7
+        assert data["schema_version"] == 8
 
     def test_round_trip_plain(self):
         report = fig1_project().analyses.pitchfork(bound=12,

@@ -24,7 +24,7 @@ class TestAnalyzeFlag:
         data = json.loads(capsys.readouterr().out)
         assert data["details"]["subsume"] is True
         assert data["subsumption"]["enabled"] is True
-        assert data["schema_version"] == 7
+        assert data["schema_version"] == 8
 
     def test_no_subsume_insecure_exits_1(self, capsys):
         assert main(["analyze", "kocher_01", "--no-subsume",

@@ -11,13 +11,13 @@ byte (``repr``), across the full litmus registry.
 """
 
 import random
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import List, Optional, Set
 
 import pytest
 
 from repro.core.config import Config
-from repro.core.directives import Execute, Fetch
+from repro.core.directives import Execute, Fetch, Retire
 from repro.core.errors import StuckError
 from repro.core.machine import Machine
 from repro.core.observations import Rollback, is_secret_dependent
@@ -25,7 +25,7 @@ from repro.core.transient import TBr
 from repro.litmus import all_cases
 from repro.pitchfork.explorer import (ExplorationOptions, ExplorationResult,
                                       Explorer, PathResult, Violation,
-                                      _DelayJmpi)
+                                      _Defer, _DelayJmpi)
 from repro.verify.generators import random_config, random_program
 
 
@@ -44,6 +44,7 @@ class _RefPath:
     steps: int = 0
     exhausted: bool = False
     finished: bool = False
+    deferred: Set[int] = field(default_factory=set)
 
 
 class ReferenceExplorer(Explorer):
@@ -100,7 +101,8 @@ class ReferenceExplorer(Explorer):
                 clone = _RefPath(path.config, list(path.schedule),
                                  list(path.trace), list(path.violations),
                                  set(path.delayed),
-                                 path.fetches, path.steps)
+                                 path.fetches, path.steps,
+                                 deferred=set(path.deferred))
                 for action in arm:
                     if not self._apply(clone, action):
                         break
@@ -110,6 +112,9 @@ class ReferenceExplorer(Explorer):
     def _apply(self, path, action) -> bool:
         if isinstance(action, _DelayJmpi):
             path.delayed.add(action.index)
+            return True
+        if isinstance(action, _Defer):
+            path.deferred.add(action.index)
             return True
         try:
             config, leak = self.machine.step(path.config, action)
@@ -129,9 +134,12 @@ class ReferenceExplorer(Explorer):
                     tuple(path.trace) + leak[:k + 1]))
         if any(isinstance(o, Rollback) for o in leak):
             path.delayed = {i for i in path.delayed if i in config.buf}
+            path.deferred = {i for i in path.deferred if i in config.buf}
             if isinstance(action, Execute) and \
                     isinstance(path.config.buf.get(action.index), TBr):
                 path.finished = True
+        elif isinstance(action, Retire) and path.deferred:
+            path.deferred = {i for i in path.deferred if i in config.buf}
         path.schedule.append(action)
         path.trace.extend(leak)
         path.config = config

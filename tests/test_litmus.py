@@ -73,7 +73,8 @@ class TestSuitesShape:
     def test_all_suites_present(self):
         suites = all_suites()
         assert set(suites) == {"kocher", "spec_v1", "spec_v11", "spec_v4",
-                               "spec_rsb", "aliasing", "haystack"}
+                               "spec_rsb", "aliasing", "haystack",
+                               "diffregress"}
 
     def test_kocher_has_15_cases(self):
         assert len(load_suite("kocher")) == 15

@@ -197,6 +197,55 @@ class TestRepairRegistry:
         assert not result.final_report.secure
 
 
+class TestSemanticsFailures:
+    """Equivalence-check rejections are named and surfaced, never
+    swallowed (the old bare ``except Exception`` hid them all)."""
+
+    def test_preserves_semantics_names_the_divergence(self):
+        from repro.core import Config, Memory, run_sequential
+        from repro.mitigate.synth import _preserves_semantics
+        cfg = Config.initial({}, Memory(), pc=1)
+        base_prog = assemble("%ra = op add, 1, 0\nhalt")
+        base = run_sequential(Machine(base_prog), cfg, max_retires=10)
+        same = assemble("%ra = op add, 0, 1\nhalt")
+        assert _preserves_semantics(base, same, cfg, "directive", 10) is None
+        wrong_reg = assemble("%ra = op add, 2, 0\nhalt")
+        why = _preserves_semantics(base, wrong_reg, cfg, "directive", 10)
+        assert why == "final value of register ra diverges"
+        extra_store = assemble(
+            "%ra = op add, 1, 0\nstore 1, [0x40]\nhalt")
+        why = _preserves_semantics(base, extra_store, cfg, "directive", 10)
+        assert why == "observation trace diverges"
+
+    def test_rejected_candidates_land_in_the_repair_report(self, monkeypatch):
+        # Force every SLH candidate (no new fence) to fail equivalence:
+        # the loop must fall back to fences, and the report must list
+        # each rejection with its point and reason.
+        import repro.mitigate.synth as synth
+        case = find_case("kocher_01")
+        real = synth._preserves_semantics
+        base_fences = count_fences(case.program)
+
+        def fake(base_result, candidate, config, rsb_policy, max_retires):
+            if count_fences(candidate) == base_fences:
+                return "injected divergence"
+            return real(base_result, candidate, config, rsb_policy,
+                        max_retires)
+
+        monkeypatch.setattr(synth, "_preserves_semantics", fake)
+        result = _repair_case(case, policy="slh")
+        assert result.secure
+        assert any("rejected): injected divergence" in entry
+                   for entry in result.semantics_failures)
+        assert result.certificate["semantics_failures"] == \
+            list(result.semantics_failures)
+
+    def test_clean_repairs_report_no_failures(self):
+        result = _repair_case(find_case("kocher_01"))
+        assert result.semantics_failures == ()
+        assert result.certificate["semantics_failures"] == []
+
+
 class TestMinimality:
     def test_fence_policy_beats_blanket_on_at_least_10_kocher_cases(self):
         strictly_fewer = 0
@@ -297,7 +346,7 @@ class TestRepairAnalysis:
     def test_report_round_trip_covers_mitigation(self):
         report = Project.from_litmus("kocher_01").analyses.repair()
         data = json.loads(report.to_json())
-        assert data["schema_version"] == 7
+        assert data["schema_version"] == 8
         assert data["mitigation"]["steps"]
         assert Report.from_json(report.to_json()) == report
 

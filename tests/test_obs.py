@@ -238,7 +238,7 @@ class TestReportTelemetry:
         assert report.telemetry is not None
         assert report.telemetry["pops"] > 0
         data = json.loads(report.to_json())
-        assert data["schema_version"] == 7
+        assert data["schema_version"] == 8
         again = Report.from_dict(data)
         assert again.telemetry == report.telemetry
         assert json.loads(again.to_json()) == data
@@ -407,7 +407,7 @@ class TestCliJsonStdout:
             timeout=120)
         assert proc.returncode == 1, proc.stderr  # INSECURE, by design
         report = json.loads(proc.stdout)  # raises if interleaved
-        assert report["schema_version"] == 7
+        assert report["schema_version"] == 8
         assert report["telemetry"]["pops"] > 0  # --trace implied it
         assert "trace:" in proc.stderr
         header, spans = read_capture(capture)

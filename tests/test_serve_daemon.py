@@ -110,6 +110,48 @@ def test_unknown_job_is_a_clean_error(client):
         client.status("job-999999")
 
 
+def test_sps_analysis_served_identically(client):
+    """The speculation-passing backend is a first-class daemon analysis
+    (registry pickup, same byte-identity bar as pitchfork)."""
+    report, _ = client.submit_and_wait(
+        {"kind": "name", "name": "kocher_01"}, analysis="sps")
+    direct = Project.from_litmus("kocher_01").run("sps")
+    assert strip_volatile(report.to_dict()) \
+        == strip_volatile(direct.to_dict())
+    assert report.analysis == "sps"
+    assert not report.secure
+
+
+def test_failed_job_carries_type_and_traceback(daemon, client, monkeypatch):
+    """A worker failure reaches the client as a typed, debuggable
+    payload — class name and full traceback on the job state and the
+    failure event — never a bare one-liner."""
+    import time as _time
+
+    def boom(*_args, **_kwargs):
+        raise RuntimeError("injected worker failure")
+
+    monkeypatch.setattr(daemon.server.pool, "submit", boom)
+    job = client.submit({"kind": "name", "name": "kocher_12"})
+    deadline = _time.monotonic() + 10.0
+    while True:
+        status = client.status(job["job"])
+        if status["state"] not in ("queued", "running"):
+            break
+        assert _time.monotonic() < deadline, "job never settled"
+        _time.sleep(0.02)
+    assert status["state"] == "failed"
+    assert status["error"] == "RuntimeError: injected worker failure"
+    assert status["error_type"] == "RuntimeError"
+    assert "Traceback (most recent call last)" in status["error_traceback"]
+    assert "injected worker failure" in status["error_traceback"]
+    failure_events = [e for e in status["events"]
+                      if e.get("state") == "failed"]
+    assert failure_events
+    assert failure_events[-1]["error_type"] == "RuntimeError"
+    assert "Traceback" in failure_events[-1]["error_traceback"]
+
+
 # -- concurrency -------------------------------------------------------------
 
 

@@ -72,6 +72,58 @@ class TestSolving:
         assert vals == [10, 11, 12]
 
 
+class TestSolvingEdgeCases:
+    """The bounded solver's boundary behaviours: domain exhaustion,
+    contradictions, and the degenerate no-symbol cases."""
+
+    def test_feasible_values_domain_explosion_guarded(self):
+        # 64**4 joint assignments > MAX_MODELS: enumeration must refuse
+        # (honest ReproError), not silently sample.
+        big = [Sym(f"s{k}", tuple(range(64))) for k in range(4)]
+        with pytest.raises(ReproError):
+            feasible_values(App("add", tuple(big)), [])
+
+    def test_feasible_values_at_exact_cap_still_enumerates(self):
+        from repro.pitchfork.symex import MAX_MODELS
+        syms = [Sym(f"t{k}", tuple(range(16))) for k in range(4)]
+        assert 16 ** 4 == MAX_MODELS
+        vals = feasible_values(
+            syms[0], [Constraint(App("eq", (s, 0)), True)
+                      for s in syms[1:]])
+        assert vals == list(range(16))
+
+    def test_feasible_values_contradiction_is_empty(self):
+        vals = feasible_values(
+            X, [Constraint(App("eq", (X, 1)), True),
+                Constraint(App("eq", (X, 2)), True)])
+        assert vals == []
+
+    def test_feasible_values_concrete_expression(self):
+        assert feasible_values(App("add", (3, 4)), []) == [7]
+
+    def test_solve_contradiction_without_symbols(self):
+        # ``0 != 0`` has no symbols to search over — must be None, not
+        # an empty model.
+        assert solve([Constraint(0, True)]) is None
+        assert solve([Constraint(App("sub", (5, 5)), True)]) is None
+
+    def test_solve_tautology_without_symbols(self):
+        assert solve([Constraint(1, True), Constraint(0, False)]) == {}
+
+    def test_solve_extra_symbols_land_in_the_model(self):
+        # An unconstrained extra symbol still gets an assignment (the
+        # runner uses this for registers never mentioned in a path
+        # constraint).
+        model = solve([Constraint(App("eq", (X, 2)), True)],
+                      extra_symbols=[Y])
+        assert model["x"] == 2 and model["y"] in Y.domain
+
+    def test_solve_exhausts_whole_domain_before_unsat(self):
+        # Every x in 0..7 violates ``x != x`` — None only after the
+        # full sweep.
+        assert solve([Constraint(App("eq", (X, X)), False)]) is None
+
+
 class TestEvaluator:
     def test_concrete_fast_path(self):
         ev = SymbolicEvaluator()
@@ -98,6 +150,32 @@ class TestEvaluator:
             ev.concretize(Value(X))
         ev.concretizations[X] = 4
         assert ev.concretize(Value(X)) == 4
+
+    def test_concretize_compound_address_carries_the_expr(self):
+        # A symbolic *address expression* (not a bare symbol) must
+        # surface the full expression so the runner can solve for it.
+        ev = SymbolicEvaluator()
+        addr = App("add", (X, 0x40))
+        with pytest.raises(NeedConcretization) as err:
+            ev.concretize(Value(addr))
+        assert err.value.expr == addr
+
+    def test_symbolic_load_address_forces_concretization(self):
+        # Machine-level: stepping a load whose address register is
+        # symbolic raises NeedConcretization out of the evaluator
+        # (the runner then splits over feasible addresses).
+        prog = assemble("""
+            %rb = load [0x40, %ra]
+            halt
+        """)
+        mem = layout(("A", 4, PUBLIC, [1, 2, 3, 0]))
+        cfg = Config.initial({"ra": Value(Sym("a", (0, 1, 2, 3)))},
+                             mem, pc=1)
+        from repro.core import execute, fetch
+        machine = Machine(prog, evaluator=SymbolicEvaluator())
+        after, _ = machine.step(cfg, fetch())
+        with pytest.raises(NeedConcretization):
+            machine.step(after, execute(1))
 
 
 class TestRunner:
